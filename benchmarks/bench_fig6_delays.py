@@ -1,0 +1,33 @@
+"""Figure 6 — lock throughput as a function of delta_in and delta_out.
+
+Paper result: overhead is highest when the program does nothing but lock
+and unlock (delta_in = delta_out = 0) and is progressively absorbed as the
+time spent inside or between critical sections grows; at
+delta_out >= 1 ms the immunized and baseline curves nearly coincide.
+"""
+
+from __future__ import annotations
+
+from repro.harness import format_table, run_figure6
+
+
+def bench_figure6():
+    series = run_figure6(threads=8, iterations=60,
+                         delta_in_values=(0.0, 1e-6, 1e-5, 1e-4, 1e-3),
+                         delta_out_values=(0.0, 1e-6, 1e-5, 1e-4, 1e-3))
+    print()
+    print(format_table(series["vary_delta_in"],
+                       "Figure 6a: vary delta_in (delta_out = 1 ms)"))
+    print()
+    print(format_table(series["vary_delta_out"],
+                       "Figure 6b: vary delta_out (delta_in = 1 us)"))
+    return series
+
+
+def test_figure6_overhead_absorbed_by_delays(once):
+    series = once(bench_figure6)
+    vary_out = series["vary_delta_out"]
+    # Throughput must fall monotonically-ish as delta_out grows (sanity)
+    assert vary_out[0].baseline_throughput > vary_out[-1].baseline_throughput
+    # At the largest delta_out the two curves should be close (paper shape).
+    assert vary_out[-1].overhead_percent < 30.0, vary_out[-1].as_dict()

@@ -1,0 +1,31 @@
+"""Figure 7 — lock throughput vs history size and matching depth.
+
+Paper result: throughput is essentially flat from 2 to 256 signatures and
+between matching depths 4 and 8 — searching the history is a negligible
+component of the overhead.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.harness import format_table, run_figure7
+
+
+def bench_figure7():
+    rows = run_figure7(history_sizes=(2, 4, 8, 16, 32, 64, 128, 256),
+                       depths=(4, 8), threads=8, iterations=60)
+    print()
+    print(format_table(rows, "Figure 7: throughput vs history size and depth"))
+    return rows
+
+
+def test_figure7_history_size_has_flat_cost(once):
+    rows = once(bench_figure7)
+    assert len(rows) == 16
+    throughputs = [row.dimmunix_throughput for row in rows]
+    mean = statistics.mean(throughputs)
+    # Flatness: no point falls below half of the mean (the paper's curves
+    # vary by only a few percent; wall-clock noise warrants a wide band).
+    for row in rows:
+        assert row.dimmunix_throughput > 0.5 * mean, row.as_dict()

@@ -1,0 +1,29 @@
+"""Figure 8 — breakdown of the Dimmunix overhead.
+
+Paper result: for the Java implementation the bulk of the overhead comes
+from the avoidance data-structure lookups and updates, with the base
+instrumentation and the final avoidance logic adding smaller shares.  The
+breakdown here is obtained by running the engine in its three staged
+modes: instrumentation only, + data-structure updates, + full avoidance.
+"""
+
+from __future__ import annotations
+
+from repro.harness import format_table, run_figure8
+
+
+def bench_figure8():
+    rows = run_figure8(thread_counts=(8, 16, 32), iterations=60)
+    print()
+    print(format_table(rows, "Figure 8: overhead breakdown (cumulative stages)"))
+    return rows
+
+
+def test_figure8_breakdown_is_cumulative(once):
+    rows = once(bench_figure8)
+    assert len(rows) == 3
+    for row in rows:
+        # Each stage adds work, so throughput should not *increase* much as
+        # stages are added (allowing wall-clock noise).
+        assert row.full_throughput <= row.baseline_throughput * 1.25, row.as_dict()
+        assert row.full_throughput > 0

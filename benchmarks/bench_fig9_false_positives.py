@@ -1,0 +1,40 @@
+"""Figure 9 — overhead induced by false positives, and the gate-lock comparison.
+
+Paper result: matching at shallow depths causes many false positives and
+up to ~61% overhead at depth 1; the overhead falls rapidly with depth and
+is ~4.6% at depth >= 8.  The gate-lock approach [17], which serializes the
+code blocks involved in past deadlocks, shows ~70% overhead and over half
+a million false positives on the same workload — an order of magnitude
+worse than Dimmunix at realistic depths, and comparable to Dimmunix forced
+down to depth 1.
+"""
+
+from __future__ import annotations
+
+from repro.harness import format_table, run_figure9, run_gate_lock_comparison
+
+
+def bench_figure9():
+    rows = run_figure9(threads=32, iterations=60, signatures=64)
+    gate = run_gate_lock_comparison(threads=32, iterations=60, signatures=64)
+    print()
+    print(format_table(rows, "Figure 9: overhead induced by false positives"))
+    print()
+    print(format_table([gate], "Gate-lock baseline on the same workload"))
+    return rows, gate
+
+
+def test_figure9_false_positive_shape(once):
+    rows, gate = once(bench_figure9)
+    by_depth = {row.matching_depth: row for row in rows}
+    # False positives decrease monotonically with matching depth.
+    fps = [row.false_positives for row in rows]
+    assert all(earlier >= later for earlier, later in zip(fps, fps[1:]))
+    # Deep matching has (near) zero false positives.
+    assert by_depth[max(by_depth)].false_positives == 0
+    # Shallow matching costs much more than deep matching.
+    assert by_depth[1].overhead_percent > by_depth[max(by_depth)].overhead_percent
+    # Gate locks are at least as bad as Dimmunix at depth 1 and far worse
+    # than Dimmunix at full depth (the paper's order-of-magnitude gap).
+    assert gate.overhead_percent >= by_depth[max(by_depth)].overhead_percent
+    assert gate.denials > by_depth[max(by_depth)].false_positives

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper and prints it
+in a paper-comparable text form; pytest-benchmark additionally records the
+wall-clock cost of regenerating it.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Execute ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              iterations=1, rounds=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+
+    return runner

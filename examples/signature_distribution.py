@@ -1,0 +1,98 @@
+"""Signature distribution: immunize users who never saw the deadlock.
+
+Section 8 of the paper: a vendor (or another user) who has already
+encountered a deadlock can ship its signature; installing the signature
+file immunizes other deployments proactively — the program can even be
+"patched" at runtime by inserting the signature and reloading the history,
+without a restart.
+
+This example plays both roles with the JDBC-style connection pool bug
+(#2147, getWarnings vs close):
+
+1. the "vendor" reproduces the deadlock in its test lab and exports the
+   signature file,
+2. the "customer" imports that file into a fresh deployment and never
+   deadlocks, on the very first run.
+
+Run it with::
+
+    python examples/signature_distribution.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+
+from repro import Dimmunix, DimmunixConfig
+from repro.apps import Connection
+from repro.apps.base import AppLockTimeout, interleave_pause
+from repro.instrument import InstrumentationRuntime
+
+
+def race_warnings_against_close(connection: Connection) -> dict:
+    """Run PreparedStatement.get_warnings() against Connection.close()."""
+    statement = connection.prepare_statement("SELECT * FROM accounts")
+    e1, e2 = threading.Event(), threading.Event()
+    outcome = {"timeouts": 0}
+
+    def warnings():
+        try:
+            statement.get_warnings(_pause=interleave_pause(e1, e2, 0.3))
+        except AppLockTimeout:
+            outcome["timeouts"] += 1
+
+    def closer():
+        try:
+            connection.close(_pause=interleave_pause(e2, e1, 0.3))
+        except AppLockTimeout:
+            outcome["timeouts"] += 1
+
+    threads = [threading.Thread(target=warnings), threading.Thread(target=closer)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return outcome
+
+
+def vendor_builds_signature_file(path: str) -> None:
+    print("Vendor lab: reproducing the bug to capture its signature")
+    dimmunix = Dimmunix(DimmunixConfig(monitor_interval=0.02, detection_only=True))
+    dimmunix.start()
+    connection = Connection(runtime=InstrumentationRuntime(dimmunix),
+                            acquire_timeout=1.0)
+    outcome = race_warnings_against_close(connection)
+    dimmunix.stop()
+    exported = dimmunix.export_signatures(path)
+    print(f"  deadlock reproduced (stuck ops: {outcome['timeouts']}), "
+          f"{exported} signature(s) exported to {os.path.basename(path)}")
+
+
+def customer_runs_with_imported_signatures(path: str) -> None:
+    print("\nCustomer site: fresh deployment, signature file installed")
+    dimmunix = Dimmunix(DimmunixConfig(monitor_interval=0.02))
+    imported = dimmunix.import_signatures(path)
+    dimmunix.start()
+    print(f"  imported signatures: {imported}")
+    connection = Connection(runtime=InstrumentationRuntime(dimmunix),
+                            acquire_timeout=1.0)
+    outcome = race_warnings_against_close(connection)
+    print(f"  stuck operations   : {outcome['timeouts']}  (expected 0)")
+    print(f"  yields performed   : {dimmunix.stats.yield_decisions}")
+    print(f"  deadlocks observed : {dimmunix.stats.deadlocks_detected}")
+    dimmunix.stop()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as workdir:
+        signature_file = os.path.join(workdir, "jdbc-2147.signatures.json")
+        vendor_builds_signature_file(signature_file)
+        customer_runs_with_imported_signatures(signature_file)
+        print("\nThe customer never experienced the deadlock: the imported "
+              "signature made the first occurrence avoidable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup entry point.
+
+Kept so the package can be installed in environments without the ``wheel``
+package (``python setup.py develop`` / ``pip install -e . --no-build-isolation``
+fall back to it).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

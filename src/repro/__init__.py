@@ -1,0 +1,59 @@
+"""repro — a Python reproduction of Dimmunix (Deadlock Immunity, OSDI 2008).
+
+Deadlock immunity is a property by which programs, once afflicted by a
+given deadlock, develop resistance against future occurrences of that and
+similar deadlocks.  This package provides:
+
+* :class:`~repro.core.dimmunix.Dimmunix` — the immunity runtime (history,
+  avoidance engine, monitor, calibrator),
+* :mod:`repro.instrument` — drop-in ``threading`` lock replacements and
+  monkey-patching (``repro.immunize()``),
+* :mod:`repro.sim` — a deterministic simulator for reproducible deadlock
+  and starvation scenarios,
+* :mod:`repro.baselines` — gate-lock / ghost-lock / detection-only
+  comparators used by the evaluation,
+* :mod:`repro.apps`, :mod:`repro.workloads`, :mod:`repro.harness` — the
+  miniature target systems, workloads and experiment harness that
+  regenerate the paper's tables and figures.
+
+Quickstart::
+
+    import repro
+
+    runtime = repro.immunize(history_path="app.history")
+    # ... run your threaded program; deadlock patterns encountered once
+    # are avoided in all subsequent runs ...
+    runtime.dimmunix.stop()
+"""
+
+from .core import (CallStack, Decision, DetectedCycle, Dimmunix, DimmunixConfig,
+                   DimmunixError, EngineStats, Frame, History, RestartRequired,
+                   Signature, STRONG_IMMUNITY, WEAK_IMMUNITY)
+from .instrument import (DimmunixCondition, DimmunixLock, DimmunixRLock,
+                         immunize, install, patched, uninstall)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CallStack",
+    "Decision",
+    "DetectedCycle",
+    "Dimmunix",
+    "DimmunixCondition",
+    "DimmunixConfig",
+    "DimmunixError",
+    "DimmunixLock",
+    "DimmunixRLock",
+    "EngineStats",
+    "Frame",
+    "History",
+    "RestartRequired",
+    "STRONG_IMMUNITY",
+    "Signature",
+    "WEAK_IMMUNITY",
+    "__version__",
+    "immunize",
+    "install",
+    "patched",
+    "uninstall",
+]

@@ -1,0 +1,47 @@
+"""Miniature target applications.
+
+The paper evaluates Dimmunix on MySQL, SQLite, HawkNL, the MySQL JDBC
+driver, Limewire, ActiveMQ, JBoss, and the Java JDK.  Those systems are
+not reproducible here, but Dimmunix only ever observes their lock/unlock
+call flows — so each module in this package implements a small,
+self-contained application whose locking structure reproduces the
+reported bug exactly (same lock ordering mistake, same method pair, and
+therefore the same deadlock cycle and signature shape).
+
+Every application accepts an :class:`~repro.instrument.runtime.InstrumentationRuntime`
+so the same code can run uninstrumented, detection-only, or fully immune.
+"""
+
+from .base import AppLockTimeout, MiniApp, interleave_pause
+from .minidb import CustomRecursiveLock, MiniDB
+from .connpool import Connection, PreparedStatement, Statement
+from .minibroker import Broker, PrefetchSubscription, Queue, Session
+from .collections_sync import (BeanContext, CharArrayWriter, SyncHashtable,
+                               SyncPrintWriter, SyncStringBuffer, SyncVector)
+from .netlib import NetLibrary, NetSocket
+from .taskqueue import Task, TaskQueue
+
+__all__ = [
+    "AppLockTimeout",
+    "BeanContext",
+    "Broker",
+    "CharArrayWriter",
+    "Connection",
+    "CustomRecursiveLock",
+    "MiniApp",
+    "MiniDB",
+    "NetLibrary",
+    "NetSocket",
+    "PrefetchSubscription",
+    "PreparedStatement",
+    "Queue",
+    "Session",
+    "Statement",
+    "SyncHashtable",
+    "SyncPrintWriter",
+    "SyncStringBuffer",
+    "SyncVector",
+    "Task",
+    "TaskQueue",
+    "interleave_pause",
+]

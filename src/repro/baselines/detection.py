@@ -1,0 +1,30 @@
+"""Detection-only backend.
+
+This is the paper's "instrumented, but all yield decisions ignored"
+configuration (section 7.1.1): the full Dimmunix machinery runs — events,
+RAG, cycle detection, signature archiving — but no thread is ever parked,
+so timing perturbations introduced by the instrumentation can be measured
+separately from avoidance itself, and deadlocks still manifest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.config import DimmunixConfig
+from ..core.history import History
+from ..sim.backends import DimmunixBackend
+from ..util.clock import VirtualClock
+
+
+class DetectionOnlyBackend(DimmunixBackend):
+    """Dimmunix with avoidance disabled (detection and archiving only)."""
+
+    name = "detection-only"
+
+    def __init__(self, config: Optional[DimmunixConfig] = None,
+                 history: Optional[History] = None,
+                 clock: Optional[VirtualClock] = None):
+        base = config or DimmunixConfig.for_testing()
+        super().__init__(config=base.with_overrides(detection_only=True),
+                         history=history, clock=clock)

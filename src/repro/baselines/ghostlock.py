@@ -1,0 +1,125 @@
+"""Ghost-lock deadlock prevention (Zeng & Martin [23]).
+
+For every deadlock, a "ghost lock" is associated with the *set of locks*
+involved; a thread must acquire the ghost before acquiring any member of
+the set and keeps it until it no longer holds any member.  Unlike gate
+locks, the policy is keyed on lock identities rather than code locations,
+so it serializes all concurrent use of those particular locks, regardless
+of the code path — the dual coarse-grained design the paper contrasts
+Dimmunix with in section 4.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from ..core.callstack import CallStack
+from ..sim.backends import SchedulerBackend
+from ..sim.result import StallRecord
+
+
+@dataclass
+class GhostLock:
+    """A ghost lock covering a set of real lock identifiers."""
+
+    ghost_id: int
+    lock_ids: FrozenSet[int]
+    owner: Optional[int] = None
+    waiters: List[int] = field(default_factory=list)
+
+    def covers(self, lock_id: int) -> bool:
+        return lock_id in self.lock_ids
+
+
+class GhostLockBackend(SchedulerBackend):
+    """Serialize access to lock sets that have previously deadlocked."""
+
+    name = "ghost-lock"
+
+    def __init__(self):
+        self._ghosts: List[GhostLock] = []
+        self._ghost_ids = itertools.count(1)
+        #: thread -> set of lock ids it currently holds (covered or not).
+        self._held: Dict[int, Set[int]] = {}
+        self.denials = 0
+        self.deadlocks_learned = 0
+
+    # -- learning -----------------------------------------------------------------------------
+
+    def add_ghost(self, lock_ids) -> GhostLock:
+        """Install a ghost lock covering ``lock_ids``."""
+        ghost = GhostLock(ghost_id=next(self._ghost_ids),
+                          lock_ids=frozenset(lock_ids))
+        self._ghosts.append(ghost)
+        return ghost
+
+    def on_deadlock(self, stall: StallRecord, details: Dict) -> None:
+        involved: Set[int] = set()
+        for thread_id, lock_id in stall.waiting.items():
+            involved.add(lock_id)
+            involved.update(stall.holding.get(thread_id, []))
+        if involved:
+            self.add_ghost(involved)
+            self.deadlocks_learned += 1
+
+    # -- lock protocol --------------------------------------------------------------------------
+
+    def request(self, thread_id: int, lock_id: int, stack: CallStack) -> bool:
+        needed = [ghost for ghost in self._ghosts if ghost.covers(lock_id)]
+        if not needed:
+            return True
+        for ghost in needed:
+            if ghost.owner is not None and ghost.owner != thread_id:
+                self.denials += 1
+                if thread_id not in ghost.waiters:
+                    ghost.waiters.append(thread_id)
+                return False
+        for ghost in needed:
+            ghost.owner = thread_id
+            if thread_id in ghost.waiters:
+                ghost.waiters.remove(thread_id)
+        return True
+
+    def acquired(self, thread_id: int, lock_id: int, stack: CallStack) -> None:
+        self._held.setdefault(thread_id, set()).add(lock_id)
+
+    def release(self, thread_id: int, lock_id: int) -> List[int]:
+        held = self._held.get(thread_id, set())
+        held.discard(lock_id)
+        woken: Set[int] = set()
+        for ghost in self._ghosts:
+            if ghost.owner != thread_id:
+                continue
+            if not any(ghost.covers(other) for other in held):
+                ghost.owner = None
+                woken.update(ghost.waiters)
+                ghost.waiters.clear()
+        return sorted(woken)
+
+    def cancel(self, thread_id: int, lock_id: int) -> None:
+        # Release ghosts taken for a request that never completed.
+        held = self._held.get(thread_id, set())
+        woken: List[int] = []
+        for ghost in self._ghosts:
+            if ghost.owner != thread_id:
+                continue
+            if not any(ghost.covers(other) for other in held):
+                ghost.owner = None
+                woken.extend(ghost.waiters)
+                ghost.waiters.clear()
+
+    # -- reporting ----------------------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "ghosts": len(self._ghosts),
+            "ghost_denials": self.denials,
+            "deadlocks_learned": self.deadlocks_learned,
+        }
+
+    @property
+    def ghosts(self) -> List[GhostLock]:
+        """The installed ghost locks."""
+        return list(self._ghosts)

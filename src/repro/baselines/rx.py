@@ -1,0 +1,71 @@
+"""Rx-style rollback-and-retry recovery (Qin et al. [18]).
+
+Rx survives failures by rolling the program back to a checkpoint and
+re-executing it in a modified environment; for deadlocks, the hope is that
+new timing conditions prevent the reoccurrence.  Crucially — and this is
+the contrast the paper draws — Rx builds no memory of the deadlock: the
+program does not become more resistant over time, and a deterministic
+deadlock can defeat it entirely.
+
+In the simulator, a "checkpoint rollback with different timing" is
+modelled by rebuilding the scheduler from scratch with a different
+scheduling seed and re-running the workload.  :class:`RxRetryRunner`
+captures the retry loop and its cost (number of re-executions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..sim.result import SimResult
+from ..sim.scheduler import SimScheduler
+
+
+@dataclass
+class RxOutcome:
+    """Result of running a workload under the Rx-style retry policy."""
+
+    final: SimResult
+    attempts: int
+    deadlocks_encountered: int
+    results: List[SimResult] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        """True when some retry eventually ran to completion."""
+        return self.final.completed
+
+
+class RxRetryRunner:
+    """Re-execute a workload with fresh timing until it completes."""
+
+    def __init__(self, scheduler_factory: Callable[[int], SimScheduler],
+                 max_retries: int = 10, base_seed: int = 0):
+        """``scheduler_factory(seed)`` must return a ready-to-run scheduler."""
+        self.scheduler_factory = scheduler_factory
+        self.max_retries = max_retries
+        self.base_seed = base_seed
+
+    def run(self) -> RxOutcome:
+        """Run the workload, retrying with a new seed after every deadlock."""
+        results: List[SimResult] = []
+        deadlocks = 0
+        result: Optional[SimResult] = None
+        for attempt in range(self.max_retries + 1):
+            scheduler = self.scheduler_factory(self.base_seed + attempt)
+            result = scheduler.run()
+            results.append(result)
+            if not result.deadlocked:
+                break
+            deadlocks += 1
+        assert result is not None
+        return RxOutcome(final=result, attempts=len(results),
+                         deadlocks_encountered=deadlocks, results=results)
+
+
+def rx_retry(scheduler_factory: Callable[[int], SimScheduler],
+             max_retries: int = 10, base_seed: int = 0) -> RxOutcome:
+    """Convenience wrapper around :class:`RxRetryRunner`."""
+    return RxRetryRunner(scheduler_factory, max_retries=max_retries,
+                         base_seed=base_seed).run()

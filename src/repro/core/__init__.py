@@ -1,0 +1,87 @@
+"""Core of the Dimmunix reproduction.
+
+This package implements the paper's primary contribution: deadlock
+signatures, the persistent history, the resource allocation graph, cycle
+and starvation detection, the avoidance engine, the asynchronous monitor,
+and the matching-depth calibrator.
+"""
+
+from .avoidance import (AvoidanceEngine, Decision, RequestOutcome, MODE_FULL,
+                        MODE_INSTRUMENTATION_ONLY, MODE_UPDATES_ONLY)
+from .cache import AvoidanceCache
+from .calibration import Calibrator, find_lock_inversion
+from .callstack import CallStack, Frame, EMPTY_STACK
+from .config import DimmunixConfig, STRONG_IMMUNITY, WEAK_IMMUNITY
+from .cycles import (DetectedCycle, detect_all, find_deadlock_cycles,
+                     find_starvation, pick_starvation_victim)
+from .dimmunix import Dimmunix
+from .errors import (AvoidanceError, ConfigError, DimmunixError, HistoryError,
+                     HistoryFormatError, InstrumentationError, MonitorError,
+                     RAGError, RestartRequired, SignatureError, SimDeadlockError,
+                     SimulationError)
+from .events import (Event, EventType, acquired_event, allow_event, cancel_event,
+                     release_event, request_event, yield_event)
+from .history import History
+from .monitor import MonitorCore, MonitorThread
+from .porting import CodeMapping, PortingReport, port_history, port_signature
+from .rag import LockState, ResourceAllocationGraph, ThreadState
+from .signature import DEADLOCK, STARVATION, Signature
+from .stats import EngineStats
+
+__all__ = [
+    "AvoidanceCache",
+    "AvoidanceEngine",
+    "AvoidanceError",
+    "Calibrator",
+    "CallStack",
+    "CodeMapping",
+    "ConfigError",
+    "DEADLOCK",
+    "Decision",
+    "DetectedCycle",
+    "Dimmunix",
+    "DimmunixConfig",
+    "DimmunixError",
+    "EMPTY_STACK",
+    "EngineStats",
+    "Event",
+    "EventType",
+    "Frame",
+    "History",
+    "HistoryError",
+    "HistoryFormatError",
+    "InstrumentationError",
+    "LockState",
+    "MODE_FULL",
+    "MODE_INSTRUMENTATION_ONLY",
+    "MODE_UPDATES_ONLY",
+    "MonitorCore",
+    "MonitorError",
+    "MonitorThread",
+    "PortingReport",
+    "RAGError",
+    "RequestOutcome",
+    "ResourceAllocationGraph",
+    "RestartRequired",
+    "STARVATION",
+    "STRONG_IMMUNITY",
+    "Signature",
+    "SignatureError",
+    "SimDeadlockError",
+    "SimulationError",
+    "ThreadState",
+    "WEAK_IMMUNITY",
+    "acquired_event",
+    "allow_event",
+    "cancel_event",
+    "detect_all",
+    "find_deadlock_cycles",
+    "find_lock_inversion",
+    "find_starvation",
+    "pick_starvation_victim",
+    "port_history",
+    "port_signature",
+    "release_event",
+    "request_event",
+    "yield_event",
+]

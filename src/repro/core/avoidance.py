@@ -1,0 +1,421 @@
+"""The avoidance engine: GO/YIELD decisions on every lock request.
+
+This is the synchronous half of Dimmunix (Figure 1 in the paper).  Both
+runtimes — the real-thread instrumentation and the deterministic
+simulator — funnel every lock operation through the four entry points of
+:class:`AvoidanceEngine`:
+
+* :meth:`AvoidanceEngine.request`  — before blocking on a lock; decides GO or YIELD,
+* :meth:`AvoidanceEngine.acquired` — after the lock has actually been obtained,
+* :meth:`AvoidanceEngine.release`  — just before the lock is released,
+* :meth:`AvoidanceEngine.cancel`   — when a trylock / timed lock gives up.
+
+The engine keeps the avoidance cache current, emits events for the
+asynchronous monitor, matches the current state against the signature
+history (exact-cover search over the Allowed sets), and manages yield
+causes, aborted yields and forced-GO overrides used to break starvation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .cache import AvoidanceCache, Binding
+from .callstack import CallStack
+from .config import DimmunixConfig
+from .errors import AvoidanceError
+from .events import (acquired_event, allow_event, cancel_event, release_event,
+                     request_event, yield_event)
+from .history import History
+from .signature import Signature
+from .stats import EngineStats
+from ..util.clock import Clock, WallClock
+from ..util.eventqueue import EventQueue
+
+
+class Decision(Enum):
+    """Answer of the request method."""
+
+    GO = "go"
+    YIELD = "yield"
+
+
+#: Engine modes used by the overhead-breakdown experiment (Figure 8).
+MODE_FULL = "full"
+MODE_UPDATES_ONLY = "updates_only"
+MODE_INSTRUMENTATION_ONLY = "instrumentation_only"
+
+_VALID_MODES = (MODE_FULL, MODE_UPDATES_ONLY, MODE_INSTRUMENTATION_ONLY)
+
+
+@dataclass
+class RequestOutcome:
+    """Full description of a request decision (GO or YIELD)."""
+
+    decision: Decision
+    signature: Optional[Signature] = None
+    causes: Tuple[Binding, ...] = ()
+
+    @property
+    def is_go(self) -> bool:
+        return self.decision is Decision.GO
+
+    @property
+    def is_yield(self) -> bool:
+        return self.decision is Decision.YIELD
+
+
+@dataclass
+class _YieldState:
+    """Book-keeping about a thread currently parked by an avoidance decision."""
+
+    signature: Signature
+    lock_id: int
+    stack: CallStack
+    causes: Tuple[Binding, ...]
+    since: float = 0.0
+
+
+class AvoidanceEngine:
+    """Makes GO/YIELD decisions and keeps the avoidance cache up to date."""
+
+    def __init__(self, history: History, config: Optional[DimmunixConfig] = None,
+                 event_queue: Optional[EventQueue] = None,
+                 clock: Optional[Clock] = None,
+                 stats: Optional[EngineStats] = None,
+                 calibrator=None,
+                 mode: str = MODE_FULL):
+        if mode not in _VALID_MODES:
+            raise AvoidanceError(f"unknown engine mode {mode!r}")
+        self.config = (config or DimmunixConfig()).validate()
+        self.history = history
+        self.cache = AvoidanceCache()
+        self.events = event_queue if event_queue is not None else EventQueue()
+        self.clock = clock or WallClock()
+        self.stats = stats or EngineStats()
+        self.calibrator = calibrator
+        self.mode = mode
+        self._mutex = threading.RLock()
+        self._yield_states: Dict[int, _YieldState] = {}
+        self._forced_go: Set[int] = set()
+        self._external_names = set(self.config.external_synchronization)
+        # Section 5.6: signatures are indexed by the depth-d suffix of each
+        # of their stacks, so a request only examines signatures that its
+        # own stack could possibly cover.  The index is rebuilt lazily when
+        # the history changes (new signature, disable, recalibrated depth).
+        self._index: Dict[int, Dict[Tuple, List[Signature]]] = {}
+        self._index_version = -1
+        self._index_depths: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ request --
+
+    def request(self, thread_id: int, lock_id: int, stack: CallStack) -> RequestOutcome:
+        """Decide whether ``thread_id`` may block waiting for ``lock_id``.
+
+        Returns a :class:`RequestOutcome`; on YIELD the caller must park the
+        thread and call :meth:`request` again once it is woken (or once the
+        yield timeout expires, after calling :meth:`abort_yield`).
+        """
+        if self.mode == MODE_INSTRUMENTATION_ONLY:
+            return RequestOutcome(Decision.GO)
+        now = self.clock.now()
+        self.stats.bump("requests")
+        with self._mutex:
+            self.events.put(request_event(thread_id, lock_id, stack, timestamp=now))
+
+            if self._should_bypass(thread_id, lock_id, stack):
+                return self._grant(thread_id, lock_id, stack, now)
+
+            match = self._match_history(thread_id, lock_id, stack)
+            if match is None:
+                return self._grant(thread_id, lock_id, stack, now)
+
+            signature, instance = match
+            causes = tuple(binding for binding in instance
+                           if binding[0] != thread_id)
+            self.cache.remove_allow(thread_id)
+            self.cache.set_yield_cause(thread_id, causes)
+            self._yield_states[thread_id] = _YieldState(
+                signature=signature, lock_id=lock_id, stack=stack,
+                causes=causes, since=now)
+            signature.record_avoidance()
+            self.stats.bump("yield_decisions")
+            self.events.put(yield_event(thread_id, lock_id, stack, causes,
+                                        timestamp=now))
+            if self.calibrator is not None:
+                deeper = self._depths_matching(signature, thread_id, lock_id, stack)
+                self.calibrator.on_avoidance(signature, thread_id, lock_id, stack,
+                                             causes, deeper)
+            return RequestOutcome(Decision.YIELD, signature=signature, causes=causes)
+
+    def _should_bypass(self, thread_id: int, lock_id: int, stack: CallStack) -> bool:
+        """Cases in which no history matching is performed."""
+        if self.mode == MODE_UPDATES_ONLY or self.config.detection_only:
+            return True
+        if thread_id in self._forced_go:
+            self._forced_go.discard(thread_id)
+            self.stats.bump("forced_go")
+            return True
+        if self.cache.hold_count(thread_id, lock_id) > 0:
+            # Reentrant re-acquisition can never deadlock on its own.
+            return True
+        if len(self.history) == 0:
+            return True
+        top = stack.top()
+        if top is not None and top.function in self._external_names:
+            # Foreign synchronization routine: ignore the avoidance decision
+            # (section 5.7).
+            return True
+        return False
+
+    def _grant(self, thread_id: int, lock_id: int, stack: CallStack,
+               now: float) -> RequestOutcome:
+        self.cache.add_allow(thread_id, lock_id, stack)
+        self.cache.clear_yield_cause(thread_id)
+        self._yield_states.pop(thread_id, None)
+        self.stats.bump("go_decisions")
+        self.events.put(allow_event(thread_id, lock_id, stack, timestamp=now))
+        return RequestOutcome(Decision.GO)
+
+    # ------------------------------------------------------------- history match --
+
+    def _signature_index(self) -> Dict[int, Dict[Tuple, List[Signature]]]:
+        """The suffix-keyed signature index, rebuilt when the history changes.
+
+        The calibrator mutates per-signature matching depths without going
+        through the history, so the index is also invalidated whenever an
+        indexed signature's depth no longer matches what was recorded.
+        """
+        stale = (self._index_version != self.history.version
+                 or any(self.history.get(fp) is not None
+                        and self.history.get(fp).matching_depth != depth
+                        for fp, depth in self._index_depths.items()))
+        if not stale:
+            return self._index
+        index: Dict[int, Dict[Tuple, List[Signature]]] = {}
+        depths: Dict[str, int] = {}
+        for signature in self.history.enabled_signatures():
+            depth = signature.matching_depth
+            depths[signature.fingerprint] = depth
+            bucket = index.setdefault(depth, {})
+            for sig_stack in signature.stacks:
+                key = sig_stack.frames[:depth]
+                entries = bucket.setdefault(key, [])
+                if signature not in entries:
+                    entries.append(signature)
+        self._index = index
+        self._index_depths = depths
+        self._index_version = self.history.version
+        return index
+
+    def _match_history(self, thread_id: int, lock_id: int,
+                       stack: CallStack) -> Optional[Tuple[Signature, List[Binding]]]:
+        """Find a signature whose instantiation includes the tentative request.
+
+        Only signatures having a stack whose depth-d suffix equals the
+        request stack's suffix can possibly be covered by the tentative
+        binding, so the per-depth hash lookup discards everything else in
+        O(1) (the paper's section 5.6 fast path).
+        """
+        index = self._signature_index()
+        seen: Set[str] = set()
+        for depth, bucket in index.items():
+            key = stack.frames[:depth]
+            for signature in bucket.get(key, ()):
+                if signature.disabled or signature.fingerprint in seen:
+                    continue
+                seen.add(signature.fingerprint)
+                instance = self._find_instance(signature, thread_id, lock_id, stack,
+                                               signature.matching_depth)
+                if instance is not None:
+                    return signature, instance
+        return None
+
+    def _find_instance(self, signature: Signature, thread_id: int, lock_id: int,
+                       stack: CallStack, depth: int) -> Optional[List[Binding]]:
+        """Exact-cover search for an instantiation of ``signature``.
+
+        The tentative binding (thread, lock, stack) must cover one of the
+        signature's stacks; the remaining stacks must be covered by current
+        bindings from the Allowed sets, all with distinct threads and
+        distinct locks.
+        """
+        candidate_indices = [index for index, sig_stack in enumerate(signature.stacks)
+                             if sig_stack.matches(stack, depth)]
+        if not candidate_indices:
+            return None
+        indices = list(range(len(signature.stacks)))
+        for chosen in candidate_indices:
+            remaining = [index for index in indices if index != chosen]
+            assignment = self._cover(signature, remaining, depth,
+                                     used_threads={thread_id},
+                                     used_locks={lock_id})
+            if assignment is not None:
+                return [(thread_id, lock_id, stack)] + assignment
+        return None
+
+    def _cover(self, signature: Signature, remaining: List[int], depth: int,
+               used_threads: Set[int], used_locks: Set[int]) -> Optional[List[Binding]]:
+        if not remaining:
+            return []
+        index = remaining[0]
+        candidates = self.cache.candidates_matching(
+            signature.stacks[index], depth, used_threads, used_locks)
+        for thread_id, lock_id, stack in candidates:
+            rest = self._cover(signature, remaining[1:], depth,
+                               used_threads | {thread_id},
+                               used_locks | {lock_id})
+            if rest is not None:
+                return [(thread_id, lock_id, stack)] + rest
+        return None
+
+    def _depths_matching(self, signature: Signature, thread_id: int, lock_id: int,
+                         stack: CallStack) -> List[int]:
+        """All depths >= the current one at which the instance still exists.
+
+        Used by the calibration speed-up of section 5.5: a false positive at
+        depth k also counts as a false positive at every deeper depth that
+        would have triggered the same avoidance.
+        """
+        depths = []
+        for depth in range(signature.matching_depth, self.config.max_stack_depth + 1):
+            if self._find_instance(signature, thread_id, lock_id, stack, depth) is not None:
+                depths.append(depth)
+        return depths
+
+    # --------------------------------------------------------------------- acquired --
+
+    def acquired(self, thread_id: int, lock_id: int,
+                 stack: Optional[CallStack] = None) -> None:
+        """Record that the thread actually obtained the lock."""
+        if self.mode == MODE_INSTRUMENTATION_ONLY:
+            return
+        now = self.clock.now()
+        with self._mutex:
+            if stack is None:
+                waiting = self.cache.waiting_of(thread_id)
+                stack = waiting[1] if waiting is not None else CallStack(())
+            held_before = tuple(self.cache.locks_held_by(thread_id))
+            self.cache.add_hold(thread_id, lock_id, stack)
+            self._yield_states.pop(thread_id, None)
+            self.stats.bump("acquisitions")
+            self.events.put(acquired_event(thread_id, lock_id, stack, timestamp=now))
+            if self.calibrator is not None:
+                self.calibrator.on_lock_acquired(thread_id, lock_id, held_before, stack)
+
+    # ---------------------------------------------------------------------- release --
+
+    def release(self, thread_id: int, lock_id: int) -> List[int]:
+        """Record a release; returns the ids of threads that should be woken."""
+        if self.mode == MODE_INSTRUMENTATION_ONLY:
+            return []
+        now = self.clock.now()
+        with self._mutex:
+            fully, stack = self.cache.release_hold(thread_id, lock_id)
+            self.stats.bump("releases")
+            self.events.put(release_event(thread_id, lock_id,
+                                          stack if stack is not None else CallStack(()),
+                                          timestamp=now))
+            if self.calibrator is not None:
+                self.calibrator.on_lock_released(thread_id, lock_id)
+            if not fully:
+                return []
+            return self.cache.threads_to_wake(thread_id, lock_id, stack)
+
+    # ----------------------------------------------------------------------- cancel --
+
+    def cancel(self, thread_id: int, lock_id: int) -> None:
+        """Roll back a previously allowed request (trylock / timed lock)."""
+        if self.mode == MODE_INSTRUMENTATION_ONLY:
+            return
+        now = self.clock.now()
+        with self._mutex:
+            self.cache.remove_allow(thread_id)
+            self.cache.clear_yield_cause(thread_id)
+            self._yield_states.pop(thread_id, None)
+            self.stats.bump("cancels")
+            self.events.put(cancel_event(thread_id, lock_id, timestamp=now))
+
+    # ---------------------------------------------------------- yield management --
+
+    def abort_yield(self, thread_id: int) -> Optional[Signature]:
+        """Give up on the current yield of ``thread_id`` (timeout expired).
+
+        Records the abort against the signature, optionally auto-disables it
+        (section 5.7), arranges for the thread's next request to be answered
+        with GO, and returns the signature involved.
+        """
+        with self._mutex:
+            state = self._yield_states.pop(thread_id, None)
+            self.cache.clear_yield_cause(thread_id)
+            self._forced_go.add(thread_id)
+            self.stats.bump("aborted_yields")
+            if state is None:
+                return None
+            signature = state.signature
+            aborts = signature.record_abort()
+            threshold = self.config.auto_disable_abort_threshold
+            if threshold is not None and aborts >= threshold and not signature.disabled:
+                self.history.disable(signature.fingerprint)
+            return signature
+
+    def force_go(self, thread_id: int) -> None:
+        """Force the thread's next request to be granted (starvation breaking)."""
+        with self._mutex:
+            self._yield_states.pop(thread_id, None)
+            self.cache.clear_yield_cause(thread_id)
+            self._forced_go.add(thread_id)
+
+    def yielding_threads(self) -> List[int]:
+        """Threads currently parked by an avoidance decision."""
+        with self._mutex:
+            return list(self._yield_states)
+
+    def yield_state_of(self, thread_id: int) -> Optional[Tuple[Signature, float]]:
+        """The (signature, since) pair for a yielding thread, if any."""
+        state = self._yield_states.get(thread_id)
+        if state is None:
+            return None
+        return state.signature, state.since
+
+    def last_avoided_signature(self) -> Optional[Signature]:
+        """The signature involved in the most recent yield, if any.
+
+        Supports the "disable the last avoided signature" user interaction
+        described in section 5.7.
+        """
+        with self._mutex:
+            latest: Optional[_YieldState] = None
+            for state in self._yield_states.values():
+                if latest is None or state.since > latest.since:
+                    latest = state
+            if latest is not None:
+                return latest.signature
+        # Fall back to the most recently avoided signature in the history.
+        best = None
+        for signature in self.history.signatures():
+            if signature.avoidance_count == 0:
+                continue
+            if best is None or signature.avoidance_count > best.avoidance_count:
+                best = signature
+        return best
+
+    # ---------------------------------------------------------------- maintenance --
+
+    def forget_thread(self, thread_id: int) -> None:
+        """Drop all engine state about a terminated thread."""
+        with self._mutex:
+            self.cache.forget_thread(thread_id)
+            self._yield_states.pop(thread_id, None)
+            self._forced_go.discard(thread_id)
+
+    def reset(self) -> None:
+        """Clear all runtime state (cache, yields, queue) but keep the history."""
+        with self._mutex:
+            self.cache.clear()
+            self._yield_states.clear()
+            self._forced_go.clear()
+            self.events.clear()

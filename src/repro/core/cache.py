@@ -1,0 +1,284 @@
+"""The avoidance-side RAG cache.
+
+The monitor's RAG is updated lazily and may lag behind reality; the
+avoidance code, however, needs an always-current view of who holds what
+and who is allowed to wait for what in order to make correct GO/YIELD
+decisions (paper section 5.1).  This module provides that cache:
+
+* *Allowed sets*: for every distinct acquisition call stack, the set of
+  (thread, lock) pairs that currently hold — or are allowed to wait
+  for — a lock with that stack (section 5.6).
+* holders / waiting / per-thread holds: the simplified lock-to-owner map.
+* yield causes: for each parked thread, the (thread, lock, stack) tuples
+  whose dissolution should wake it.
+
+The cache is consulted and mutated synchronously on every lock operation,
+so all operations are O(1) dictionary work except candidate enumeration,
+which is proportional to the number of distinct stacks currently present.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .callstack import CallStack
+from .errors import AvoidanceError
+
+#: A (thread_id, lock_id, stack) binding, as used in signature instances.
+Binding = Tuple[int, int, CallStack]
+
+
+@dataclass
+class HolderRecord:
+    """Ownership record of one lock (supports reentrant acquisition)."""
+
+    thread_id: int
+    stacks: List[CallStack] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.stacks)
+
+
+class AvoidanceCache:
+    """Always-current synchronization state used by the request method."""
+
+    def __init__(self, use_peterson: bool = False, peterson_capacity: int = 0):
+        # The paper uses a generalized Peterson algorithm to avoid locking;
+        # under the GIL a standard mutex is cheaper and equally correct, so
+        # it is the default.  ``use_peterson`` is accepted for fidelity and
+        # simply documents intent; the mutex below protects either way.
+        self._mutex = threading.RLock()
+        self._use_peterson = use_peterson
+        self._peterson_capacity = peterson_capacity
+        #: stack -> set of (thread, lock) pairs allowed to wait / holding.
+        self._allowed: Dict[CallStack, Set[Tuple[int, int]]] = {}
+        #: lock -> holder record.
+        self._holders: Dict[int, HolderRecord] = {}
+        #: thread -> (lock, stack) it is allowed to wait for.
+        self._waiting: Dict[int, Tuple[int, CallStack]] = {}
+        #: thread -> set of cause bindings it is yielding on.
+        self._yield_cause: Dict[int, Set[Binding]] = {}
+        #: thread -> {lock: [stacks]} currently held.
+        self._holds_by_thread: Dict[int, Dict[int, List[CallStack]]] = {}
+
+    # -- context helper --------------------------------------------------------------
+
+    def locked(self):
+        """The internal mutex as a context manager (used by the engine)."""
+        return self._mutex
+
+    # -- allow / wait edges -------------------------------------------------------------
+
+    def add_allow(self, thread_id: int, lock_id: int, stack: CallStack) -> None:
+        """Record that ``thread_id`` is allowed to block waiting for ``lock_id``."""
+        with self._mutex:
+            previous = self._waiting.get(thread_id)
+            if previous is not None:
+                self._discard_allowed(previous[1], thread_id, previous[0])
+            self._waiting[thread_id] = (lock_id, stack)
+            self._allowed.setdefault(stack, set()).add((thread_id, lock_id))
+
+    def remove_allow(self, thread_id: int) -> Optional[Tuple[int, CallStack]]:
+        """Drop the thread's allow edge (cancel / yield); returns what it was."""
+        with self._mutex:
+            previous = self._waiting.pop(thread_id, None)
+            if previous is not None:
+                self._discard_allowed(previous[1], thread_id, previous[0])
+            return previous
+
+    def waiting_of(self, thread_id: int) -> Optional[Tuple[int, CallStack]]:
+        """The (lock, stack) the thread is allowed to wait for, if any."""
+        return self._waiting.get(thread_id)
+
+    # -- hold edges ------------------------------------------------------------------------
+
+    def add_hold(self, thread_id: int, lock_id: int, stack: CallStack) -> int:
+        """Record an acquisition; returns the new reentrancy count."""
+        with self._mutex:
+            waiting = self._waiting.get(thread_id)
+            if waiting is not None and waiting[0] == lock_id:
+                # Promote the allow edge: the (thread, lock) pair stays in
+                # the Allowed set for the stack it waited with, and the hold
+                # is recorded with the acquisition stack.
+                del self._waiting[thread_id]
+                if waiting[1] != stack:
+                    self._discard_allowed(waiting[1], thread_id, lock_id)
+                    self._allowed.setdefault(stack, set()).add((thread_id, lock_id))
+            else:
+                self._allowed.setdefault(stack, set()).add((thread_id, lock_id))
+            record = self._holders.get(lock_id)
+            if record is None:
+                record = HolderRecord(thread_id=thread_id)
+                self._holders[lock_id] = record
+            elif record.thread_id != thread_id:
+                raise AvoidanceError(
+                    f"lock {lock_id} acquired by thread {thread_id} while held "
+                    f"by thread {record.thread_id}")
+            record.stacks.append(stack)
+            self._holds_by_thread.setdefault(thread_id, {}) \
+                .setdefault(lock_id, []).append(stack)
+            return record.count
+
+    def release_hold(self, thread_id: int, lock_id: int) -> Tuple[bool, Optional[CallStack]]:
+        """Record a release.
+
+        Returns ``(fully_released, stack)`` where ``stack`` is the
+        acquisition stack of the hold edge that was removed; ``fully_released``
+        is True when the lock became available to other threads.
+        """
+        with self._mutex:
+            record = self._holders.get(lock_id)
+            if record is None or record.thread_id != thread_id or not record.stacks:
+                raise AvoidanceError(
+                    f"thread {thread_id} released lock {lock_id} it does not hold")
+            stack = record.stacks.pop()
+            per_thread = self._holds_by_thread.get(thread_id, {})
+            stacks = per_thread.get(lock_id)
+            if stacks:
+                stacks.pop()
+                if not stacks:
+                    del per_thread[lock_id]
+            fully = not record.stacks
+            if fully:
+                del self._holders[lock_id]
+                self._discard_allowed(stack, thread_id, lock_id)
+            return fully, stack
+
+    def holder_of(self, lock_id: int) -> Optional[int]:
+        """The thread currently holding ``lock_id``, or ``None``."""
+        record = self._holders.get(lock_id)
+        return record.thread_id if record is not None else None
+
+    def hold_count(self, thread_id: int, lock_id: int) -> int:
+        """How many times ``thread_id`` currently holds ``lock_id``."""
+        return len(self._holds_by_thread.get(thread_id, {}).get(lock_id, []))
+
+    def locks_held_by(self, thread_id: int) -> List[int]:
+        """The locks currently held by ``thread_id`` (each listed once)."""
+        return list(self._holds_by_thread.get(thread_id, {}))
+
+    def total_holds(self, thread_id: int) -> int:
+        """Number of hold edges of ``thread_id`` (reentrant holds counted)."""
+        return sum(len(stacks)
+                   for stacks in self._holds_by_thread.get(thread_id, {}).values())
+
+    # -- yield causes -----------------------------------------------------------------------
+
+    def set_yield_cause(self, thread_id: int, causes: Iterable[Binding]) -> None:
+        """Record why ``thread_id`` is yielding."""
+        with self._mutex:
+            self._yield_cause[thread_id] = set(causes)
+
+    def clear_yield_cause(self, thread_id: int) -> None:
+        """Forget the thread's yield causes (it got GO, aborted, or was forced)."""
+        with self._mutex:
+            self._yield_cause.pop(thread_id, None)
+
+    def yield_cause_of(self, thread_id: int) -> Set[Binding]:
+        """The thread's current yield causes (empty set when not yielding)."""
+        return set(self._yield_cause.get(thread_id, ()))
+
+    def yielding_threads(self) -> List[int]:
+        """Threads currently parked by an avoidance decision."""
+        return [tid for tid, causes in self._yield_cause.items() if causes]
+
+    def threads_to_wake(self, thread_id: int, lock_id: int,
+                        stack: Optional[CallStack]) -> List[int]:
+        """Threads whose yield cause dissolves when ``thread_id`` releases ``lock_id``.
+
+        A cause matches when its thread and lock agree; the stack is
+        compared only when both sides carry one, because a release may
+        remove a different reentrant hold edge than the one recorded in the
+        cause.
+        """
+        woken: List[int] = []
+        with self._mutex:
+            for tid, causes in self._yield_cause.items():
+                for cause_thread, cause_lock, cause_stack in causes:
+                    if cause_thread != thread_id or cause_lock != lock_id:
+                        continue
+                    if stack is not None and cause_stack and stack != cause_stack \
+                            and self.hold_count(thread_id, lock_id) > 0:
+                        # The released hold edge is not the one named by the
+                        # cause and the causing hold is still in place.
+                        continue
+                    woken.append(tid)
+                    break
+        return woken
+
+    # -- candidate enumeration for signature matching ----------------------------------------
+
+    def candidates_matching(self, signature_stack: CallStack, depth: int,
+                            exclude_threads: Set[int],
+                            exclude_locks: Set[int]) -> List[Binding]:
+        """All current bindings whose stack matches ``signature_stack`` at ``depth``.
+
+        Bindings for excluded threads/locks are omitted so the exact-cover
+        search can enforce the "distinct threads and locks" requirement.
+        """
+        results: List[Binding] = []
+        with self._mutex:
+            for stack, pairs in self._allowed.items():
+                if not signature_stack.matches(stack, depth):
+                    continue
+                for thread_id, lock_id in pairs:
+                    if thread_id in exclude_threads or lock_id in exclude_locks:
+                        continue
+                    results.append((thread_id, lock_id, stack))
+        return results
+
+    def allowed_set_sizes(self) -> Dict[CallStack, int]:
+        """Size of every Allowed set (used by resource-utilization reports)."""
+        with self._mutex:
+            return {stack: len(pairs) for stack, pairs in self._allowed.items()}
+
+    # -- maintenance ------------------------------------------------------------------------------
+
+    def forget_thread(self, thread_id: int) -> None:
+        """Drop all state of a terminated thread."""
+        with self._mutex:
+            waiting = self._waiting.pop(thread_id, None)
+            if waiting is not None:
+                self._discard_allowed(waiting[1], thread_id, waiting[0])
+            self._yield_cause.pop(thread_id, None)
+            holds = self._holds_by_thread.pop(thread_id, {})
+            for lock_id, stacks in holds.items():
+                record = self._holders.get(lock_id)
+                if record is not None and record.thread_id == thread_id:
+                    del self._holders[lock_id]
+                for stack in stacks:
+                    self._discard_allowed(stack, thread_id, lock_id)
+
+    def clear(self) -> None:
+        """Reset the cache entirely (used between experiment trials)."""
+        with self._mutex:
+            self._allowed.clear()
+            self._holders.clear()
+            self._waiting.clear()
+            self._yield_cause.clear()
+            self._holds_by_thread.clear()
+
+    def _discard_allowed(self, stack: CallStack, thread_id: int, lock_id: int) -> None:
+        pairs = self._allowed.get(stack)
+        if pairs is None:
+            return
+        pairs.discard((thread_id, lock_id))
+        if not pairs:
+            del self._allowed[stack]
+
+    # -- introspection ----------------------------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """A JSON-friendly snapshot (debugging and reports)."""
+        with self._mutex:
+            return {
+                "holders": {lock: (rec.thread_id, rec.count)
+                            for lock, rec in self._holders.items()},
+                "waiting": {tid: lock for tid, (lock, _stack) in self._waiting.items()},
+                "yielding": {tid: len(causes)
+                             for tid, causes in self._yield_cause.items() if causes},
+                "distinct_stacks": len(self._allowed),
+            }

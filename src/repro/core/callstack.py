@@ -1,0 +1,237 @@
+"""Call-stack abstraction used by signatures and the avoidance engine.
+
+A :class:`CallStack` is an immutable sequence of :class:`Frame` objects
+ordered *innermost first*: ``frames[0]`` is the program location that
+performed the lock operation, ``frames[1]`` is its caller, and so on.
+Matching "at depth d" compares the ``d`` innermost frames, which is the
+paper's notion of matching a suffix of the call flow that led to the lock
+acquisition.
+
+Stacks can be captured from the live Python interpreter (used by the real
+thread instrumentation) or constructed explicitly from symbolic frame
+descriptions (used by the deterministic simulator and by tests).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+#: Module-path prefixes whose frames are dropped when capturing live stacks.
+#: The instrumentation and engine frames are implementation detail and must
+#: not appear in signatures, otherwise the signatures would not be portable
+#: across library versions.  ``contextlib`` and the app helper layer are
+#: filtered for the same reason: they sit between the lock call and the
+#: application code on every acquisition, so keeping them would waste most
+#: of the matching depth on frames that never differ.
+_INTERNAL_PREFIXES = (
+    "repro/core/",
+    "repro/instrument/",
+    "repro/util/",
+    "repro/apps/base.py",
+    "contextlib.py",
+    "repro\\core\\",
+    "repro\\instrument\\",
+    "repro\\util\\",
+    "repro\\apps\\base.py",
+)
+
+
+@dataclass(frozen=True, order=True)
+class Frame:
+    """One stack frame: function name, file name, and line number."""
+
+    function: str
+    filename: str
+    lineno: int
+
+    def label(self) -> str:
+        """Human readable label, e.g. ``update (prog.py:3)``."""
+        return f"{self.function} ({self.filename}:{self.lineno})"
+
+    def encode(self) -> str:
+        """Serialize to the compact ``function|filename|lineno`` form."""
+        return f"{self.function}|{self.filename}|{self.lineno}"
+
+    @classmethod
+    def decode(cls, text: str) -> "Frame":
+        """Parse a frame encoded by :meth:`encode`."""
+        function, filename, lineno = text.rsplit("|", 2)
+        return cls(function=function, filename=filename, lineno=int(lineno))
+
+    @classmethod
+    def symbolic(cls, label: str) -> "Frame":
+        """Build a frame from a symbolic site label.
+
+        Accepts ``"function"``, ``"function:lineno"`` or
+        ``"function:filename:lineno"``.  Used by the simulator DSL and by
+        tests to write stacks like ``["update:3", "main:1"]``.  Labels whose
+        trailing component is not an integer (e.g. ``"update:s1"``) are kept
+        verbatim as the function name.
+        """
+        parts = label.split(":")
+        if len(parts) >= 2 and _is_int(parts[-1]):
+            lineno = int(parts[-1])
+            if len(parts) >= 3:
+                return cls(function=":".join(parts[:-2]), filename=parts[-2],
+                           lineno=lineno)
+            return cls(function=parts[0], filename="<sim>", lineno=lineno)
+        return cls(function=label, filename="<sim>", lineno=0)
+
+
+class CallStack:
+    """Immutable, hashable call stack (innermost frame first)."""
+
+    __slots__ = ("_frames", "_hash")
+
+    def __init__(self, frames: Iterable[Frame]):
+        self._frames: Tuple[Frame, ...] = tuple(frames)
+        self._hash = hash(self._frames)
+
+    # -- construction helpers ----------------------------------------------------
+
+    @classmethod
+    def from_labels(cls, labels: Sequence[str]) -> "CallStack":
+        """Build a stack from symbolic labels, innermost first."""
+        return cls(Frame.symbolic(label) for label in labels)
+
+    @classmethod
+    def capture(cls, skip: int = 1, limit: int = 10,
+                skip_internal: bool = True) -> "CallStack":
+        """Capture the calling thread's current Python stack.
+
+        Parameters
+        ----------
+        skip:
+            Number of innermost frames to drop (the caller typically skips
+            its own frame).
+        limit:
+            Maximum number of frames to record.
+        skip_internal:
+            Drop frames that belong to the Dimmunix implementation itself.
+        """
+        frames = []
+        try:
+            frame = sys._getframe(skip + 1)
+        except ValueError:  # not enough frames
+            frame = None
+        while frame is not None and len(frames) < limit:
+            code = frame.f_code
+            filename = code.co_filename
+            if skip_internal and _is_internal(filename):
+                frame = frame.f_back
+                continue
+            frames.append(Frame(function=code.co_name,
+                                filename=_shorten(filename),
+                                lineno=frame.f_lineno))
+            frame = frame.f_back
+        return cls(frames)
+
+    # -- sequence protocol ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __iter__(self) -> Iterator[Frame]:
+        return iter(self._frames)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return CallStack(self._frames[index])
+        return self._frames[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._frames)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CallStack):
+            return NotImplemented
+        return self._frames == other._frames
+
+    def __lt__(self, other: "CallStack") -> bool:
+        return self._frames < other._frames
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = " <- ".join(f.label() for f in self._frames)
+        return f"CallStack[{inner}]"
+
+    # -- matching -------------------------------------------------------------------
+
+    @property
+    def frames(self) -> Tuple[Frame, ...]:
+        """The frames, innermost first."""
+        return self._frames
+
+    def top(self) -> Optional[Frame]:
+        """The innermost frame, or ``None`` for an empty stack."""
+        return self._frames[0] if self._frames else None
+
+    def suffix(self, depth: int) -> "CallStack":
+        """The ``depth`` innermost frames as a new stack."""
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        return CallStack(self._frames[:depth])
+
+    def matches(self, other: "CallStack", depth: int) -> bool:
+        """True if this stack and ``other`` agree on their ``depth`` innermost frames.
+
+        If either stack is shorter than ``depth``, both must have the same
+        length and agree on all their frames — a shorter stack cannot
+        silently match a longer one at a depth it does not reach.
+        """
+        mine = self._frames[:depth]
+        theirs = other._frames[:depth]
+        return mine == theirs
+
+    def truncate(self, limit: int) -> "CallStack":
+        """Alias of :meth:`suffix`, used when enforcing ``max_stack_depth``."""
+        return self.suffix(limit)
+
+    # -- serialization -----------------------------------------------------------------
+
+    def encode(self) -> list:
+        """Serialize to a JSON-friendly list of encoded frames."""
+        return [frame.encode() for frame in self._frames]
+
+    @classmethod
+    def decode(cls, data: Sequence[str]) -> "CallStack":
+        """Inverse of :meth:`encode`."""
+        return cls(Frame.decode(text) for text in data)
+
+    def labels(self) -> list:
+        """Human readable frame labels, innermost first."""
+        return [frame.label() for frame in self._frames]
+
+
+EMPTY_STACK = CallStack(())
+
+
+def _is_int(text: str) -> bool:
+    try:
+        int(text)
+    except ValueError:
+        return False
+    return True
+
+
+def _is_internal(filename: str) -> bool:
+    normalized = filename.replace("\\", "/")
+    return any(prefix.replace("\\", "/") in normalized for prefix in _INTERNAL_PREFIXES)
+
+
+def _shorten(filename: str) -> str:
+    """Keep only the trailing two path components of a file name.
+
+    Full absolute paths would make signatures machine-specific; the paper
+    similarly stores binary-relative byte offsets for the pthreads version
+    and file:line pairs for Java.
+    """
+    normalized = filename.replace("\\", "/")
+    parts = normalized.rsplit("/", 2)
+    if len(parts) >= 2:
+        return "/".join(parts[-2:])
+    return normalized

@@ -1,0 +1,284 @@
+"""Deadlock-cycle and starvation (yield-cycle) detection on the RAG.
+
+The monitor treats both conditions with the same machinery (paper 5.2):
+
+* A *deadlock cycle* is a cycle made of hold and allow edges — threads
+  blocked waiting for locks held by other threads in the cycle.  Because
+  a thread waits for at most one lock and a mutex has exactly one owner,
+  the wait-for projection onto threads is a functional graph and cycles
+  are found with a colored DFS that follows each thread's single
+  successor.
+* An *induced starvation* exists when threads parked by avoidance
+  decisions (yield edges) can no longer make progress because every
+  escape route leads back into the waiting group.  We compute this with a
+  can-progress fixpoint that is equivalent to the paper's yield-cycle
+  definition: a thread can progress iff it is not waiting, or the holder
+  of the lock it waits for can progress, or at least one of its yield
+  causes can progress.
+
+Both detectors return :class:`DetectedCycle` records carrying the stack
+multiset from which the monitor builds a :class:`~repro.core.signature.Signature`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .callstack import CallStack
+from .rag import ResourceAllocationGraph, ThreadState
+from .signature import DEADLOCK, STARVATION, Signature
+
+
+@dataclass
+class DetectedCycle:
+    """A deadlock or starvation condition found in the RAG."""
+
+    kind: str
+    #: Thread ids involved in the cycle / starved group.
+    threads: Tuple[int, ...]
+    #: Lock ids involved.
+    locks: Tuple[int, ...]
+    #: The call stacks labelling the hold (and yield) edges of the cycle.
+    stacks: Tuple[CallStack, ...] = field(default_factory=tuple)
+
+    def to_signature(self, matching_depth: int, created_at: float = 0.0) -> Signature:
+        """Build the persistent signature of this cycle."""
+        return Signature(self.stacks, kind=self.kind,
+                         matching_depth=matching_depth, created_at=created_at)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DetectedCycle({self.kind}, threads={self.threads}, "
+                f"locks={self.locks})")
+
+
+# ---------------------------------------------------------------------------
+# Deadlock cycles
+# ---------------------------------------------------------------------------
+
+def _blocked_successor(rag: ResourceAllocationGraph,
+                       state: ThreadState) -> Optional[Tuple[int, int, CallStack]]:
+    """The (holder, lock, holder_stack) a *blocked* thread waits on, if any.
+
+    Only allow edges count: a thread whose request was answered with YIELD
+    is parked by Dimmunix, not blocked on the lock, and is handled by the
+    starvation detector instead.
+    """
+    if state.allow is None:
+        return None
+    lock_id = state.allow[0]
+    holder = rag.holder_of(lock_id)
+    if holder is None or holder == state.thread_id:
+        return None
+    stack = rag.hold_stack(lock_id)
+    if stack is None:
+        return None
+    return holder, lock_id, stack
+
+
+def find_deadlock_cycles(rag: ResourceAllocationGraph,
+                         roots: Optional[Sequence[int]] = None) -> List[DetectedCycle]:
+    """Find deadlock cycles reachable from ``roots`` (default: all threads).
+
+    Uses the classic three-color DFS.  Because each blocked thread has at
+    most one successor, every cycle is discovered by walking successor
+    chains and noticing a grey node.
+    """
+    if roots is None:
+        roots = sorted(rag.thread_ids())
+    color: Dict[int, int] = {}  # 0/absent = white, 1 = grey, 2 = black
+    cycles: List[DetectedCycle] = []
+    seen_cycles: Set[Tuple[int, ...]] = set()
+
+    for root in roots:
+        if color.get(root, 0) != 0:
+            continue
+        path: List[int] = []
+        path_edges: List[Tuple[int, CallStack]] = []  # lock, holder stack per hop
+        node = root
+        while True:
+            state_color = color.get(node, 0)
+            if state_color == 1:
+                # Found a cycle: the portion of the path from `node` onward.
+                start = path.index(node)
+                cycle_threads = tuple(path[start:])
+                cycle_edges = path_edges[start:]
+                key = _canonical(cycle_threads)
+                if key not in seen_cycles:
+                    seen_cycles.add(key)
+                    cycles.append(DetectedCycle(
+                        kind=DEADLOCK,
+                        threads=cycle_threads,
+                        locks=tuple(lock for lock, _ in cycle_edges),
+                        stacks=tuple(stack for _, stack in cycle_edges),
+                    ))
+                break
+            if state_color == 2:
+                break
+            color[node] = 1
+            path.append(node)
+            successor = _blocked_successor(rag, rag.thread(node))
+            if successor is None:
+                break
+            next_thread, lock_id, stack = successor
+            path_edges.append((lock_id, stack))
+            node = next_thread
+        for visited in path:
+            color[visited] = 2
+    return cycles
+
+
+def _canonical(threads: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Rotation-invariant key identifying a cycle."""
+    if not threads:
+        return threads
+    smallest = min(range(len(threads)), key=lambda i: threads[i])
+    return threads[smallest:] + threads[:smallest]
+
+
+# ---------------------------------------------------------------------------
+# Starvation (yield cycles)
+# ---------------------------------------------------------------------------
+
+def find_starvation(rag: ResourceAllocationGraph) -> List[DetectedCycle]:
+    """Find groups of threads starved by avoidance-induced yielding.
+
+    Returns one :class:`DetectedCycle` per connected starved group that
+    contains at least one yielding thread.  Groups that form an actual
+    deadlock cycle (no yield edges involved) are left to
+    :func:`find_deadlock_cycles`.
+    """
+    states = {state.thread_id: state for state in rag.threads()}
+    can_progress: Set[int] = set()
+
+    # Base case: threads that are neither blocked nor yielding.
+    for tid, state in states.items():
+        if not state.is_yielding and state.waiting_lock is None:
+            can_progress.add(tid)
+
+    changed = True
+    while changed:
+        changed = False
+        for tid, state in states.items():
+            if tid in can_progress:
+                continue
+            if state.is_yielding:
+                # A parked thread is woken (and its signature instance
+                # dissolves) as soon as any of its causes releases a lock,
+                # which requires that cause to make progress.
+                if any(cause_thread in can_progress
+                       for cause_thread, _lock, _stack in state.yields):
+                    can_progress.add(tid)
+                    changed = True
+            elif state.waiting_lock is not None:
+                holder = rag.holder_of(state.waiting_lock)
+                if holder is None or holder == tid or holder in can_progress:
+                    can_progress.add(tid)
+                    changed = True
+            else:  # pragma: no cover - covered by the base case
+                can_progress.add(tid)
+                changed = True
+
+    starved = {tid for tid in states if tid not in can_progress}
+    if not starved:
+        return []
+
+    groups = _starved_groups(rag, states, starved)
+    results: List[DetectedCycle] = []
+    for group in groups:
+        if not any(states[tid].is_yielding for tid in group):
+            # Pure deadlock: reported by find_deadlock_cycles instead.
+            continue
+        stacks: List[CallStack] = []
+        locks: Set[int] = set()
+        for tid in group:
+            state = states[tid]
+            for _cause_thread, cause_lock, cause_stack in state.yields:
+                stacks.append(cause_stack)
+                locks.add(cause_lock)
+            if state.allow is not None:
+                lock_id = state.allow[0]
+                holder = rag.holder_of(lock_id)
+                if holder in group:
+                    stack = rag.hold_stack(lock_id)
+                    if stack is not None:
+                        stacks.append(stack)
+                        locks.add(lock_id)
+        if not stacks:
+            continue
+        results.append(DetectedCycle(
+            kind=STARVATION,
+            threads=tuple(sorted(group)),
+            locks=tuple(sorted(locks)),
+            stacks=tuple(stacks),
+        ))
+    return results
+
+
+def _starved_groups(rag: ResourceAllocationGraph,
+                    states: Dict[int, ThreadState],
+                    starved: Set[int]) -> List[Set[int]]:
+    """Partition the starved threads into weakly connected groups."""
+    adjacency: Dict[int, Set[int]] = {tid: set() for tid in starved}
+    for tid in starved:
+        state = states[tid]
+        neighbours: Set[int] = set()
+        for cause_thread, _lock, _stack in state.yields:
+            if cause_thread in starved:
+                neighbours.add(cause_thread)
+        if state.waiting_lock is not None:
+            holder = rag.holder_of(state.waiting_lock)
+            if holder is not None and holder in starved:
+                neighbours.add(holder)
+        for other in neighbours:
+            adjacency[tid].add(other)
+            adjacency[other].add(tid)
+
+    groups: List[Set[int]] = []
+    unvisited = set(starved)
+    while unvisited:
+        seed = unvisited.pop()
+        group = {seed}
+        frontier = [seed]
+        while frontier:
+            current = frontier.pop()
+            for neighbour in adjacency[current]:
+                if neighbour not in group:
+                    group.add(neighbour)
+                    frontier.append(neighbour)
+        unvisited -= group
+        groups.append(group)
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Convenience wrapper
+# ---------------------------------------------------------------------------
+
+def detect_all(rag: ResourceAllocationGraph,
+               roots: Optional[Sequence[int]] = None) -> List[DetectedCycle]:
+    """Run both detectors, deadlock cycles first (matching monitor behaviour)."""
+    found = find_deadlock_cycles(rag, roots)
+    found.extend(find_starvation(rag))
+    return found
+
+
+def pick_starvation_victim(rag: ResourceAllocationGraph,
+                           cycle: DetectedCycle) -> Optional[int]:
+    """Pick the thread whose yield should be cancelled to break starvation.
+
+    The paper breaks starvation by releasing the starved *yielding* thread
+    that holds the most locks, letting it pursue its most recently
+    requested lock.
+    """
+    best: Optional[int] = None
+    best_holds = -1
+    for tid in cycle.threads:
+        state = rag.thread(tid)
+        if not state.is_yielding:
+            continue
+        holds = state.hold_count
+        if holds > best_holds:
+            best = tid
+            best_holds = holds
+    return best

@@ -1,0 +1,187 @@
+"""The Dimmunix facade: one object wiring history, engine, monitor, calibrator.
+
+Most users interact with the library through this class (or through the
+module-level helpers in :mod:`repro`), e.g.::
+
+    from repro import Dimmunix, DimmunixConfig
+
+    dimmunix = Dimmunix(DimmunixConfig(history_path="app.history"))
+    dimmunix.start()
+    ...
+    dimmunix.stop()
+
+The facade is runtime agnostic: the real-thread instrumentation
+(:mod:`repro.instrument`) and the deterministic simulator
+(:mod:`repro.sim`) both attach to a :class:`Dimmunix` instance, register a
+waker for parked threads, and drive the engine's request/acquired/release
+entry points.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+from .avoidance import AvoidanceEngine, Decision, RequestOutcome
+from .calibration import Calibrator
+from .config import DimmunixConfig
+from .errors import MonitorError
+from .history import History
+from .monitor import MonitorCore, MonitorThread
+from .signature import Signature
+from .stats import EngineStats
+from ..util.clock import Clock, WallClock
+
+
+class Dimmunix:
+    """A complete deadlock-immunity runtime instance."""
+
+    def __init__(self, config: Optional[DimmunixConfig] = None,
+                 history: Optional[History] = None,
+                 clock: Optional[Clock] = None,
+                 deadlock_handler=None, restart_handler=None,
+                 engine_mode: str = "full"):
+        self.config = (config or DimmunixConfig()).validate()
+        self.history = history if history is not None else History(
+            path=self.config.history_path)
+        self.stats = EngineStats()
+        self.clock = clock or WallClock()
+        self.calibrator = Calibrator(self.config, self.stats)
+        self.engine = AvoidanceEngine(
+            history=self.history, config=self.config, clock=self.clock,
+            stats=self.stats, calibrator=self.calibrator, mode=engine_mode)
+        self.monitor = MonitorCore(
+            engine=self.engine, history=self.history, config=self.config,
+            stats=self.stats, deadlock_handler=deadlock_handler,
+            restart_handler=restart_handler, wake_callback=self._wake_threads)
+        self._monitor_thread: Optional[MonitorThread] = None
+        self._wakers: Dict[int, Callable[[], None]] = {}
+        self._wakers_lock = threading.Lock()
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self) -> "Dimmunix":
+        """Start the background monitor thread (idempotent)."""
+        if self._started:
+            return self
+        self._monitor_thread = MonitorThread(self.monitor,
+                                             interval=self.config.monitor_interval)
+        self._monitor_thread.start()
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Stop the monitor thread, run a final detection pass, save history."""
+        if self._monitor_thread is not None:
+            self._monitor_thread.stop(final_process=True)
+            self._monitor_thread = None
+        self._started = False
+        if self.history.path is not None:
+            self.history.save()
+
+    def __enter__(self) -> "Dimmunix":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    @property
+    def running(self) -> bool:
+        """True while the background monitor is active."""
+        return self._started
+
+    def process_now(self):
+        """Run one synchronous monitor pass (used by the simulator and tests)."""
+        return self.monitor.process()
+
+    # -- waker registry (runtime adapters) -------------------------------------------------
+
+    def register_waker(self, thread_id: int, waker: Callable[[], None]) -> None:
+        """Register a callable that un-parks ``thread_id`` when invoked."""
+        with self._wakers_lock:
+            self._wakers[thread_id] = waker
+
+    def unregister_waker(self, thread_id: int) -> None:
+        """Remove a previously registered waker."""
+        with self._wakers_lock:
+            self._wakers.pop(thread_id, None)
+
+    def _wake_threads(self, thread_ids: List[int]) -> None:
+        for thread_id in thread_ids:
+            with self._wakers_lock:
+                waker = self._wakers.get(thread_id)
+            if waker is not None:
+                waker()
+
+    def wake(self, thread_ids: List[int]) -> None:
+        """Public wrapper around the waker registry (used by lock wrappers)."""
+        self._wake_threads(thread_ids)
+
+    # -- signature management ----------------------------------------------------------------
+
+    def signatures(self) -> List[Signature]:
+        """All signatures currently in the history."""
+        return self.history.signatures()
+
+    def disable_last_signature(self) -> Optional[Signature]:
+        """Disable the most recently avoided signature (section 5.7).
+
+        Returns the disabled signature, or ``None`` when nothing had been
+        avoided yet.
+        """
+        signature = self.engine.last_avoided_signature()
+        if signature is None:
+            return None
+        self.history.disable(signature.fingerprint)
+        return signature
+
+    def import_signatures(self, path: str) -> int:
+        """Merge signatures from an export file into the live history."""
+        imported = History.import_signatures(path)
+        return self.history.merge(imported)
+
+    def export_signatures(self, path: str) -> int:
+        """Write all signatures to a standalone file for distribution."""
+        return self.history.export_signatures(path)
+
+    def reload_history(self) -> int:
+        """Re-read the history file; supports live "patching" via signatures."""
+        return self.history.reload()
+
+    # -- convenience passthroughs ---------------------------------------------------------------
+
+    def request(self, thread_id: int, lock_id: int, stack) -> RequestOutcome:
+        """Forward to :meth:`AvoidanceEngine.request`."""
+        return self.engine.request(thread_id, lock_id, stack)
+
+    def acquired(self, thread_id: int, lock_id: int, stack=None) -> None:
+        """Forward to :meth:`AvoidanceEngine.acquired`."""
+        self.engine.acquired(thread_id, lock_id, stack)
+
+    def release(self, thread_id: int, lock_id: int) -> List[int]:
+        """Forward to :meth:`AvoidanceEngine.release`."""
+        return self.engine.release(thread_id, lock_id)
+
+    def cancel(self, thread_id: int, lock_id: int) -> None:
+        """Forward to :meth:`AvoidanceEngine.cancel`."""
+        self.engine.cancel(thread_id, lock_id)
+
+    # -- reporting --------------------------------------------------------------------------------
+
+    def report(self) -> Dict:
+        """A summary dictionary: statistics, history size, detections."""
+        return {
+            "stats": self.stats.snapshot(),
+            "history_size": len(self.history),
+            "enabled_signatures": len(self.history.enabled_signatures()),
+            "deadlocks_seen": len(self.monitor.deadlocks_seen()),
+            "starvations_seen": len(self.monitor.starvations_seen()),
+            "history_bytes": self.history.disk_footprint(),
+        }
+
+
+# Decision is re-exported here because runtime adapters import it alongside
+# Dimmunix when interpreting request outcomes.
+__all__ = ["Dimmunix", "Decision"]

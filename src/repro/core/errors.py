@@ -1,0 +1,79 @@
+"""Exception hierarchy for the Dimmunix reproduction.
+
+All library-specific exceptions derive from :class:`DimmunixError` so that
+callers can catch everything originating from the library with a single
+``except`` clause while still being able to distinguish the individual
+failure modes.
+"""
+
+from __future__ import annotations
+
+
+class DimmunixError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(DimmunixError):
+    """Raised when a :class:`~repro.core.config.DimmunixConfig` is invalid."""
+
+
+class HistoryError(DimmunixError):
+    """Raised when the persistent signature history cannot be loaded or saved."""
+
+
+class HistoryFormatError(HistoryError):
+    """Raised when a history file exists but its contents cannot be parsed."""
+
+
+class SignatureError(DimmunixError):
+    """Raised when a signature is malformed (e.g. empty stack multiset)."""
+
+
+class RAGError(DimmunixError):
+    """Raised on inconsistent updates to the resource allocation graph."""
+
+
+class AvoidanceError(DimmunixError):
+    """Raised when the avoidance engine detects inconsistent caller behaviour.
+
+    Examples: releasing a lock that the calling thread does not hold, or
+    invoking ``acquired`` without a preceding ``request``.
+    """
+
+
+class MonitorError(DimmunixError):
+    """Raised when the monitor thread cannot be started or stopped."""
+
+
+class RestartRequired(DimmunixError):
+    """Signals that strong immunity demands a program restart.
+
+    The paper's strong immunity mode restarts the program whenever an
+    induced starvation is encountered, which guarantees that no deadlock or
+    starvation pattern ever reoccurs.  A Python library cannot restart its
+    host process safely, so the monitor raises/propagates this exception
+    through the configured restart hook and lets the embedding application
+    decide how to perform the restart (``os.execv``, supervisor restart,
+    micro-reboot of a component, ...).
+    """
+
+    def __init__(self, message: str = "strong immunity requested a restart",
+                 signature_fingerprint: str | None = None) -> None:
+        super().__init__(message)
+        self.signature_fingerprint = signature_fingerprint
+
+
+class SimulationError(DimmunixError):
+    """Raised by the deterministic simulator on misuse of the scheduler API."""
+
+
+class SimDeadlockError(SimulationError):
+    """Raised (optionally) by the simulator when a run ends in deadlock."""
+
+    def __init__(self, message: str, cycle=None) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+
+
+class InstrumentationError(DimmunixError):
+    """Raised when lock instrumentation or monkey-patching fails."""

@@ -1,0 +1,118 @@
+"""Synchronization events exchanged between the avoidance code and the monitor.
+
+The avoidance instrumentation runs in the application's critical path and
+must stay cheap; everything expensive (RAG maintenance, cycle detection,
+history file I/O) happens asynchronously in the monitor.  The two halves
+communicate through a queue of the event types defined here, exactly as in
+Figure 1 of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+from .callstack import CallStack, EMPTY_STACK
+
+
+class EventType(Enum):
+    """The event kinds produced by the avoidance code.
+
+    ``REQUEST``  — a thread asked to acquire a lock (before the decision).
+    ``ALLOW``    — the request was granted a GO: the thread is now allowed
+                   to block waiting for the lock.
+    ``YIELD``    — the request was denied: the thread yields because of the
+                   listed cause threads.
+    ``ACQUIRED`` — the thread actually obtained the lock.
+    ``RELEASE``  — the thread released the lock.
+    ``CANCEL``   — a previously allowed request was abandoned (trylock
+                   failure or timed lock expiry; section 6 of the paper).
+    """
+
+    REQUEST = "request"
+    ALLOW = "allow"
+    YIELD = "yield"
+    ACQUIRED = "acquired"
+    RELEASE = "release"
+    CANCEL = "cancel"
+
+
+_SEQUENCE = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One synchronization event.
+
+    Attributes
+    ----------
+    type:
+        The :class:`EventType`.
+    thread_id:
+        Stable identifier of the thread that produced the event.
+    lock_id:
+        Identifier of the lock involved (``None`` only for synthetic events).
+    stack:
+        The call stack the thread had when performing the operation.
+    causes:
+        For ``YIELD`` events: the ``(thread_id, lock_id, stack)`` tuples that
+        caused the yield, i.e. the other participants of the matched
+        signature instance.
+    seq:
+        Monotonic sequence number; preserves the per-thread ordering
+        guarantees discussed in section 5.2.
+    timestamp:
+        Engine clock value at emission time (wall clock or virtual time).
+    """
+
+    type: EventType
+    thread_id: int
+    lock_id: Optional[int]
+    stack: CallStack = EMPTY_STACK
+    causes: Tuple[Tuple[int, int, CallStack], ...] = ()
+    seq: int = field(default_factory=lambda: next(_SEQUENCE))
+    timestamp: float = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Event({self.type.value}, thread={self.thread_id}, "
+                f"lock={self.lock_id}, seq={self.seq})")
+
+
+def request_event(thread_id: int, lock_id: int, stack: CallStack,
+                  timestamp: float = 0.0) -> Event:
+    """Convenience constructor for a REQUEST event."""
+    return Event(EventType.REQUEST, thread_id, lock_id, stack, timestamp=timestamp)
+
+
+def allow_event(thread_id: int, lock_id: int, stack: CallStack,
+                timestamp: float = 0.0) -> Event:
+    """Convenience constructor for an ALLOW event."""
+    return Event(EventType.ALLOW, thread_id, lock_id, stack, timestamp=timestamp)
+
+
+def yield_event(thread_id: int, lock_id: int, stack: CallStack,
+                causes: Tuple[Tuple[int, int, CallStack], ...],
+                timestamp: float = 0.0) -> Event:
+    """Convenience constructor for a YIELD event."""
+    return Event(EventType.YIELD, thread_id, lock_id, stack, causes=causes,
+                 timestamp=timestamp)
+
+
+def acquired_event(thread_id: int, lock_id: int, stack: CallStack,
+                   timestamp: float = 0.0) -> Event:
+    """Convenience constructor for an ACQUIRED event."""
+    return Event(EventType.ACQUIRED, thread_id, lock_id, stack, timestamp=timestamp)
+
+
+def release_event(thread_id: int, lock_id: int, stack: CallStack = EMPTY_STACK,
+                  timestamp: float = 0.0) -> Event:
+    """Convenience constructor for a RELEASE event."""
+    return Event(EventType.RELEASE, thread_id, lock_id, stack, timestamp=timestamp)
+
+
+def cancel_event(thread_id: int, lock_id: int, stack: CallStack = EMPTY_STACK,
+                 timestamp: float = 0.0) -> Event:
+    """Convenience constructor for a CANCEL event."""
+    return Event(EventType.CANCEL, thread_id, lock_id, stack, timestamp=timestamp)

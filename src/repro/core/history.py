@@ -1,0 +1,269 @@
+"""The persistent deadlock history.
+
+The history is the program's acquired "immune memory": the set of
+signatures of every deadlock and induced-starvation pattern ever observed.
+It is loaded at startup, consulted (read-only) by the avoidance code on
+every lock request, and mutated only by the monitor thread, which also
+persists it to disk (paper sections 3 and 5.4).
+
+Signatures can also be distributed proactively — a vendor can ship
+signatures for known deadlocks — which is supported here through
+:meth:`History.merge` and the import/export helpers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from .errors import HistoryError, HistoryFormatError
+from .signature import Signature
+
+_FORMAT_VERSION = 1
+
+
+class History:
+    """An in-memory signature store with optional JSON persistence."""
+
+    def __init__(self, path: Optional[str] = None, autosave: bool = True):
+        self._path = path
+        self._autosave = autosave and path is not None
+        self._signatures: Dict[str, Signature] = {}
+        self._lock = threading.RLock()
+        self._listeners: List[Callable[[Signature], None]] = []
+        #: Bumped on every mutation; lets the avoidance engine know when its
+        #: signature index (section 5.6 hash tables) must be rebuilt.
+        self._version = 0
+        if path is not None and os.path.exists(path):
+            self.load(path)
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter incremented on every mutation."""
+        return self._version
+
+    def _bump_version(self) -> None:
+        self._version += 1
+
+    # -- basic container behaviour ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __iter__(self) -> Iterator[Signature]:
+        return iter(list(self._signatures.values()))
+
+    def __contains__(self, signature: Signature) -> bool:
+        return signature.fingerprint in self._signatures
+
+    @property
+    def path(self) -> Optional[str]:
+        """Path of the backing file, if any."""
+        return self._path
+
+    def get(self, fingerprint: str) -> Optional[Signature]:
+        """Return the signature with the given fingerprint, or ``None``."""
+        return self._signatures.get(fingerprint)
+
+    def signatures(self) -> List[Signature]:
+        """A snapshot list of all signatures (enabled and disabled)."""
+        return list(self._signatures.values())
+
+    def enabled_signatures(self) -> List[Signature]:
+        """A snapshot list of the signatures the avoidance code should match."""
+        return [sig for sig in self._signatures.values() if sig.enabled]
+
+    # -- mutation (monitor-side) -----------------------------------------------------------
+
+    def add(self, signature: Signature) -> bool:
+        """Add ``signature`` unless an equal one is already present.
+
+        Returns ``True`` when the signature was new.  When it is a
+        duplicate, the existing signature's occurrence counter is bumped
+        instead — the history never stores duplicates (section 5.3).
+        """
+        with self._lock:
+            existing = self._signatures.get(signature.fingerprint)
+            if existing is not None:
+                existing.record_occurrence()
+                if self._autosave:
+                    self.save()
+                return False
+            self._signatures[signature.fingerprint] = signature
+            self._bump_version()
+            if self._autosave:
+                self.save()
+        for listener in list(self._listeners):
+            listener(signature)
+        return True
+
+    def remove(self, fingerprint: str) -> bool:
+        """Delete a signature; returns ``True`` if it existed."""
+        with self._lock:
+            removed = self._signatures.pop(fingerprint, None) is not None
+            if removed:
+                self._bump_version()
+            if removed and self._autosave:
+                self.save()
+        return removed
+
+    def disable(self, fingerprint: str) -> bool:
+        """Disable a signature so it is never avoided again (section 5.7)."""
+        with self._lock:
+            signature = self._signatures.get(fingerprint)
+            if signature is None:
+                return False
+            signature.disabled = True
+            self._bump_version()
+            if self._autosave:
+                self.save()
+        return True
+
+    def enable(self, fingerprint: str) -> bool:
+        """Re-enable a previously disabled signature."""
+        with self._lock:
+            signature = self._signatures.get(fingerprint)
+            if signature is None:
+                return False
+            signature.disabled = False
+            self._bump_version()
+            if self._autosave:
+                self.save()
+        return True
+
+    def clear(self) -> None:
+        """Remove every signature (used between experiment trials)."""
+        with self._lock:
+            self._signatures.clear()
+            self._bump_version()
+            if self._autosave:
+                self.save()
+
+    def merge(self, other: Iterable[Signature]) -> int:
+        """Import signatures from another history or an export file.
+
+        Returns the number of signatures that were new.  This supports the
+        paper's "signature distribution" use case: immunizing users who
+        have not yet encountered a deadlock.
+        """
+        added = 0
+        for signature in other:
+            if self.add(signature):
+                added += 1
+        return added
+
+    def add_listener(self, listener: Callable[[Signature], None]) -> None:
+        """Register a callback invoked whenever a new signature is added."""
+        self._listeners.append(listener)
+
+    # -- persistence ----------------------------------------------------------------------------
+
+    def save(self, path: Optional[str] = None) -> Optional[str]:
+        """Write the history to ``path`` (or the configured path) atomically."""
+        target = path or self._path
+        if target is None:
+            return None
+        payload = self.to_dict()
+        directory = os.path.dirname(os.path.abspath(target)) or "."
+        try:
+            fd, temp_name = tempfile.mkstemp(prefix=".dimmunix-history-",
+                                             dir=directory)
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            os.replace(temp_name, target)
+        except OSError as exc:
+            raise HistoryError(f"cannot save history to {target}: {exc}") from exc
+        return target
+
+    def load(self, path: Optional[str] = None) -> int:
+        """Load (and merge) signatures from ``path``; returns the new total count."""
+        source = path or self._path
+        if source is None:
+            raise HistoryError("no history path configured")
+        try:
+            with open(source, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return len(self._signatures)
+        except OSError as exc:
+            raise HistoryError(f"cannot read history from {source}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise HistoryFormatError(f"history file {source} is not valid JSON: {exc}") from exc
+        self._merge_payload(payload)
+        return len(self._signatures)
+
+    def reload(self) -> int:
+        """Re-read the backing file, merging any signatures added externally.
+
+        This supports the "patch by inserting a signature and asking
+        Dimmunix to reload the history" use case of section 8 — the target
+        program does not need to be restarted.
+        """
+        return self.load()
+
+    def to_dict(self) -> Dict:
+        """Serialize to a JSON-friendly dictionary."""
+        with self._lock:
+            return {
+                "format_version": _FORMAT_VERSION,
+                "signatures": [sig.to_dict() for sig in self._signatures.values()],
+            }
+
+    def _merge_payload(self, payload: Dict) -> None:
+        if not isinstance(payload, dict) or "signatures" not in payload:
+            raise HistoryFormatError("history payload lacks a 'signatures' list")
+        version = payload.get("format_version", _FORMAT_VERSION)
+        if version != _FORMAT_VERSION:
+            raise HistoryFormatError(f"unsupported history format version {version}")
+        records = payload["signatures"]
+        if not isinstance(records, list):
+            raise HistoryFormatError("'signatures' must be a list")
+        with self._lock:
+            for record in records:
+                signature = Signature.from_dict(record)
+                if signature.fingerprint not in self._signatures:
+                    self._signatures[signature.fingerprint] = signature
+                    self._bump_version()
+
+    # -- import/export helpers (signature distribution) ----------------------------------------
+
+    def export_signatures(self, path: str,
+                          fingerprints: Optional[Iterable[str]] = None) -> int:
+        """Write selected signatures (default: all) to a standalone file."""
+        with self._lock:
+            if fingerprints is None:
+                selected = list(self._signatures.values())
+            else:
+                selected = [self._signatures[fp] for fp in fingerprints
+                            if fp in self._signatures]
+        payload = {
+            "format_version": _FORMAT_VERSION,
+            "signatures": [sig.to_dict() for sig in selected],
+        }
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+        except OSError as exc:
+            raise HistoryError(f"cannot export signatures to {path}: {exc}") from exc
+        return len(selected)
+
+    @classmethod
+    def import_signatures(cls, path: str) -> List[Signature]:
+        """Read signatures from an export file without attaching to it."""
+        temp = cls(path=None, autosave=False)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise HistoryError(f"cannot import signatures from {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise HistoryFormatError(f"{path} is not valid JSON: {exc}") from exc
+        temp._merge_payload(payload)
+        return temp.signatures()
+
+    def disk_footprint(self) -> int:
+        """Size in bytes of the serialized history (for the §7.4 experiment)."""
+        return len(json.dumps(self.to_dict()))

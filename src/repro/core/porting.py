@@ -1,0 +1,133 @@
+"""Porting signatures across software upgrades (paper section 8).
+
+Signatures record code locations (function, file, line).  After an
+upgrade, those locations may have shifted (lines moved), been renamed
+(refactoring), or disappeared.  The paper proposes using static analysis
+to map old code locations to new ones and "port" the signatures, with
+recalibration weeding out signatures made obsolete by semantic changes.
+
+This module implements the mechanical part: a :class:`CodeMapping`
+describing how locations moved, and :func:`port_signature` /
+:func:`port_history` which rewrite stacks accordingly.  Signatures whose
+stacks contain locations that no longer exist are reported as unportable
+so the caller can drop or flag them; ported signatures keep their
+avoidance counters but are marked for recalibration by resetting the
+matching depth when requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .callstack import CallStack, Frame
+from .history import History
+from .signature import Signature
+
+
+@dataclass
+class CodeMapping:
+    """Describes how code locations moved between two revisions."""
+
+    #: (filename, function) renames, e.g. {("db.py", "insert"): ("db.py", "insert_row")}.
+    renamed_functions: Dict[Tuple[str, str], Tuple[str, str]] = field(default_factory=dict)
+    #: Per-file line offsets applied to every frame in that file.
+    line_offsets: Dict[str, int] = field(default_factory=dict)
+    #: Finer-grained per-location moves: (file, function, line) -> (file, function, line).
+    moved_locations: Dict[Tuple[str, str, int], Tuple[str, str, int]] = field(default_factory=dict)
+    #: Locations (file, function) that were deleted in the new revision.
+    deleted_functions: List[Tuple[str, str]] = field(default_factory=list)
+
+    def map_frame(self, frame: Frame) -> Optional[Frame]:
+        """Translate one frame; ``None`` means the location no longer exists."""
+        key = (frame.filename, frame.function)
+        if key in self.deleted_functions:
+            return None
+        exact = self.moved_locations.get((frame.filename, frame.function, frame.lineno))
+        if exact is not None:
+            new_file, new_function, new_line = exact
+            return Frame(function=new_function, filename=new_file, lineno=new_line)
+        filename, function = self.renamed_functions.get(key, key)
+        lineno = frame.lineno + self.line_offsets.get(frame.filename, 0)
+        if lineno < 0:
+            return None
+        return Frame(function=function, filename=filename, lineno=lineno)
+
+
+@dataclass
+class PortingReport:
+    """Outcome of porting a history to a new revision."""
+
+    ported: List[Signature] = field(default_factory=list)
+    unportable: List[Signature] = field(default_factory=list)
+    unchanged: List[Signature] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.ported) + len(self.unportable) + len(self.unchanged)
+
+    def summary(self) -> Dict[str, int]:
+        return {"ported": len(self.ported), "unportable": len(self.unportable),
+                "unchanged": len(self.unchanged)}
+
+
+def port_signature(signature: Signature, mapping: CodeMapping,
+                   reset_depth: bool = True) -> Optional[Signature]:
+    """Rewrite one signature for the new revision.
+
+    Returns the ported signature, the original object when nothing changed,
+    or ``None`` when some frame maps to a deleted location (the signature
+    is obsolete and should be dropped or flagged).
+    """
+    new_stacks: List[CallStack] = []
+    changed = False
+    for stack in signature.stacks:
+        new_frames: List[Frame] = []
+        for frame in stack:
+            mapped = mapping.map_frame(frame)
+            if mapped is None:
+                return None
+            if mapped != frame:
+                changed = True
+            new_frames.append(mapped)
+        new_stacks.append(CallStack(new_frames))
+    if not changed:
+        return signature
+    ported = Signature(
+        new_stacks,
+        kind=signature.kind,
+        matching_depth=1 if reset_depth else signature.matching_depth,
+        avoidance_count=signature.avoidance_count,
+        occurrence_count=signature.occurrence_count,
+        created_at=signature.created_at,
+    )
+    return ported
+
+
+def port_history(history: History, mapping: CodeMapping,
+                 reset_depth: bool = True,
+                 drop_unportable: bool = False) -> PortingReport:
+    """Port every signature in ``history`` in place.
+
+    Ported signatures replace their originals; unportable ones are either
+    disabled (default) or removed entirely (``drop_unportable=True``), and
+    all changed signatures get their matching depth reset so recalibration
+    can re-establish the right precision (section 8).
+    """
+    report = PortingReport()
+    for signature in history.signatures():
+        ported = port_signature(signature, mapping, reset_depth=reset_depth)
+        if ported is None:
+            report.unportable.append(signature)
+            if drop_unportable:
+                history.remove(signature.fingerprint)
+            else:
+                history.disable(signature.fingerprint)
+            continue
+        if ported is signature:
+            report.unchanged.append(signature)
+            continue
+        history.remove(signature.fingerprint)
+        history.add(ported)
+        report.ported.append(ported)
+    return report

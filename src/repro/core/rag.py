@@ -1,0 +1,293 @@
+"""The resource allocation graph (RAG) maintained by the monitor.
+
+The RAG captures a program's synchronization state with two kinds of
+vertices (threads and locks) and four kinds of edges:
+
+* ``request`` — thread T wants lock L but has not been allowed to wait
+  for it (this is the state of a yielding thread);
+* ``allow``   — T has been allowed by Dimmunix to block waiting for L;
+* ``hold``    — L is held by T; the edge is labeled with the call stack T
+  had when it acquired L; held reentrantly means multiple hold edges
+  (the RAG is a multiset of edges);
+* ``yield``   — T is parked because of threads that hold or are allowed
+  to wait for locks that, together with T's pending request, would
+  instantiate a signature; each yield edge is labeled with the causing
+  thread's hold stack.
+
+The RAG is updated lazily from the event stream produced by the avoidance
+code (section 5.1/5.2); it is read by the cycle-detection routines in
+:mod:`repro.core.cycles`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .callstack import CallStack
+from .errors import RAGError
+from .events import Event, EventType
+
+
+@dataclass
+class ThreadState:
+    """Per-thread view of the RAG."""
+
+    thread_id: int
+    #: Lock the thread requested but is not allowed to wait for (yielding).
+    request: Optional[Tuple[int, CallStack]] = None
+    #: Lock the thread is allowed to block waiting for.
+    allow: Optional[Tuple[int, CallStack]] = None
+    #: Yield edges: (cause_thread, cause_lock, cause_stack) tuples.
+    yields: Set[Tuple[int, int, CallStack]] = field(default_factory=set)
+    #: Locks currently held (lock_id -> list of acquisition stacks, reentrant).
+    holds: Dict[int, List[CallStack]] = field(default_factory=dict)
+
+    @property
+    def waiting_lock(self) -> Optional[int]:
+        """The lock this thread is (or wants to be) waiting for, if any."""
+        if self.allow is not None:
+            return self.allow[0]
+        if self.request is not None:
+            return self.request[0]
+        return None
+
+    @property
+    def is_yielding(self) -> bool:
+        """True when the thread is parked by an avoidance decision."""
+        return bool(self.yields)
+
+    @property
+    def hold_count(self) -> int:
+        """Total number of hold edges (reentrant acquisitions count)."""
+        return sum(len(stacks) for stacks in self.holds.values())
+
+
+@dataclass
+class LockState:
+    """Per-lock view of the RAG."""
+
+    lock_id: int
+    #: The current owner thread, or None when free.
+    owner: Optional[int] = None
+    #: Acquisition stacks of the owner, one per (reentrant) hold edge.
+    hold_stacks: List[CallStack] = field(default_factory=list)
+    #: Threads with an allow edge on this lock.
+    waiters: Set[int] = field(default_factory=set)
+
+    @property
+    def held(self) -> bool:
+        """True when some thread holds the lock."""
+        return self.owner is not None
+
+
+class ResourceAllocationGraph:
+    """Monitor-side RAG built incrementally from synchronization events."""
+
+    def __init__(self, strict: bool = False):
+        self._threads: Dict[int, ThreadState] = {}
+        self._locks: Dict[int, LockState] = {}
+        #: Threads touched by the most recently applied batch of events;
+        #: cycle detection only needs to start from these (section 5.2).
+        self._dirty_threads: Set[int] = set()
+        self._strict = strict
+        self._events_applied = 0
+
+    # -- accessors -------------------------------------------------------------------------
+
+    def thread(self, thread_id: int) -> ThreadState:
+        """The state of ``thread_id``, creating an empty record if needed."""
+        state = self._threads.get(thread_id)
+        if state is None:
+            state = ThreadState(thread_id=thread_id)
+            self._threads[thread_id] = state
+        return state
+
+    def lock(self, lock_id: int) -> LockState:
+        """The state of ``lock_id``, creating an empty record if needed."""
+        state = self._locks.get(lock_id)
+        if state is None:
+            state = LockState(lock_id=lock_id)
+            self._locks[lock_id] = state
+        return state
+
+    def threads(self) -> List[ThreadState]:
+        """All known thread states."""
+        return list(self._threads.values())
+
+    def locks(self) -> List[LockState]:
+        """All known lock states."""
+        return list(self._locks.values())
+
+    def thread_ids(self) -> Set[int]:
+        """The set of known thread identifiers."""
+        return set(self._threads)
+
+    @property
+    def dirty_threads(self) -> Set[int]:
+        """Threads touched since :meth:`clear_dirty` was last called."""
+        return set(self._dirty_threads)
+
+    def clear_dirty(self) -> None:
+        """Forget which threads were recently touched."""
+        self._dirty_threads.clear()
+
+    @property
+    def events_applied(self) -> int:
+        """Total number of events applied to this RAG."""
+        return self._events_applied
+
+    def holder_of(self, lock_id: int) -> Optional[int]:
+        """The thread currently holding ``lock_id`` (None if free/unknown)."""
+        state = self._locks.get(lock_id)
+        return state.owner if state is not None else None
+
+    def hold_stack(self, lock_id: int) -> Optional[CallStack]:
+        """The most recent acquisition stack of the lock's owner."""
+        state = self._locks.get(lock_id)
+        if state is None or not state.hold_stacks:
+            return None
+        return state.hold_stacks[-1]
+
+    # -- event application ------------------------------------------------------------------
+
+    def apply(self, event: Event) -> None:
+        """Apply one synchronization event to the graph."""
+        handler = _HANDLERS.get(event.type)
+        if handler is None:  # pragma: no cover - defensive
+            raise RAGError(f"unknown event type {event.type}")
+        handler(self, event)
+        self._dirty_threads.add(event.thread_id)
+        self._events_applied += 1
+
+    def apply_batch(self, events) -> int:
+        """Apply a sequence of events; returns how many were applied."""
+        count = 0
+        for event in events:
+            self.apply(event)
+            count += 1
+        return count
+
+    # -- individual handlers -------------------------------------------------------------------
+
+    def _on_request(self, event: Event) -> None:
+        thread = self.thread(event.thread_id)
+        thread.request = (event.lock_id, event.stack)
+
+    def _on_allow(self, event: Event) -> None:
+        thread = self.thread(event.thread_id)
+        thread.request = None
+        thread.allow = (event.lock_id, event.stack)
+        thread.yields.clear()
+        self.lock(event.lock_id).waiters.add(event.thread_id)
+
+    def _on_yield(self, event: Event) -> None:
+        thread = self.thread(event.thread_id)
+        # The tentative allow edge is flipped back into a request edge.
+        if thread.allow is not None and thread.allow[0] == event.lock_id:
+            self.lock(event.lock_id).waiters.discard(event.thread_id)
+            thread.allow = None
+        thread.request = (event.lock_id, event.stack)
+        thread.yields = set(event.causes)
+
+    def _on_acquired(self, event: Event) -> None:
+        thread = self.thread(event.thread_id)
+        lock = self.lock(event.lock_id)
+        if thread.allow is not None and thread.allow[0] == event.lock_id:
+            thread.allow = None
+        if thread.request is not None and thread.request[0] == event.lock_id:
+            thread.request = None
+        lock.waiters.discard(event.thread_id)
+        thread.yields.clear()
+        if lock.owner is not None and lock.owner != event.thread_id:
+            # A release event from the previous owner has not been processed
+            # yet.  The partial-ordering argument of section 5.2 guarantees
+            # the release precedes this acquired in the queue, so reaching
+            # this point means the caller violated that ordering.
+            if self._strict:
+                raise RAGError(
+                    f"lock {event.lock_id} acquired by {event.thread_id} while "
+                    f"owned by {lock.owner}")
+            # Be forgiving outside strict mode: drop the stale hold edges.
+            previous = self._threads.get(lock.owner)
+            if previous is not None:
+                previous.holds.pop(event.lock_id, None)
+            lock.hold_stacks.clear()
+        lock.owner = event.thread_id
+        lock.hold_stacks.append(event.stack)
+        thread.holds.setdefault(event.lock_id, []).append(event.stack)
+
+    def _on_release(self, event: Event) -> None:
+        thread = self.thread(event.thread_id)
+        lock = self.lock(event.lock_id)
+        stacks = thread.holds.get(event.lock_id)
+        if not stacks:
+            if self._strict:
+                raise RAGError(
+                    f"thread {event.thread_id} released lock {event.lock_id} "
+                    "it does not hold")
+            return
+        stacks.pop()
+        if not stacks:
+            del thread.holds[event.lock_id]
+        if lock.hold_stacks:
+            lock.hold_stacks.pop()
+        if not lock.hold_stacks:
+            lock.owner = None
+
+    def _on_cancel(self, event: Event) -> None:
+        thread = self.thread(event.thread_id)
+        if thread.allow is not None and thread.allow[0] == event.lock_id:
+            thread.allow = None
+        if thread.request is not None and thread.request[0] == event.lock_id:
+            thread.request = None
+        self.lock(event.lock_id).waiters.discard(event.thread_id)
+        thread.yields.clear()
+
+    # -- statistics / introspection ---------------------------------------------------------------
+
+    def edge_counts(self) -> Dict[str, int]:
+        """Counts of each edge kind (used by resource-utilization reports)."""
+        request = sum(1 for t in self._threads.values() if t.request is not None)
+        allow = sum(1 for t in self._threads.values() if t.allow is not None)
+        hold = sum(t.hold_count for t in self._threads.values())
+        yields = sum(len(t.yields) for t in self._threads.values())
+        return {"request": request, "allow": allow, "hold": hold, "yield": yields}
+
+    def snapshot(self) -> Dict:
+        """A JSON-friendly snapshot of the graph (debugging, reports)."""
+        return {
+            "threads": {
+                tid: {
+                    "request": state.request[0] if state.request else None,
+                    "allow": state.allow[0] if state.allow else None,
+                    "holds": {lid: len(stacks) for lid, stacks in state.holds.items()},
+                    "yields": [(c[0], c[1]) for c in state.yields],
+                }
+                for tid, state in self._threads.items()
+            },
+            "locks": {
+                lid: {"owner": state.owner, "waiters": sorted(state.waiters)}
+                for lid, state in self._locks.items()
+            },
+        }
+
+    def forget_thread(self, thread_id: int) -> None:
+        """Drop a terminated thread that holds nothing and waits for nothing."""
+        state = self._threads.get(thread_id)
+        if state is None:
+            return
+        if state.holds or state.allow or state.request:
+            raise RAGError(f"cannot forget thread {thread_id}: it still has edges")
+        del self._threads[thread_id]
+        self._dirty_threads.discard(thread_id)
+
+
+_HANDLERS = {
+    EventType.REQUEST: ResourceAllocationGraph._on_request,
+    EventType.ALLOW: ResourceAllocationGraph._on_allow,
+    EventType.YIELD: ResourceAllocationGraph._on_yield,
+    EventType.ACQUIRED: ResourceAllocationGraph._on_acquired,
+    EventType.RELEASE: ResourceAllocationGraph._on_release,
+    EventType.CANCEL: ResourceAllocationGraph._on_cancel,
+}

@@ -1,0 +1,71 @@
+"""Runtime statistics counters.
+
+The engine, monitor, and calibrator update these counters so experiments
+and end users can observe what Dimmunix is doing (number of yields, GO
+decisions, detected deadlocks, starvation breaks, false positives, ...).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Names of all counters, used by snapshot()/reset().
+_COUNTER_NAMES = (
+    "requests", "go_decisions", "yield_decisions", "acquisitions", "releases",
+    "cancels", "aborted_yields", "forced_go", "deadlocks_detected",
+    "starvations_detected", "starvations_broken", "signatures_added",
+    "restarts_requested", "false_positives", "true_positives",
+    "monitor_wakeups", "events_processed",
+)
+
+
+@dataclass
+class EngineStats:
+    """Counters maintained by the avoidance engine and monitor."""
+
+    requests: int = 0
+    go_decisions: int = 0
+    yield_decisions: int = 0
+    acquisitions: int = 0
+    releases: int = 0
+    cancels: int = 0
+    aborted_yields: int = 0
+    forced_go: int = 0
+    deadlocks_detected: int = 0
+    starvations_detected: int = 0
+    starvations_broken: int = 0
+    signatures_added: int = 0
+    restarts_requested: int = 0
+    false_positives: int = 0
+    true_positives: int = 0
+    monitor_wakeups: int = 0
+    events_processed: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
+                                  compare=False)
+
+    def bump(self, name: str, amount: int = 1) -> int:
+        """Atomically increment the counter ``name`` and return its new value."""
+        with self._lock:
+            value = getattr(self, name) + amount
+            setattr(self, name, value)
+            return value
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy of all counters."""
+        with self._lock:
+            return {name: getattr(self, name) for name in _COUNTER_NAMES}
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        with self._lock:
+            for name in _COUNTER_NAMES:
+                setattr(self, name, 0)
+
+    @property
+    def yield_rate(self) -> float:
+        """Fraction of requests answered with YIELD."""
+        if self.requests == 0:
+            return 0.0
+        return self.yield_decisions / self.requests

@@ -1,0 +1,44 @@
+"""Experiment harness: one runner per table/figure of the paper's evaluation."""
+
+from .ablation import (AllowEdgeRow, DetectionLatencyRow, ImmunityModeRow,
+                       run_allow_edge_ablation, run_detection_latency,
+                       run_immunity_mode_ablation)
+from .effectiveness import (Table1Row, Table2Row, run_table1, run_table2)
+from .appworkloads import run_broker_workload, run_jdbc_workload
+from .overhead import Figure4Row, run_figure4
+from .microsweeps import (Figure5Row, Figure6Row, Figure7Row, Figure8Row,
+                          run_figure5, run_figure6, run_figure7, run_figure8)
+from .falsepos import Figure9Row, run_figure9, run_gate_lock_comparison
+from .resources import ResourceRow, run_resource_utilization
+from .report import format_table
+
+__all__ = [
+    "AllowEdgeRow",
+    "DetectionLatencyRow",
+    "Figure4Row",
+    "Figure5Row",
+    "Figure6Row",
+    "Figure7Row",
+    "Figure8Row",
+    "Figure9Row",
+    "ImmunityModeRow",
+    "ResourceRow",
+    "Table1Row",
+    "Table2Row",
+    "format_table",
+    "run_allow_edge_ablation",
+    "run_broker_workload",
+    "run_detection_latency",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_gate_lock_comparison",
+    "run_immunity_mode_ablation",
+    "run_jdbc_workload",
+    "run_resource_utilization",
+    "run_table1",
+    "run_table2",
+]

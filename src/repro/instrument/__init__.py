@@ -1,0 +1,33 @@
+"""Real-thread instrumentation: Dimmunix-aware locks for ``threading`` programs.
+
+This package is the Python analogue of the paper's two interception
+strategies (AspectJ bytecode weaving for Java, modified libthr/NPTL for
+POSIX threads): every lock and unlock operation is funneled through the
+avoidance engine by wrapping — or monkey-patching — the standard
+``threading`` lock types.
+"""
+
+from .runtime import (ThreadRegistry, YieldManager, InstrumentationRuntime,
+                      get_default_dimmunix, set_default_dimmunix,
+                      reset_default_dimmunix)
+from .locks import DimmunixLock, DimmunixRLock, DimmunixCondition, Lock, RLock, Condition
+from .patching import immunize, install, uninstall, patched
+
+__all__ = [
+    "Condition",
+    "DimmunixCondition",
+    "DimmunixLock",
+    "DimmunixRLock",
+    "InstrumentationRuntime",
+    "Lock",
+    "RLock",
+    "ThreadRegistry",
+    "YieldManager",
+    "get_default_dimmunix",
+    "immunize",
+    "install",
+    "patched",
+    "reset_default_dimmunix",
+    "set_default_dimmunix",
+    "uninstall",
+]

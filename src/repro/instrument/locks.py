@@ -1,0 +1,214 @@
+"""Dimmunix-aware lock types for real ``threading`` programs.
+
+:class:`DimmunixLock` and :class:`DimmunixRLock` are drop-in replacements
+for ``threading.Lock`` and ``threading.RLock``.  Every acquisition runs
+the avoidance protocol:
+
+1. capture the call stack,
+2. call ``request``; on YIELD park on the per-thread wake event and retry
+   (aborting the yield when the configured yield timeout expires),
+3. on GO, block on the underlying native lock,
+4. on success call ``acquired``; on trylock/timed-lock failure call
+   ``cancel`` (the paper's pthreads extension).
+
+Releases notify the engine first (the paper's required partial ordering:
+the release event precedes the unlock) and then wake any threads whose
+yield causes dissolved.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from ..core.avoidance import Decision
+from ..core.errors import InstrumentationError
+from .runtime import InstrumentationRuntime, get_default_dimmunix
+
+
+class DimmunixLock:
+    """A non-reentrant mutex protected by deadlock immunity."""
+
+    _reentrant = False
+
+    def __init__(self, runtime: Optional[InstrumentationRuntime] = None,
+                 name: Optional[str] = None):
+        self._runtime = runtime if runtime is not None else get_default_dimmunix()
+        self._native = self._make_native()
+        self._lock_id = self._runtime.new_lock_id()
+        self._name = name or f"lock-{self._lock_id}"
+        self._owner: Optional[int] = None
+        self._count = 0
+
+    def _make_native(self):
+        return threading.Lock()
+
+    # -- public lock protocol -----------------------------------------------------------
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire the lock, running the Dimmunix avoidance protocol first."""
+        runtime = self._runtime
+        engine = runtime.engine
+        thread_id = runtime.current_thread_id()
+
+        if self._reentrant and self._owner == thread_id:
+            # Reentrant fast path: cannot deadlock, but keep the RAG's hold
+            # multiset accurate.
+            self._native.acquire()
+            self._count += 1
+            engine.acquired(thread_id, self._lock_id, runtime.capture_stack())
+            return True
+
+        stack = runtime.capture_stack()
+        deadline = None
+        if timeout is not None and timeout >= 0:
+            deadline = time.monotonic() + timeout
+
+        while True:
+            wake_event = runtime.yields.prepare_wait(thread_id)
+            outcome = engine.request(thread_id, self._lock_id, stack)
+            if outcome.decision is Decision.GO:
+                break
+            if not blocking:
+                # Trylock semantics: never park; roll the request back.
+                engine.cancel(thread_id, self._lock_id)
+                return False
+            wait_for = runtime.config.yield_timeout
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    engine.cancel(thread_id, self._lock_id)
+                    return False
+                wait_for = remaining if wait_for is None else min(wait_for, remaining)
+            woken = wake_event.wait(wait_for)
+            if not woken and runtime.config.yield_timeout is not None:
+                # Yield bound expired (section 5.7): abort the avoidance and
+                # let the thread proceed on its next request.
+                engine.abort_yield(thread_id)
+
+        native_timeout = -1.0
+        if deadline is not None:
+            native_timeout = max(0.0, deadline - time.monotonic())
+        got = self._native.acquire(blocking, native_timeout if deadline is not None else -1)
+        if not got:
+            engine.cancel(thread_id, self._lock_id)
+            return False
+        self._owner = thread_id
+        self._count += 1
+        engine.acquired(thread_id, self._lock_id, stack)
+        return True
+
+    def release(self) -> None:
+        """Release the lock and wake any threads whose yield causes dissolved."""
+        runtime = self._runtime
+        engine = runtime.engine
+        thread_id = runtime.current_thread_id()
+        if self._owner != thread_id or self._count == 0:
+            raise InstrumentationError(
+                f"{self._name} released by thread {thread_id} which does not hold it")
+        woken = engine.release(thread_id, self._lock_id)
+        self._count -= 1
+        if self._count == 0:
+            self._owner = None
+        self._native.release()
+        if woken:
+            runtime.yields.wake(woken)
+
+    def locked(self) -> bool:
+        """Whether the underlying native lock is currently held."""
+        return self._count > 0
+
+    # -- context manager ------------------------------------------------------------------
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+    # -- helpers used by threading.Condition -------------------------------------------------
+
+    def _is_owned(self) -> bool:
+        return self._owner == self._runtime.current_thread_id() and self._count > 0
+
+    def _release_save(self):
+        count = self._count
+        owner = self._owner
+        while self._count > 0:
+            self.release()
+        return owner, count
+
+    def _acquire_restore(self, state) -> None:
+        owner, count = state
+        for _ in range(count):
+            self.acquire()
+
+    # -- introspection --------------------------------------------------------------------------
+
+    @property
+    def lock_id(self) -> int:
+        """The engine-level identifier of this lock."""
+        return self._lock_id
+
+    @property
+    def name(self) -> str:
+        """Human readable name (used in diagnostics)."""
+        return self._name
+
+    @property
+    def owner(self) -> Optional[int]:
+        """The Dimmunix thread id of the current owner, if any."""
+        return self._owner
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "locked" if self.locked() else "unlocked"
+        return f"<{type(self).__name__} {self._name} ({state})>"
+
+
+class DimmunixRLock(DimmunixLock):
+    """A reentrant mutex protected by deadlock immunity."""
+
+    _reentrant = True
+
+    def _make_native(self):
+        return threading.RLock()
+
+
+class DimmunixCondition(threading.Condition):
+    """``threading.Condition`` backed by a Dimmunix lock.
+
+    The paper instruments locks associated with condition variables; using
+    a :class:`DimmunixRLock` as the condition's lock gives the same
+    coverage here (waits release the instrumented lock, notifications
+    reacquire it through the avoidance protocol).
+    """
+
+    def __init__(self, lock: Optional[DimmunixLock] = None,
+                 runtime: Optional[InstrumentationRuntime] = None):
+        if lock is None:
+            lock = DimmunixRLock(runtime=runtime)
+        super().__init__(lock)
+
+
+# ---------------------------------------------------------------------------
+# Factory helpers mirroring the ``threading`` API
+# ---------------------------------------------------------------------------
+
+def Lock(runtime: Optional[InstrumentationRuntime] = None,
+         name: Optional[str] = None) -> DimmunixLock:
+    """Create a Dimmunix-protected mutex (drop-in for ``threading.Lock``)."""
+    return DimmunixLock(runtime=runtime, name=name)
+
+
+def RLock(runtime: Optional[InstrumentationRuntime] = None,
+          name: Optional[str] = None) -> DimmunixRLock:
+    """Create a Dimmunix-protected reentrant mutex (drop-in for ``threading.RLock``)."""
+    return DimmunixRLock(runtime=runtime, name=name)
+
+
+def Condition(lock: Optional[DimmunixLock] = None,
+              runtime: Optional[InstrumentationRuntime] = None) -> DimmunixCondition:
+    """Create a condition variable whose lock is protected by Dimmunix."""
+    return DimmunixCondition(lock=lock, runtime=runtime)

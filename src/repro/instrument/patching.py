@@ -1,0 +1,131 @@
+"""Monkey-patching of the ``threading`` module.
+
+The paper's Java implementation weaves avoidance aspects into the target
+bytecode; the pthreads implementations ship modified thread libraries.
+The Python analogue is to replace ``threading.Lock`` and
+``threading.RLock`` with factories returning Dimmunix-aware locks, so
+existing code gains immunity without being modified.
+
+Only the public factory names are replaced — the interpreter-internal
+``_thread.allocate_lock`` primitive is left untouched, because the
+``threading`` machinery itself (and Dimmunix's own monitor thread) relies
+on it and must never be routed through the avoidance engine.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import sys
+import threading
+from typing import Optional
+
+from ..core.config import DimmunixConfig
+from ..core.dimmunix import Dimmunix
+from ..core.errors import InstrumentationError
+from .locks import DimmunixLock, DimmunixRLock
+from .runtime import InstrumentationRuntime, set_default_dimmunix
+
+_original_lock = threading.Lock
+_original_rlock = threading.RLock
+_installed_runtime: Optional[InstrumentationRuntime] = None
+
+#: Path fragments identifying callers that must always receive *native*
+#: locks even while the patch is installed: the ``threading`` module itself
+#: (Event, Condition, Barrier and friends build on RLock) and this library
+#: (the engine's own bookkeeping must never be routed through the engine).
+_NATIVE_CALLERS = ("threading.py", "repro/core", "repro/instrument", "repro/util",
+                   "repro\\core", "repro\\instrument", "repro\\util")
+
+
+def _caller_needs_native_lock() -> bool:
+    """True when the lock is being created by threading internals or by Dimmunix."""
+    try:
+        frame = sys._getframe(2)
+    except ValueError:  # pragma: no cover - extremely shallow stacks
+        return False
+    filename = frame.f_code.co_filename.replace("\\", "/")
+    return any(fragment.replace("\\", "/") in filename
+               for fragment in _NATIVE_CALLERS)
+
+
+def install(dimmunix: Optional[Dimmunix] = None,
+            config: Optional[DimmunixConfig] = None) -> InstrumentationRuntime:
+    """Patch ``threading.Lock``/``threading.RLock`` to produce Dimmunix locks.
+
+    Returns the instrumentation runtime bound to the (possibly newly
+    created) Dimmunix instance.  Calling :func:`install` twice without an
+    intervening :func:`uninstall` raises, to avoid silently stacking
+    patches.
+    """
+    global _installed_runtime
+    if _installed_runtime is not None:
+        raise InstrumentationError("threading is already instrumented; call uninstall() first")
+    if dimmunix is None:
+        dimmunix = Dimmunix(config=config)
+    runtime = set_default_dimmunix(dimmunix)
+
+    def _lock_factory(*args, **kwargs):
+        if _caller_needs_native_lock():
+            return _original_lock()
+        return DimmunixLock(runtime=runtime)
+
+    def _rlock_factory(*args, **kwargs):
+        if _caller_needs_native_lock():
+            return _original_rlock()
+        return DimmunixRLock(runtime=runtime)
+
+    threading.Lock = _lock_factory  # type: ignore[assignment]
+    threading.RLock = _rlock_factory  # type: ignore[assignment]
+    _installed_runtime = runtime
+    return runtime
+
+
+def uninstall() -> None:
+    """Restore the original ``threading`` lock factories."""
+    global _installed_runtime
+    threading.Lock = _original_lock  # type: ignore[assignment]
+    threading.RLock = _original_rlock  # type: ignore[assignment]
+    _installed_runtime = None
+
+
+def installed() -> bool:
+    """True while :func:`install` is in effect."""
+    return _installed_runtime is not None
+
+
+@contextlib.contextmanager
+def patched(dimmunix: Optional[Dimmunix] = None,
+            config: Optional[DimmunixConfig] = None):
+    """Context manager combining :func:`install`/:func:`uninstall`.
+
+    The Dimmunix monitor is started on entry and stopped on exit::
+
+        with patched(config=DimmunixConfig(history_path="app.history")) as runtime:
+            run_the_application()
+    """
+    runtime = install(dimmunix=dimmunix, config=config)
+    runtime.dimmunix.start()
+    try:
+        yield runtime
+    finally:
+        runtime.dimmunix.stop()
+        uninstall()
+
+
+def immunize(config: Optional[DimmunixConfig] = None,
+             history_path: Optional[str] = None) -> InstrumentationRuntime:
+    """One-call setup: create, start, and install a Dimmunix instance.
+
+    This is the "just make my program immune" entry point::
+
+        import repro
+        repro.immunize(history_path="myapp.history")
+    """
+    if config is None:
+        config = DimmunixConfig(history_path=history_path)
+    elif history_path is not None:
+        config = config.with_overrides(history_path=history_path)
+    dimmunix = Dimmunix(config=config)
+    runtime = install(dimmunix=dimmunix)
+    dimmunix.start()
+    return runtime

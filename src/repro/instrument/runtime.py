@@ -1,0 +1,187 @@
+"""Per-thread runtime support for the real-thread instrumentation.
+
+Responsibilities:
+
+* assign stable small integer ids to Python threads and lock objects,
+* park and wake threads that received a YIELD decision (the paper uses a
+  per-thread ``yieldLock[T]`` object and ``wait``/``notifyAll``; we use a
+  per-thread :class:`threading.Event`),
+* manage the process-wide default :class:`~repro.core.dimmunix.Dimmunix`
+  instance used by the ``Lock()``/``RLock()`` factories and by
+  monkey-patching.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, Optional
+
+from ..core.callstack import CallStack
+from ..core.dimmunix import Dimmunix
+from ..core.errors import InstrumentationError
+
+
+class ThreadRegistry:
+    """Assigns stable small integer ids to live Python threads."""
+
+    def __init__(self):
+        self._local = threading.local()
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+        self._names: Dict[int, str] = {}
+
+    def current_thread_id(self) -> int:
+        """The stable id of the calling thread (allocated on first use)."""
+        ident = getattr(self._local, "thread_id", None)
+        if ident is None:
+            with self._lock:
+                ident = next(self._counter)
+                self._names[ident] = threading.current_thread().name
+            self._local.thread_id = ident
+        return ident
+
+    def name_of(self, thread_id: int) -> Optional[str]:
+        """The Python thread name recorded for ``thread_id``."""
+        return self._names.get(thread_id)
+
+    def known_threads(self) -> Dict[int, str]:
+        """Mapping of all ids ever assigned to their thread names."""
+        with self._lock:
+            return dict(self._names)
+
+
+class YieldManager:
+    """Parks and wakes threads that received a YIELD decision."""
+
+    def __init__(self, dimmunix: Dimmunix):
+        self._dimmunix = dimmunix
+        self._events: Dict[int, threading.Event] = {}
+        self._lock = threading.Lock()
+
+    def event_for(self, thread_id: int) -> threading.Event:
+        """The (lazily created) wake event for ``thread_id``.
+
+        The event's ``set`` method is registered as the thread's waker with
+        the Dimmunix facade, so both lock releases and the monitor's
+        starvation breaking can un-park the thread.
+        """
+        event = self._events.get(thread_id)
+        if event is None:
+            with self._lock:
+                event = self._events.get(thread_id)
+                if event is None:
+                    event = threading.Event()
+                    self._events[thread_id] = event
+                    self._dimmunix.register_waker(thread_id, event.set)
+        return event
+
+    def prepare_wait(self, thread_id: int) -> threading.Event:
+        """Clear and return the wake event, to be called *before* ``request``.
+
+        Clearing before the request closes the classic lost-wakeup window:
+        any wake triggered by state changes after the request will set the
+        event even if the thread has not started waiting yet.
+        """
+        event = self.event_for(thread_id)
+        event.clear()
+        return event
+
+    def wait(self, thread_id: int, timeout: Optional[float]) -> bool:
+        """Park the calling thread until woken or until ``timeout`` expires."""
+        event = self.event_for(thread_id)
+        return event.wait(timeout)
+
+    def wake(self, thread_ids) -> None:
+        """Wake the given threads (used directly by lock release paths)."""
+        for thread_id in thread_ids:
+            event = self._events.get(thread_id)
+            if event is not None:
+                event.set()
+
+    def forget(self, thread_id: int) -> None:
+        """Drop the wake event of a terminated thread."""
+        with self._lock:
+            self._events.pop(thread_id, None)
+        self._dimmunix.unregister_waker(thread_id)
+
+
+class InstrumentationRuntime:
+    """Bundles a Dimmunix instance with the thread registry and yield manager."""
+
+    def __init__(self, dimmunix: Dimmunix):
+        self.dimmunix = dimmunix
+        self.threads = ThreadRegistry()
+        self.yields = YieldManager(dimmunix)
+        self._lock_ids = itertools.count(1)
+        self._lock_id_lock = threading.Lock()
+
+    # -- id allocation -----------------------------------------------------------------
+
+    def current_thread_id(self) -> int:
+        """Stable id of the calling thread."""
+        return self.threads.current_thread_id()
+
+    def new_lock_id(self) -> int:
+        """Allocate an id for a newly created lock wrapper."""
+        with self._lock_id_lock:
+            return next(self._lock_ids)
+
+    # -- stack capture ------------------------------------------------------------------
+
+    def capture_stack(self) -> CallStack:
+        """Capture the calling thread's stack, bounded by the configured depth."""
+        stack = CallStack.capture(skip=1, limit=self.dimmunix.config.max_stack_depth)
+        if not stack:
+            # Degenerate case (interactive shell, C callback): synthesize a
+            # one-frame stack so signatures remain well formed.
+            thread_name = threading.current_thread().name
+            stack = CallStack.from_labels([f"<toplevel-{thread_name}>:0"])
+        return stack
+
+    # -- engine passthroughs ---------------------------------------------------------------
+
+    @property
+    def engine(self):
+        """The avoidance engine of the attached Dimmunix instance."""
+        return self.dimmunix.engine
+
+    @property
+    def config(self):
+        """The configuration of the attached Dimmunix instance."""
+        return self.dimmunix.config
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default instance
+# ---------------------------------------------------------------------------
+
+_default_runtime: Optional[InstrumentationRuntime] = None
+_default_lock = threading.Lock()
+
+
+def set_default_dimmunix(dimmunix: Dimmunix) -> InstrumentationRuntime:
+    """Install ``dimmunix`` as the process-wide default and return its runtime."""
+    global _default_runtime
+    with _default_lock:
+        _default_runtime = InstrumentationRuntime(dimmunix)
+        return _default_runtime
+
+
+def get_default_dimmunix(create: bool = True) -> InstrumentationRuntime:
+    """Return the default runtime, creating one (with default config) if needed."""
+    global _default_runtime
+    if _default_runtime is None:
+        if not create:
+            raise InstrumentationError("no default Dimmunix instance configured")
+        with _default_lock:
+            if _default_runtime is None:
+                _default_runtime = InstrumentationRuntime(Dimmunix())
+    return _default_runtime
+
+
+def reset_default_dimmunix() -> None:
+    """Drop the default instance (mainly for tests)."""
+    global _default_runtime
+    with _default_lock:
+        _default_runtime = None

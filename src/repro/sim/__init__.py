@@ -1,0 +1,40 @@
+"""Deterministic concurrency simulator.
+
+Real deadlocks are timing dependent and awkward to reproduce in tests; the
+paper's authors built timing-loop "exploits" to trigger them reliably.
+This package provides an alternative substrate: a cooperative,
+virtual-time scheduler whose threads are generator functions yielding
+explicit synchronization actions.  The scheduler drives the very same
+avoidance engine and monitor as the real-thread instrumentation, which
+makes deadlock, avoidance, and starvation scenarios exactly reproducible
+(and lets experiments scale to 1024 simulated threads without fighting
+the GIL).
+"""
+
+from .actions import Acquire, Compute, Log, Release, TryAcquire, call_site
+from .backends import (DimmunixBackend, NullBackend, SchedulerBackend)
+from .locks import SimLock
+from .result import SimResult
+from .scheduler import SimScheduler, SimThread
+from .programs import (lock_order_program, philosopher_program,
+                       random_workload_program, two_phase_program)
+
+__all__ = [
+    "Acquire",
+    "Compute",
+    "DimmunixBackend",
+    "Log",
+    "NullBackend",
+    "Release",
+    "SchedulerBackend",
+    "SimLock",
+    "SimResult",
+    "SimScheduler",
+    "SimThread",
+    "TryAcquire",
+    "call_site",
+    "lock_order_program",
+    "philosopher_program",
+    "random_workload_program",
+    "two_phase_program",
+]

@@ -1,0 +1,83 @@
+"""Actions that simulated threads yield to the scheduler.
+
+A simulated program is a Python generator; each ``yield`` hands the
+scheduler one of the action objects defined here.  Lock-related actions
+carry an explicit *call site* — the symbolic call stack with which the
+operation is performed — because simulated threads have no meaningful
+Python stack of their own.  Sites use the same innermost-first convention
+as captured stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..core.callstack import CallStack
+
+
+def call_site(*labels: str) -> CallStack:
+    """Build a symbolic call stack, innermost frame first.
+
+    Example::
+
+        yield Acquire(lock_a, call_site("lock:3", "update:1", "main:0"))
+    """
+    return CallStack.from_labels(list(labels))
+
+
+def _as_stack(site: Union[CallStack, Sequence[str], None],
+              default_label: str) -> CallStack:
+    if site is None:
+        return CallStack.from_labels([default_label])
+    if isinstance(site, CallStack):
+        return site
+    return CallStack.from_labels(list(site))
+
+
+@dataclass
+class Acquire:
+    """Acquire ``lock`` (blocking) at the given call site."""
+
+    lock: "SimLock"  # noqa: F821 - forward reference, resolved at runtime
+    site: Union[CallStack, Sequence[str], None] = None
+
+    def stack(self) -> CallStack:
+        return _as_stack(self.site, f"acquire-{self.lock.name}:0")
+
+
+@dataclass
+class TryAcquire:
+    """Attempt to acquire ``lock`` without blocking.
+
+    The thread's ``last_try_succeeded`` flag records the outcome so the
+    program can branch on it after the yield.
+    """
+
+    lock: "SimLock"  # noqa: F821
+    site: Union[CallStack, Sequence[str], None] = None
+
+    def stack(self) -> CallStack:
+        return _as_stack(self.site, f"tryacquire-{self.lock.name}:0")
+
+
+@dataclass
+class Release:
+    """Release ``lock`` (must be held by the yielding thread)."""
+
+    lock: "SimLock"  # noqa: F821
+
+
+@dataclass
+class Compute:
+    """Spend ``duration`` seconds of virtual time outside/inside critical sections."""
+
+    duration: float = 0.0
+
+
+@dataclass
+class Log:
+    """Record a message in the simulation trace (debugging, assertions)."""
+
+    message: str = ""
+    payload: dict = field(default_factory=dict)

@@ -1,0 +1,85 @@
+"""Simulated locks.
+
+A :class:`SimLock` is a reentrant mutex that exists purely inside the
+simulator: ownership and wait queues are managed by the scheduler, and the
+avoidance backend is informed of every transition exactly as the real
+instrumentation informs the engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Deque, Optional
+
+_LOCK_IDS = itertools.count(1)
+
+
+class SimLock:
+    """A virtual mutex managed by the simulation scheduler."""
+
+    def __init__(self, name: Optional[str] = None):
+        self.lock_id = next(_LOCK_IDS)
+        self.name = name or f"simlock-{self.lock_id}"
+        self.owner: Optional[int] = None
+        self.count = 0
+        #: Thread ids blocked waiting for the lock, FIFO.
+        self.waiters: Deque[int] = deque()
+
+    # -- state transitions (called by the scheduler only) -----------------------------
+
+    def grant(self, thread_id: int) -> None:
+        """Give (or re-give, reentrantly) the lock to ``thread_id``."""
+        if self.owner is not None and self.owner != thread_id:
+            raise RuntimeError(
+                f"{self.name}: cannot grant to {thread_id}, owned by {self.owner}")
+        self.owner = thread_id
+        self.count += 1
+
+    def release(self, thread_id: int) -> bool:
+        """Release one level of the lock; returns True when fully released."""
+        if self.owner != thread_id or self.count == 0:
+            raise RuntimeError(
+                f"{self.name}: thread {thread_id} does not hold the lock")
+        self.count -= 1
+        if self.count == 0:
+            self.owner = None
+            return True
+        return False
+
+    def enqueue_waiter(self, thread_id: int) -> None:
+        """Add a blocked thread to the FIFO wait queue."""
+        if thread_id not in self.waiters:
+            self.waiters.append(thread_id)
+
+    def pop_waiter(self) -> Optional[int]:
+        """Remove and return the next blocked thread, if any."""
+        if self.waiters:
+            return self.waiters.popleft()
+        return None
+
+    def remove_waiter(self, thread_id: int) -> None:
+        """Remove a specific thread from the wait queue (cancel)."""
+        try:
+            self.waiters.remove(thread_id)
+        except ValueError:
+            pass
+
+    def reset(self) -> None:
+        """Clear all runtime state (used when replaying a lock across runs)."""
+        self.owner = None
+        self.count = 0
+        self.waiters.clear()
+
+    @property
+    def available(self) -> bool:
+        """True when no thread currently owns the lock."""
+        return self.owner is None
+
+    def held_by(self, thread_id: int) -> bool:
+        """True when ``thread_id`` currently owns the lock."""
+        return self.owner == thread_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SimLock {self.name} owner={self.owner} count={self.count} "
+                f"waiters={list(self.waiters)}>")

@@ -1,0 +1,127 @@
+"""Reusable simulated programs.
+
+These generator factories implement the locking patterns used throughout
+the tests and benchmarks: the paper's two-lock example (section 4), dining
+philosophers, two-phase locking transactions, and a random
+synchronization-intensive workload that mirrors the microbenchmark of
+section 7.2.2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from .actions import Acquire, Compute, Log, Release, call_site
+from .locks import SimLock
+
+
+def lock_order_program(first: SimLock, second: SimLock, label: str,
+                       hold_time: float = 0.001, outside_time: float = 0.0,
+                       iterations: int = 1) -> Callable[[], Iterable]:
+    """The paper's ``update(x, y)`` routine: lock ``first`` then ``second``.
+
+    ``label`` identifies the call site (the paper's s1/s2 statements), so
+    two threads calling this with swapped locks and different labels
+    reproduce the section 4 deadlock pattern exactly.
+    """
+
+    def program():
+        for iteration in range(iterations):
+            if outside_time:
+                yield Compute(outside_time)
+            yield Acquire(first, call_site("lock:3", f"update:{label}", "main:0"))
+            yield Compute(hold_time)
+            yield Acquire(second, call_site("lock:4", f"update:{label}", "main:0"))
+            yield Compute(hold_time)
+            yield Release(second)
+            yield Release(first)
+            yield Log(f"iteration {iteration} done via {label}")
+
+    return program
+
+
+def philosopher_program(left: SimLock, right: SimLock, seat: int,
+                        think_time: float = 0.001, eat_time: float = 0.001,
+                        meals: int = 1) -> Callable[[], Iterable]:
+    """A dining philosopher picking up ``left`` then ``right``.
+
+    With every philosopher grabbing the left fork first, the classic cyclic
+    deadlock can occur; it produces a multi-thread (size > 2) signature.
+    """
+
+    def program():
+        for _meal in range(meals):
+            yield Compute(think_time)
+            yield Acquire(left, call_site("pickup_left:11", f"dine:{seat}", "main:0"))
+            yield Compute(eat_time / 2)
+            yield Acquire(right, call_site("pickup_right:12", f"dine:{seat}", "main:0"))
+            yield Compute(eat_time)
+            yield Release(right)
+            yield Release(left)
+
+    return program
+
+
+def two_phase_program(locks: Sequence[SimLock], order: Sequence[int], label: str,
+                      hold_time: float = 0.0005,
+                      outside_time: float = 0.001) -> Callable[[], Iterable]:
+    """A two-phase-locking transaction acquiring ``locks`` in ``order``.
+
+    Conflicting orders across threads create multi-lock deadlock cycles.
+    """
+
+    def program():
+        yield Compute(outside_time)
+        taken: List[SimLock] = []
+        for position, index in enumerate(order):
+            lock = locks[index]
+            yield Acquire(lock, call_site(f"acquire:{position}", f"txn:{label}", "main:0"))
+            taken.append(lock)
+            yield Compute(hold_time)
+        for lock in reversed(taken):
+            yield Release(lock)
+
+    return program
+
+
+def random_workload_program(locks: Sequence[SimLock], seed: int,
+                            iterations: int = 50,
+                            delta_in: float = 1e-6,
+                            delta_out: float = 1e-3,
+                            stack_depth: int = 10,
+                            functions: int = 4,
+                            nesting: int = 1) -> Callable[[], Iterable]:
+    """The section 7.2.2 microbenchmark, simulated.
+
+    Each iteration the thread computes for ``delta_out`` seconds, picks
+    ``nesting`` distinct random locks, acquires them while "computing" for
+    ``delta_in`` inside the critical section, and releases them.  The call
+    stack is a random path through ``functions`` possible callees at every
+    one of ``stack_depth`` levels, giving a uniformly distributed selection
+    of call stacks, as in the paper.
+    """
+    rng = random.Random(seed)
+
+    def random_stack() -> List[str]:
+        frames = [f"f{rng.randrange(functions)}:{level}"
+                  for level in range(stack_depth - 1)]
+        return ["lock_wrapper:0"] + frames
+
+    def program():
+        for _iteration in range(iterations):
+            if delta_out:
+                yield Compute(delta_out)
+            count = min(nesting, len(locks))
+            chosen = rng.sample(range(len(locks)), count)
+            taken = []
+            for index in chosen:
+                lock = locks[index]
+                yield Acquire(lock, call_site(*random_stack()))
+                taken.append(lock)
+                if delta_in:
+                    yield Compute(delta_in)
+            for lock in reversed(taken):
+                yield Release(lock)
+
+    return program

@@ -1,0 +1,77 @@
+"""Result record of one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class StallRecord:
+    """Description of a global stall (deadlock) observed by the scheduler."""
+
+    virtual_time: float
+    #: thread id -> lock id it was blocked on (or yielding for).
+    waiting: Dict[int, int] = field(default_factory=dict)
+    #: thread id -> list of lock ids held at stall time.
+    holding: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def threads(self) -> List[int]:
+        return sorted(self.waiting)
+
+
+@dataclass
+class SimResult:
+    """Counters and outcome of a :class:`~repro.sim.scheduler.SimScheduler` run."""
+
+    #: Total number of successful lock acquisitions.
+    lock_ops: int = 0
+    #: Number of YIELD decisions taken (threads parked by avoidance).
+    yields: int = 0
+    #: Number of times a thread blocked on a busy lock.
+    blocks: int = 0
+    #: Number of trylock attempts that failed.
+    failed_trylocks: int = 0
+    #: Scheduler steps executed.
+    steps: int = 0
+    #: Virtual time at the end of the run, in seconds.
+    virtual_time: float = 0.0
+    #: Whether the run ended in a global stall (deadlock) instead of completing.
+    deadlocked: bool = False
+    #: Stall details when ``deadlocked`` is True.
+    stall: Optional[StallRecord] = None
+    #: Number of threads that ran to completion.
+    completed_threads: int = 0
+    #: Number of threads in the run.
+    total_threads: int = 0
+    #: Messages recorded via the Log action.
+    log: List[str] = field(default_factory=list)
+    #: Snapshot of the backend's statistics at the end of the run.
+    backend_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        """True when every thread finished and no stall occurred."""
+        return not self.deadlocked and self.completed_threads == self.total_threads
+
+    @property
+    def throughput(self) -> float:
+        """Lock operations per virtual second (0 when no time elapsed)."""
+        if self.virtual_time <= 0:
+            return 0.0
+        return self.lock_ops / self.virtual_time
+
+    def summary(self) -> Dict:
+        """A compact dictionary used by reports and experiment records."""
+        return {
+            "lock_ops": self.lock_ops,
+            "yields": self.yields,
+            "blocks": self.blocks,
+            "steps": self.steps,
+            "virtual_time": round(self.virtual_time, 6),
+            "deadlocked": self.deadlocked,
+            "completed_threads": self.completed_threads,
+            "total_threads": self.total_threads,
+            "throughput": round(self.throughput, 3),
+        }

@@ -1,0 +1,320 @@
+"""The deterministic, virtual-time simulation scheduler.
+
+Simulated threads are generators yielding :mod:`repro.sim.actions`
+objects.  The scheduler executes them cooperatively, advances a virtual
+clock, manages simulated locks, consults an avoidance backend on every
+lock operation, and invokes the backend's monitor hook periodically and at
+quiescence — mirroring how the real instrumentation, locks, and monitor
+thread interact.
+
+Given the same programs, seed, and backend, a run is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from enum import Enum
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..core.errors import SimDeadlockError, SimulationError
+from ..util.clock import VirtualClock
+from .actions import Acquire, Compute, Log, Release, TryAcquire
+from .backends import NullBackend, SchedulerBackend
+from .locks import SimLock
+from .result import SimResult, StallRecord
+
+
+class ThreadState(Enum):
+    """Lifecycle states of a simulated thread."""
+
+    READY = "ready"
+    BLOCKED = "blocked"      # waiting for a busy lock (GO was given)
+    YIELDING = "yielding"    # parked by an avoidance decision
+    FINISHED = "finished"
+    ABORTED = "aborted"      # stopped by the scheduler after a stall
+
+
+class SimThread:
+    """One simulated thread: a generator plus scheduling metadata."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, program: Callable[[], Iterable], name: Optional[str] = None,
+                 thread_id: Optional[int] = None):
+        self.thread_id = thread_id if thread_id is not None else next(SimThread._ids)
+        self.name = name or f"simthread-{self.thread_id}"
+        self._program_factory = program
+        self._generator = None
+        self.state = ThreadState.READY
+        self.ready_at = 0.0
+        self.pending = None            # action being retried (Acquire/TryAcquire)
+        self.last_result = None        # value sent into the generator
+        self.held: Dict[int, int] = {}  # lock_id -> reentrancy count
+        self.lock_ops = 0
+        self.yields = 0
+        self.blocks = 0
+
+    def start(self) -> None:
+        """Instantiate the generator (called by the scheduler)."""
+        self._generator = self._program_factory()
+        if not hasattr(self._generator, "send"):
+            raise SimulationError(
+                f"{self.name}: program factory must return a generator")
+
+    def next_action(self):
+        """Advance the generator and return its next action (or None when done)."""
+        try:
+            action = self._generator.send(self.last_result)
+        except StopIteration:
+            self.state = ThreadState.FINISHED
+            return None
+        self.last_result = None
+        return action
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (ThreadState.FINISHED, ThreadState.ABORTED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimThread {self.name} {self.state.value}>"
+
+
+class SimScheduler:
+    """Cooperative virtual-time scheduler with a pluggable avoidance backend."""
+
+    def __init__(self, backend: Optional[SchedulerBackend] = None,
+                 seed: int = 0, poll_interval: int = 25,
+                 max_steps: int = 2_000_000):
+        self.backend = backend if backend is not None else NullBackend()
+        self.clock = VirtualClock()
+        self.clock_listeners: List[Callable[[float], None]] = []
+        self.rng = random.Random(seed)
+        self.poll_interval = poll_interval
+        self.max_steps = max_steps
+        self.threads: Dict[int, SimThread] = {}
+        self.locks: Dict[int, SimLock] = {}
+        self.result = SimResult()
+        self._attached = False
+
+    # -- construction -------------------------------------------------------------------
+
+    def add_thread(self, program: Callable[[], Iterable],
+                   name: Optional[str] = None) -> SimThread:
+        """Register a simulated thread; ``program`` is a generator factory."""
+        thread = SimThread(program, name=name)
+        self.threads[thread.thread_id] = thread
+        if self._attached:
+            self.backend.on_thread_added(thread.thread_id)
+        return thread
+
+    def new_lock(self, name: Optional[str] = None) -> SimLock:
+        """Create a lock owned by this scheduler."""
+        lock = SimLock(name=name)
+        self.locks[lock.lock_id] = lock
+        return lock
+
+    def register_lock(self, lock: SimLock) -> SimLock:
+        """Register an externally created lock (e.g. shared across runs)."""
+        self.locks[lock.lock_id] = lock
+        return lock
+
+    def thread_ids(self) -> List[int]:
+        """Identifiers of all registered threads."""
+        return list(self.threads)
+
+    # -- queries used by backends -----------------------------------------------------------
+
+    def runnable_count(self) -> int:
+        """Number of threads currently in the READY state."""
+        return sum(1 for t in self.threads.values() if t.state is ThreadState.READY)
+
+    def wake_thread(self, thread_id: int) -> None:
+        """Un-park a yielding thread (called through the backend's wakers)."""
+        thread = self.threads.get(thread_id)
+        if thread is not None and thread.state is ThreadState.YIELDING:
+            thread.state = ThreadState.READY
+            thread.ready_at = max(thread.ready_at, self.clock.now())
+
+    # -- main loop -------------------------------------------------------------------------------
+
+    def run(self, raise_on_deadlock: bool = False) -> SimResult:
+        """Execute until every thread finishes, a stall occurs, or limits hit."""
+        if not self._attached:
+            self.backend.attach(self)
+            self._attached = True
+        for thread in self.threads.values():
+            if thread._generator is None:
+                thread.start()
+        self.result.total_threads = len(self.threads)
+
+        steps = 0
+        while True:
+            if all(thread.finished for thread in self.threads.values()):
+                break
+            runnable = [t for t in self.threads.values()
+                        if t.state is ThreadState.READY]
+            if not runnable:
+                if self.backend.on_quiescence(self):
+                    continue
+                self._declare_stall()
+                if raise_on_deadlock:
+                    raise SimDeadlockError("simulation stalled in a deadlock",
+                                           cycle=self.result.stall)
+                break
+            thread = self._pick(runnable)
+            self._advance_clock(thread.ready_at)
+            self._step(thread)
+            steps += 1
+            self.result.steps = steps
+            if self.poll_interval and steps % self.poll_interval == 0:
+                self.backend.poll(self)
+            if steps >= self.max_steps:
+                raise SimulationError(
+                    f"simulation exceeded {self.max_steps} steps without finishing")
+
+        # Final monitor pass so late events (e.g. releases) are processed.
+        self.backend.poll(self)
+        self._finalize()
+        return self.result
+
+    # -- internals ------------------------------------------------------------------------------
+
+    def _pick(self, runnable: List[SimThread]) -> SimThread:
+        earliest = min(thread.ready_at for thread in runnable)
+        candidates = [t for t in runnable if t.ready_at <= earliest + 1e-12]
+        if len(candidates) == 1:
+            return candidates[0]
+        return self.rng.choice(candidates)
+
+    def _advance_clock(self, timestamp: float) -> None:
+        self.clock.advance_to(timestamp)
+        for listener in self.clock_listeners:
+            listener(self.clock.now())
+
+    def _step(self, thread: SimThread) -> None:
+        action = thread.pending if thread.pending is not None else thread.next_action()
+        if action is None:
+            return
+        if isinstance(action, Compute):
+            thread.ready_at = self.clock.now() + max(0.0, action.duration)
+        elif isinstance(action, Log):
+            self.result.log.append(f"[{self.clock.now():.6f}] {thread.name}: "
+                                   f"{action.message}")
+        elif isinstance(action, Acquire):
+            self._do_acquire(thread, action)
+            return
+        elif isinstance(action, TryAcquire):
+            self._do_try_acquire(thread, action)
+            return
+        elif isinstance(action, Release):
+            self._do_release(thread, action)
+        else:
+            raise SimulationError(f"{thread.name} yielded unknown action {action!r}")
+        thread.pending = None
+
+    def _do_acquire(self, thread: SimThread, action: Acquire) -> None:
+        lock = action.lock
+        stack = action.stack()
+        go = self.backend.request(thread.thread_id, lock.lock_id, stack)
+        if not go:
+            if thread.pending is None:
+                thread.yields += 1
+                self.result.yields += 1
+            thread.pending = action
+            thread.state = ThreadState.YIELDING
+            return
+        if lock.available or lock.held_by(thread.thread_id):
+            self._grant(thread, lock, stack)
+            thread.pending = None
+            return
+        # GO but the lock is busy: block on the lock's FIFO queue.
+        if thread.pending is None or thread.state is not ThreadState.BLOCKED:
+            thread.blocks += 1
+            self.result.blocks += 1
+        thread.pending = action
+        thread.state = ThreadState.BLOCKED
+        lock.enqueue_waiter(thread.thread_id)
+
+    def _do_try_acquire(self, thread: SimThread, action: TryAcquire) -> None:
+        lock = action.lock
+        stack = action.stack()
+        go = self.backend.request(thread.thread_id, lock.lock_id, stack)
+        if go and (lock.available or lock.held_by(thread.thread_id)):
+            self._grant(thread, lock, stack)
+            thread.last_result = True
+        else:
+            self.backend.cancel(thread.thread_id, lock.lock_id)
+            thread.last_result = False
+            self.result.failed_trylocks += 1
+        thread.pending = None
+
+    def _grant(self, thread: SimThread, lock: SimLock, stack) -> None:
+        lock.grant(thread.thread_id)
+        thread.held[lock.lock_id] = thread.held.get(lock.lock_id, 0) + 1
+        thread.lock_ops += 1
+        self.result.lock_ops += 1
+        self.backend.acquired(thread.thread_id, lock.lock_id, stack)
+
+    def _do_release(self, thread: SimThread, action: Release) -> None:
+        lock = action.lock
+        if not lock.held_by(thread.thread_id):
+            raise SimulationError(
+                f"{thread.name} released {lock.name} which it does not hold")
+        woken = self.backend.release(thread.thread_id, lock.lock_id)
+        fully = lock.release(thread.thread_id)
+        count = thread.held.get(lock.lock_id, 0) - 1
+        if count <= 0:
+            thread.held.pop(lock.lock_id, None)
+        else:
+            thread.held[lock.lock_id] = count
+        if fully:
+            self._hand_over(lock)
+        for thread_id in woken:
+            self.wake_thread(thread_id)
+
+    def _hand_over(self, lock: SimLock) -> None:
+        """Grant a newly freed lock to the next blocked waiter, if any."""
+        while True:
+            waiter_id = lock.pop_waiter()
+            if waiter_id is None:
+                return
+            waiter = self.threads.get(waiter_id)
+            if waiter is None or waiter.state is not ThreadState.BLOCKED:
+                continue
+            action = waiter.pending
+            if not isinstance(action, (Acquire, TryAcquire)) or action.lock is not lock:
+                continue
+            self._grant(waiter, lock, action.stack())
+            waiter.pending = None
+            waiter.state = ThreadState.READY
+            waiter.ready_at = max(waiter.ready_at, self.clock.now())
+            return
+
+    def _declare_stall(self) -> None:
+        stall = StallRecord(virtual_time=self.clock.now())
+        for thread in self.threads.values():
+            if thread.finished:
+                continue
+            if isinstance(thread.pending, (Acquire, TryAcquire)):
+                stall.waiting[thread.thread_id] = thread.pending.lock.lock_id
+            stall.holding[thread.thread_id] = list(thread.held)
+        self.result.deadlocked = True
+        self.result.stall = stall
+        details = {
+            "sites": {
+                thread.thread_id: thread.pending.stack()
+                for thread in self.threads.values()
+                if isinstance(thread.pending, (Acquire, TryAcquire))
+            },
+        }
+        self.backend.on_deadlock(stall, details)
+        for thread in self.threads.values():
+            if not thread.finished:
+                thread.state = ThreadState.ABORTED
+
+    def _finalize(self) -> None:
+        self.result.virtual_time = self.clock.now()
+        self.result.completed_threads = sum(
+            1 for t in self.threads.values() if t.state is ThreadState.FINISHED)
+        self.result.backend_stats = self.backend.stats()

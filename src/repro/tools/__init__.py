@@ -1,0 +1,5 @@
+"""Command-line tools for operating a Dimmunix deployment."""
+
+from .histctl import main as histctl_main
+
+__all__ = ["histctl_main"]

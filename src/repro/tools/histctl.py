@@ -1,0 +1,143 @@
+"""``histctl`` — inspect and manage a Dimmunix signature history file.
+
+The paper describes several operational workflows around the history:
+users disabling a signature that causes false positives, vendors shipping
+signature files to "patch" deployments without code changes, and merging
+histories when distributing immunity.  This small CLI covers them::
+
+    python -m repro.tools.histctl list app.history
+    python -m repro.tools.histctl show app.history <fingerprint>
+    python -m repro.tools.histctl disable app.history <fingerprint>
+    python -m repro.tools.histctl enable app.history <fingerprint>
+    python -m repro.tools.histctl remove app.history <fingerprint>
+    python -m repro.tools.histctl export app.history signatures.json
+    python -m repro.tools.histctl merge app.history vendor-signatures.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..core.history import History
+
+
+def _load(path: str) -> History:
+    return History(path=path)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    history = _load(args.history)
+    if len(history) == 0:
+        print("(empty history)")
+        return 0
+    print(f"{'fingerprint':<18} {'kind':<11} {'threads':>7} {'depth':>5} "
+          f"{'avoided':>8} {'disabled':>8}")
+    for signature in sorted(history, key=lambda s: s.fingerprint):
+        print(f"{signature.fingerprint:<18} {signature.kind:<11} "
+              f"{signature.size:>7} {signature.matching_depth:>5} "
+              f"{signature.avoidance_count:>8} {str(signature.disabled):>8}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    history = _load(args.history)
+    signature = history.get(args.fingerprint)
+    if signature is None:
+        print(f"no signature with fingerprint {args.fingerprint}", file=sys.stderr)
+        return 1
+    print(signature.describe())
+    return 0
+
+
+def _cmd_set_enabled(args: argparse.Namespace, enabled: bool) -> int:
+    history = _load(args.history)
+    ok = (history.enable(args.fingerprint) if enabled
+          else history.disable(args.fingerprint))
+    if not ok:
+        print(f"no signature with fingerprint {args.fingerprint}", file=sys.stderr)
+        return 1
+    history.save()
+    print(f"{'enabled' if enabled else 'disabled'} {args.fingerprint}")
+    return 0
+
+
+def _cmd_remove(args: argparse.Namespace) -> int:
+    history = _load(args.history)
+    if not history.remove(args.fingerprint):
+        print(f"no signature with fingerprint {args.fingerprint}", file=sys.stderr)
+        return 1
+    history.save()
+    print(f"removed {args.fingerprint}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    history = _load(args.history)
+    count = history.export_signatures(args.output)
+    print(f"exported {count} signature(s) to {args.output}")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    history = _load(args.history)
+    imported = History.import_signatures(args.source)
+    added = history.merge(imported)
+    history.save()
+    print(f"merged {added} new signature(s) from {args.source} "
+          f"({len(imported) - added} duplicates)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="histctl", description="Manage a Dimmunix signature history file.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list all signatures")
+    p_list.add_argument("history")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_show = sub.add_parser("show", help="print one signature's stacks")
+    p_show.add_argument("history")
+    p_show.add_argument("fingerprint")
+    p_show.set_defaults(func=_cmd_show)
+
+    p_disable = sub.add_parser("disable", help="disable a signature")
+    p_disable.add_argument("history")
+    p_disable.add_argument("fingerprint")
+    p_disable.set_defaults(func=lambda args: _cmd_set_enabled(args, False))
+
+    p_enable = sub.add_parser("enable", help="re-enable a signature")
+    p_enable.add_argument("history")
+    p_enable.add_argument("fingerprint")
+    p_enable.set_defaults(func=lambda args: _cmd_set_enabled(args, True))
+
+    p_remove = sub.add_parser("remove", help="delete a signature")
+    p_remove.add_argument("history")
+    p_remove.add_argument("fingerprint")
+    p_remove.set_defaults(func=_cmd_remove)
+
+    p_export = sub.add_parser("export", help="export signatures for distribution")
+    p_export.add_argument("history")
+    p_export.add_argument("output")
+    p_export.set_defaults(func=_cmd_export)
+
+    p_merge = sub.add_parser("merge", help="merge a signature file into the history")
+    p_merge.add_argument("history")
+    p_merge.add_argument("source")
+    p_merge.set_defaults(func=_cmd_merge)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Utility subpackage: event queue, Peterson lock, clocks, id allocation."""
+
+from .eventqueue import EventQueue
+from .idalloc import IdAllocator
+from .clock import Clock, WallClock, VirtualClock
+from .peterson import PetersonLock
+
+__all__ = [
+    "EventQueue",
+    "IdAllocator",
+    "Clock",
+    "WallClock",
+    "VirtualClock",
+    "PetersonLock",
+]

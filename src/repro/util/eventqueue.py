@@ -1,0 +1,100 @@
+"""Multi-producer single-consumer event queue.
+
+The paper uses a lock-free queue so that the avoidance code never blocks
+when handing events to the monitor.  Under CPython the ``collections.deque``
+``append`` and ``popleft`` operations are atomic with respect to the GIL,
+which gives the same non-blocking producer behaviour without explicit
+compare-and-swap loops.  The queue also tracks a high-water mark and a
+drop counter so resource-utilization experiments can report on it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional
+
+
+class EventQueue:
+    """Unbounded (optionally bounded) MPSC queue of events.
+
+    Producers call :meth:`put`; the single consumer (the monitor) calls
+    :meth:`drain` to remove everything currently queued.
+    """
+
+    def __init__(self, maxsize: Optional[int] = None):
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be >= 1 or None")
+        self._items: deque = deque()
+        self._maxsize = maxsize
+        self._dropped = 0
+        self._high_water = 0
+        self._total = 0
+
+    def put(self, item) -> bool:
+        """Enqueue ``item``.
+
+        Returns ``False`` (and counts a drop) when a bounded queue is full;
+        the caller does not block, mirroring the lock-free enqueue of the
+        paper.
+        """
+        if self._maxsize is not None and len(self._items) >= self._maxsize:
+            self._dropped += 1
+            return False
+        self._items.append(item)
+        self._total += 1
+        size = len(self._items)
+        if size > self._high_water:
+            self._high_water = size
+        return True
+
+    def extend(self, items: Iterable) -> int:
+        """Enqueue many items; returns how many were accepted."""
+        accepted = 0
+        for item in items:
+            if self.put(item):
+                accepted += 1
+        return accepted
+
+    def drain(self, limit: Optional[int] = None) -> List:
+        """Remove and return queued items in FIFO order.
+
+        ``limit`` bounds how many items are drained in one call; ``None``
+        drains everything that was present when the call started.
+        """
+        drained: List = []
+        count = len(self._items) if limit is None else min(limit, len(self._items))
+        for _ in range(count):
+            try:
+                drained.append(self._items.popleft())
+            except IndexError:  # racing producers removed nothing; queue empty
+                break
+        return drained
+
+    def peek_size(self) -> int:
+        """Current number of queued items (approximate under concurrency)."""
+        return len(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def dropped(self) -> int:
+        """Number of events rejected because the queue was full."""
+        return self._dropped
+
+    @property
+    def high_water_mark(self) -> int:
+        """Largest queue length ever observed."""
+        return self._high_water
+
+    @property
+    def total_enqueued(self) -> int:
+        """Total number of events accepted over the queue's lifetime."""
+        return self._total
+
+    def clear(self) -> None:
+        """Discard all queued items (used when resetting an engine)."""
+        self._items.clear()

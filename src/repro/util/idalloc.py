@@ -1,0 +1,57 @@
+"""Stable small-integer identifier allocation for threads and locks.
+
+The RAG and the avoidance cache index threads and locks by small integers
+so lookups are O(1) array/dict operations, as the paper's implementation
+does with pre-allocated vectors and lightly loaded hash tables.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Hashable, Optional
+
+
+class IdAllocator:
+    """Maps arbitrary hashable keys to small, stable integer ids."""
+
+    def __init__(self, start: int = 1):
+        self._next = start
+        self._by_key: Dict[Hashable, int] = {}
+        self._by_id: Dict[int, Hashable] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable) -> int:
+        """Return the id for ``key``, allocating one on first use."""
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return existing
+        with self._lock:
+            existing = self._by_key.get(key)
+            if existing is not None:
+                return existing
+            new_id = self._next
+            self._next += 1
+            self._by_key[key] = new_id
+            self._by_id[new_id] = key
+            return new_id
+
+    def lookup(self, key: Hashable) -> Optional[int]:
+        """Return the id for ``key`` if already allocated, else ``None``."""
+        return self._by_key.get(key)
+
+    def key_of(self, ident: int) -> Optional[Hashable]:
+        """Return the original key for an id, or ``None`` if unknown."""
+        return self._by_id.get(ident)
+
+    def release(self, key: Hashable) -> None:
+        """Forget ``key`` (e.g. when a lock object is garbage collected)."""
+        with self._lock:
+            ident = self._by_key.pop(key, None)
+            if ident is not None:
+                self._by_id.pop(ident, None)
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._by_key

@@ -1,0 +1,108 @@
+"""Peterson's mutual-exclusion algorithm generalized to n threads.
+
+The paper (section 5.6) protects the shared Allowed sets without using
+locks by employing a variation of Peterson's algorithm generalized to n
+threads (the filter lock).  We implement the filter lock faithfully; under
+CPython the GIL already serializes the individual reads and writes, so the
+algorithm's correctness argument carries over directly.  The avoidance
+cache can be configured to use either this lock or a standard mutex.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+
+class PetersonLock:
+    """The n-thread filter lock (generalized Peterson algorithm).
+
+    Threads must be registered before use (or ``auto_register=True`` can be
+    used, which assigns slots on first acquire).  The lock is not reentrant.
+    """
+
+    def __init__(self, capacity: int, auto_register: bool = True,
+                 spin_sleep: float = 0.0):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        # level[i] is the highest level thread-slot i has entered.
+        self._level = [-1] * capacity
+        # victim[l] is the last slot to enter level l.
+        self._victim = [-1] * capacity
+        self._slots: Dict[int, int] = {}
+        self._next_slot = 0
+        self._auto_register = auto_register
+        self._spin_sleep = spin_sleep
+        self._owner: Optional[int] = None
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, thread_key: int) -> int:
+        """Assign a slot to ``thread_key``; returns the slot index."""
+        existing = self._slots.get(thread_key)
+        if existing is not None:
+            return existing
+        if self._next_slot >= self._capacity:
+            raise RuntimeError("PetersonLock capacity exhausted")
+        slot = self._next_slot
+        self._next_slot += 1
+        self._slots[thread_key] = slot
+        return slot
+
+    def _slot_for(self, thread_key: int) -> int:
+        slot = self._slots.get(thread_key)
+        if slot is None:
+            if not self._auto_register:
+                raise RuntimeError(f"thread {thread_key} is not registered")
+            slot = self.register(thread_key)
+        return slot
+
+    # -- lock protocol ------------------------------------------------------------
+
+    def acquire(self, thread_key: int) -> None:
+        """Enter the critical section on behalf of ``thread_key``."""
+        me = self._slot_for(thread_key)
+        n = self._capacity
+        for level in range(n):
+            self._level[me] = level
+            self._victim[level] = me
+            # Wait while a conflicting thread is at the same or a higher level
+            # and we are still the victim of this level.
+            while self._victim[level] == me and any(
+                other != me and self._level[other] >= level
+                for other in range(n)
+            ):
+                if self._spin_sleep:
+                    time.sleep(self._spin_sleep)
+        self._owner = me
+
+    def release(self, thread_key: int) -> None:
+        """Leave the critical section."""
+        me = self._slot_for(thread_key)
+        if self._owner != me:
+            raise RuntimeError("release by a thread that does not hold the lock")
+        self._owner = None
+        self._level[me] = -1
+
+    # -- context-manager style helper ----------------------------------------------
+
+    def holding(self, thread_key: int):
+        """Context manager acquiring the lock for ``thread_key``."""
+        lock = self
+
+        class _Guard:
+            def __enter__(self_inner):
+                lock.acquire(thread_key)
+                return lock
+
+            def __exit__(self_inner, exc_type, exc, tb):
+                lock.release(thread_key)
+                return False
+
+        return _Guard()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of distinct threads supported."""
+        return self._capacity

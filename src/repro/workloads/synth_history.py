@@ -1,0 +1,68 @@
+"""Synthetic deadlock histories.
+
+The paper had only a handful of real deadlock signatures, so for the
+overhead experiments it synthesized additional ones "as random
+combinations of real program stacks with which the target system performs
+synchronization" — from the avoidance code's point of view a synthesized
+signature costs exactly as much as a real one.  This module does the same
+for both microbenchmark drivers and for arbitrary site universes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..core.callstack import CallStack
+from ..core.history import History
+from ..core.signature import DEADLOCK, Signature
+from .microbench import PATH_DEPTH, PATH_FANOUT, capture_path_stack, random_path
+
+
+def synthesize_history(stacks: Sequence[CallStack], count: int, size: int = 2,
+                        matching_depth: int = 4, seed: int = 0,
+                        history: Optional[History] = None) -> History:
+    """Build ``count`` signatures of ``size`` stacks drawn from ``stacks``.
+
+    Signatures are deduplicated by construction (the sampler retries), so
+    the resulting history contains exactly ``count`` distinct entries
+    whenever the stack universe is large enough.
+    """
+    if not stacks:
+        raise ValueError("need a non-empty stack universe")
+    rng = random.Random(seed)
+    result = history if history is not None else History(path=None, autosave=False)
+    attempts = 0
+    max_attempts = count * 50 + 100
+    while len(result) < count and attempts < max_attempts:
+        attempts += 1
+        chosen = [stacks[rng.randrange(len(stacks))] for _ in range(size)]
+        signature = Signature(chosen, kind=DEADLOCK, matching_depth=matching_depth)
+        result.add(signature)
+    return result
+
+
+def synthesize_microbench_history(count: int, size: int = 2, matching_depth: int = 4,
+                                  seed: int = 0, simulated: bool = False,
+                                  universe: int = 64) -> History:
+    """A synthetic history whose stacks come from the microbenchmark itself.
+
+    ``simulated=False`` captures real Python stacks through the
+    microbenchmark's call-path machinery (so they match what the threaded
+    driver produces); ``simulated=True`` builds the symbolic stacks used by
+    the simulator's random workload program.
+    """
+    rng = random.Random(seed)
+    stacks: List[CallStack] = []
+    if simulated:
+        for _ in range(universe):
+            frames = ["lock_wrapper:0"] + [
+                f"f{rng.randrange(PATH_FANOUT)}:{level}"
+                for level in range(PATH_DEPTH - 1)
+            ]
+            stacks.append(CallStack.from_labels(frames))
+    else:
+        for _ in range(universe):
+            stacks.append(capture_path_stack(random_path(rng)))
+    return synthesize_history(stacks, count=count, size=size,
+                              matching_depth=matching_depth, seed=seed + 1)

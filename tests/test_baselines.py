@@ -1,0 +1,180 @@
+"""Tests for the baseline avoidance approaches (gate locks, ghost locks, Rx)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (DetectionOnlyBackend, GateLockBackend,
+                             GhostLockBackend, rx_retry)
+from repro.core.config import DimmunixConfig
+from repro.core.signature import Signature
+from repro.sim import (DimmunixBackend, NullBackend, SimScheduler, call_site,
+                       lock_order_program)
+
+
+def run_lock_order_workload(backend, labels=("s1", "s2"), seed=0, iterations=1):
+    scheduler = SimScheduler(backend=backend, seed=seed)
+    lock_a = scheduler.new_lock("A")
+    lock_b = scheduler.new_lock("B")
+    scheduler.add_thread(lock_order_program(lock_a, lock_b, labels[0],
+                                            hold_time=0.01,
+                                            iterations=iterations))
+    scheduler.add_thread(lock_order_program(lock_b, lock_a, labels[1],
+                                            hold_time=0.01,
+                                            iterations=iterations))
+    return scheduler.run()
+
+
+class TestGateLockBackend:
+    def test_learns_gate_from_deadlock(self):
+        backend = GateLockBackend()
+        result = run_lock_order_workload(backend)
+        assert result.deadlocked
+        assert len(backend.gates) == 1
+        assert backend.deadlocks_learned == 1
+
+    def test_gate_prevents_reoccurrence(self):
+        backend = GateLockBackend()
+        run_lock_order_workload(backend)              # learns the gate
+        result = run_lock_order_workload(backend)     # replay with the gate
+        assert result.completed
+        assert backend.denials >= 1
+
+    def test_gate_serializes_safe_executions_too(self):
+        # The coarse grain of gate locks: two threads taking the *same* path
+        # (which can never deadlock) are still serialized.
+        backend = GateLockBackend()
+        run_lock_order_workload(backend)              # learn from s1/s2 deadlock
+        denials_before = backend.denials
+        scheduler = SimScheduler(backend=backend, seed=1)
+        lock_a = scheduler.new_lock("A")
+        lock_b = scheduler.new_lock("B")
+        lock_c = scheduler.new_lock("C")
+        scheduler.add_thread(lock_order_program(lock_a, lock_b, "s1",
+                                                hold_time=0.01))
+        scheduler.add_thread(lock_order_program(lock_c, lock_b, "s1",
+                                                hold_time=0.01))
+        result = scheduler.run()
+        assert result.completed
+        assert backend.denials > denials_before
+
+    def test_learn_from_signature(self):
+        backend = GateLockBackend()
+        signature = Signature([call_site("lock:3", "update:s1"),
+                               call_site("lock:3", "update:s2")])
+        gate = backend.learn_from_signature(signature)
+        assert len(gate.sites) >= 1
+        assert backend.stats()["gates"] == 1
+
+    def test_dimmunix_avoids_what_gates_serialize(self):
+        # Contrast: Dimmunix does not serialize the same-path executions.
+        detection = DimmunixBackend(
+            config=DimmunixConfig.for_testing(detection_only=True))
+        run_lock_order_workload(detection)
+        immune = DimmunixBackend(config=DimmunixConfig.for_testing(),
+                                 history=detection.history)
+        scheduler = SimScheduler(backend=immune, seed=1)
+        lock_a = scheduler.new_lock("A")
+        lock_b = scheduler.new_lock("B")
+        lock_c = scheduler.new_lock("C")
+        scheduler.add_thread(lock_order_program(lock_a, lock_b, "s1",
+                                                hold_time=0.01))
+        scheduler.add_thread(lock_order_program(lock_c, lock_b, "s1",
+                                                hold_time=0.01))
+        result = scheduler.run()
+        assert result.completed
+        assert result.yields == 0
+
+
+class TestGhostLockBackend:
+    def test_learns_ghost_from_deadlock(self):
+        backend = GhostLockBackend()
+        result = run_lock_order_workload(backend)
+        assert result.deadlocked
+        assert len(backend.ghosts) == 1
+        covered = backend.ghosts[0].lock_ids
+        assert len(covered) == 2
+
+    def test_ghost_prevents_reoccurrence_on_same_locks(self):
+        backend = GhostLockBackend()
+        scheduler = SimScheduler(backend=backend, seed=0)
+        lock_a = scheduler.new_lock("A")
+        lock_b = scheduler.new_lock("B")
+        scheduler.add_thread(lock_order_program(lock_a, lock_b, "s1", hold_time=0.01))
+        scheduler.add_thread(lock_order_program(lock_b, lock_a, "s2", hold_time=0.01))
+        assert scheduler.run().deadlocked
+
+        # Same locks (same identities), second run: the ghost lock serializes
+        # access and prevents the reoccurrence.
+        lock_a.reset()
+        lock_b.reset()
+        scheduler2 = SimScheduler(backend=backend, seed=0)
+        scheduler2.register_lock(lock_a)
+        scheduler2.register_lock(lock_b)
+        scheduler2.add_thread(lock_order_program(lock_a, lock_b, "s1", hold_time=0.01))
+        scheduler2.add_thread(lock_order_program(lock_b, lock_a, "s2", hold_time=0.01))
+        result = scheduler2.run()
+        assert result.completed
+        assert backend.denials >= 1
+
+    def test_ghost_does_not_transfer_to_other_locks(self):
+        # Identity-based: a fresh pair of locks with the same buggy code is
+        # NOT protected (this is the weakness Dimmunix's portable signatures
+        # do not have).
+        backend = GhostLockBackend()
+        run_lock_order_workload(backend)
+        result = run_lock_order_workload(backend, seed=1)
+        assert result.deadlocked
+
+    def test_stats_shape(self):
+        backend = GhostLockBackend()
+        run_lock_order_workload(backend)
+        stats = backend.stats()
+        assert set(stats) == {"ghosts", "ghost_denials", "deadlocks_learned"}
+
+
+class TestDetectionOnlyBackend:
+    def test_detects_but_never_avoids(self):
+        backend = DetectionOnlyBackend()
+        result = run_lock_order_workload(backend)
+        assert result.deadlocked
+        assert len(backend.history) == 1
+        # Second run still deadlocks because yields are ignored.
+        result2 = run_lock_order_workload(backend)
+        assert result2.deadlocked
+        assert backend.dimmunix.stats.yield_decisions == 0
+
+
+class TestRxRetry:
+    def test_retries_until_timing_avoids_deadlock(self):
+        def factory(seed):
+            scheduler = SimScheduler(backend=NullBackend(), seed=seed)
+            lock_a = scheduler.new_lock("A")
+            lock_b = scheduler.new_lock("B")
+            # Thread 2 starts late enough that some schedules do not deadlock.
+            scheduler.add_thread(lock_order_program(lock_a, lock_b, "s1",
+                                                    hold_time=0.001))
+            scheduler.add_thread(lock_order_program(lock_b, lock_a, "s2",
+                                                    hold_time=0.001,
+                                                    outside_time=0.001 * (seed % 3)))
+            return scheduler
+
+        outcome = rx_retry(factory, max_retries=5)
+        assert outcome.attempts >= 1
+        assert outcome.attempts == len(outcome.results)
+
+    def test_deterministic_deadlock_defeats_rx(self):
+        def factory(seed):
+            scheduler = SimScheduler(backend=NullBackend(), seed=seed)
+            lock_a = scheduler.new_lock("A")
+            lock_b = scheduler.new_lock("B")
+            scheduler.add_thread(lock_order_program(lock_a, lock_b, "s1",
+                                                    hold_time=0.01))
+            scheduler.add_thread(lock_order_program(lock_b, lock_a, "s2",
+                                                    hold_time=0.01))
+            return scheduler
+
+        outcome = rx_retry(factory, max_retries=3)
+        assert not outcome.succeeded
+        assert outcome.attempts == 4
+        assert outcome.deadlocks_encountered == 4

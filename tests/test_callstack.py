@@ -1,0 +1,117 @@
+"""Unit tests for the call-stack abstraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.callstack import CallStack, EMPTY_STACK, Frame
+
+
+class TestFrame:
+    def test_symbolic_function_only(self):
+        frame = Frame.symbolic("update")
+        assert frame.function == "update"
+        assert frame.lineno == 0
+
+    def test_symbolic_with_line(self):
+        frame = Frame.symbolic("update:42")
+        assert frame.function == "update"
+        assert frame.lineno == 42
+
+    def test_symbolic_full(self):
+        frame = Frame.symbolic("update:db.py:42")
+        assert frame.filename == "db.py"
+        assert frame.lineno == 42
+
+    def test_encode_decode_roundtrip(self):
+        frame = Frame(function="f", filename="pkg/mod.py", lineno=7)
+        assert Frame.decode(frame.encode()) == frame
+
+    def test_label(self):
+        frame = Frame(function="f", filename="mod.py", lineno=7)
+        assert frame.label() == "f (mod.py:7)"
+
+
+class TestCallStack:
+    def test_from_labels_order_is_innermost_first(self):
+        stack = CallStack.from_labels(["lock:3", "update:1", "main:0"])
+        assert stack[0].function == "lock"
+        assert stack[2].function == "main"
+
+    def test_equality_and_hash(self):
+        a = CallStack.from_labels(["f:1", "g:2"])
+        b = CallStack.from_labels(["f:1", "g:2"])
+        c = CallStack.from_labels(["f:1", "g:3"])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_suffix(self):
+        stack = CallStack.from_labels(["a:1", "b:2", "c:3"])
+        assert len(stack.suffix(2)) == 2
+        assert stack.suffix(2)[0].function == "a"
+        assert len(stack.suffix(10)) == 3
+
+    def test_suffix_negative_depth_raises(self):
+        with pytest.raises(ValueError):
+            CallStack.from_labels(["a:1"]).suffix(-1)
+
+    def test_matches_at_depth(self):
+        sig = CallStack.from_labels(["lock:3", "update:1"])
+        runtime_same = CallStack.from_labels(["lock:3", "update:1", "main:9"])
+        runtime_diff = CallStack.from_labels(["lock:3", "other:5", "main:9"])
+        assert sig.matches(runtime_same, 2)
+        assert sig.matches(runtime_same, 1)
+        assert not sig.matches(runtime_diff, 2)
+        assert sig.matches(runtime_diff, 1)
+
+    def test_matches_shorter_stack_requires_equality(self):
+        short = CallStack.from_labels(["lock:3"])
+        longer = CallStack.from_labels(["lock:3", "update:1"])
+        assert not short.matches(longer, 4)
+        assert short.matches(longer, 1)
+
+    def test_encode_decode_roundtrip(self):
+        stack = CallStack.from_labels(["lock:x.py:3", "update:x.py:1"])
+        assert CallStack.decode(stack.encode()) == stack
+
+    def test_empty_stack_is_falsy(self):
+        assert not EMPTY_STACK
+        assert len(EMPTY_STACK) == 0
+
+    def test_capture_returns_current_frames(self):
+        def inner():
+            return CallStack.capture(skip=0, limit=10)
+
+        stack = inner()
+        functions = [frame.function for frame in stack]
+        assert "inner" in functions
+        assert "test_capture_returns_current_frames" in functions
+
+    def test_capture_respects_limit(self):
+        def recurse(n):
+            if n == 0:
+                return CallStack.capture(skip=0, limit=3)
+            return recurse(n - 1)
+
+        stack = recurse(10)
+        assert len(stack) == 3
+
+    def test_capture_excludes_internal_frames(self):
+        stack = CallStack.capture(skip=0, limit=32)
+        for frame in stack:
+            assert "repro/core" not in frame.filename.replace("\\", "/")
+
+    def test_slicing_returns_callstack(self):
+        stack = CallStack.from_labels(["a:1", "b:2", "c:3"])
+        assert isinstance(stack[:2], CallStack)
+        assert len(stack[:2]) == 2
+
+    def test_labels(self):
+        stack = CallStack.from_labels(["a:f.py:1"])
+        assert stack.labels() == ["a (f.py:1)"]
+
+    def test_ordering_is_defined(self):
+        a = CallStack.from_labels(["a:1"])
+        b = CallStack.from_labels(["b:1"])
+        assert sorted([b, a]) == [a, b]

@@ -1,0 +1,155 @@
+"""Unit tests for deadlock-cycle and starvation detection."""
+
+from __future__ import annotations
+
+from repro.core.callstack import CallStack
+from repro.core.cycles import (detect_all, find_deadlock_cycles, find_starvation,
+                               pick_starvation_victim)
+from repro.core.events import acquired_event, allow_event, yield_event
+from repro.core.rag import ResourceAllocationGraph
+from repro.core.signature import DEADLOCK, STARVATION
+
+
+def stack(label):
+    return CallStack.from_labels([label])
+
+
+def build_two_thread_deadlock():
+    rag = ResourceAllocationGraph()
+    rag.apply(acquired_event(1, 101, stack("s1")))
+    rag.apply(acquired_event(2, 102, stack("s2")))
+    rag.apply(allow_event(1, 102, stack("w1")))
+    rag.apply(allow_event(2, 101, stack("w2")))
+    return rag
+
+
+class TestDeadlockCycles:
+    def test_two_thread_cycle_detected(self):
+        rag = build_two_thread_deadlock()
+        cycles = find_deadlock_cycles(rag)
+        assert len(cycles) == 1
+        cycle = cycles[0]
+        assert cycle.kind == DEADLOCK
+        assert set(cycle.threads) == {1, 2}
+        assert set(cycle.locks) == {101, 102}
+        # Signature comes from the hold-edge labels.
+        labels = {s.top().function for s in cycle.stacks}
+        assert labels == {"s1", "s2"}
+
+    def test_cycle_reported_once(self):
+        rag = build_two_thread_deadlock()
+        cycles = find_deadlock_cycles(rag, roots=[1, 2, 1, 2])
+        assert len(cycles) == 1
+
+    def test_no_cycle_when_one_thread_not_waiting(self):
+        rag = ResourceAllocationGraph()
+        rag.apply(acquired_event(1, 101, stack("s1")))
+        rag.apply(acquired_event(2, 102, stack("s2")))
+        rag.apply(allow_event(1, 102, stack("w1")))
+        assert find_deadlock_cycles(rag) == []
+
+    def test_three_thread_cycle(self):
+        rag = ResourceAllocationGraph()
+        for thread, held, wanted in ((1, 101, 102), (2, 102, 103), (3, 103, 101)):
+            rag.apply(acquired_event(thread, held, stack(f"h{thread}")))
+        for thread, held, wanted in ((1, 101, 102), (2, 102, 103), (3, 103, 101)):
+            rag.apply(allow_event(thread, wanted, stack(f"w{thread}")))
+        cycles = find_deadlock_cycles(rag)
+        assert len(cycles) == 1
+        assert set(cycles[0].threads) == {1, 2, 3}
+        assert len(cycles[0].stacks) == 3
+
+    def test_two_disjoint_cycles(self):
+        rag = ResourceAllocationGraph()
+        for a, b, la, lb in ((1, 2, 101, 102), (3, 4, 103, 104)):
+            rag.apply(acquired_event(a, la, stack(f"h{a}")))
+            rag.apply(acquired_event(b, lb, stack(f"h{b}")))
+            rag.apply(allow_event(a, lb, stack(f"w{a}")))
+            rag.apply(allow_event(b, la, stack(f"w{b}")))
+        cycles = find_deadlock_cycles(rag)
+        assert len(cycles) == 2
+
+    def test_yielding_thread_not_a_deadlock(self):
+        # A thread parked by avoidance (request edge + yield edges) must not
+        # be reported as deadlocked.
+        rag = ResourceAllocationGraph()
+        rag.apply(acquired_event(1, 101, stack("s1")))
+        rag.apply(acquired_event(2, 102, stack("s2")))
+        rag.apply(allow_event(1, 102, stack("w1")))
+        rag.apply(yield_event(2, 101, stack("w2"), causes=((1, 101, stack("s1")),)))
+        assert find_deadlock_cycles(rag) == []
+
+
+class TestStarvation:
+    def test_simple_yield_cycle(self):
+        # T2 holds L102 and waits for L101 held by... nobody; T1 yields on T2.
+        # T2 can progress, so nobody is starved.
+        rag = ResourceAllocationGraph()
+        rag.apply(acquired_event(2, 102, stack("s2")))
+        rag.apply(yield_event(1, 102, stack("w1"), causes=((2, 102, stack("s2")),)))
+        assert find_starvation(rag) == []
+
+    def test_mutual_yield_starvation(self):
+        # Two threads yielding on each other's holds: neither can progress.
+        rag = ResourceAllocationGraph()
+        rag.apply(acquired_event(1, 101, stack("s1")))
+        rag.apply(acquired_event(2, 102, stack("s2")))
+        rag.apply(yield_event(1, 102, stack("w1"), causes=((2, 102, stack("s2")),)))
+        rag.apply(yield_event(2, 101, stack("w2"), causes=((1, 101, stack("s1")),)))
+        starved = find_starvation(rag)
+        assert len(starved) == 1
+        cycle = starved[0]
+        assert cycle.kind == STARVATION
+        assert set(cycle.threads) == {1, 2}
+        assert len(cycle.stacks) >= 2
+
+    def test_yield_on_blocked_thread_is_starvation(self):
+        # Figure 2 of the paper: T13 yields because of T22, T22 is allowed to
+        # wait for L7 which T13 holds.
+        rag = ResourceAllocationGraph()
+        rag.apply(acquired_event(13, 7, stack("Sy")))
+        rag.apply(acquired_event(22, 5, stack("Sx")))
+        rag.apply(allow_event(22, 7, stack("wait7")))
+        rag.apply(yield_event(13, 5, stack("want5"), causes=((22, 5, stack("Sx")),)))
+        starved = find_starvation(rag)
+        assert len(starved) == 1
+        labels = sorted(s.top().function for s in starved[0].stacks)
+        assert labels == ["Sx", "Sy"]
+
+    def test_escape_route_prevents_starvation(self):
+        # T1 yields on T2 and T3; T3 is blocked forever but T2 can progress,
+        # so T1 is not starved (paper's figure 3 discussion).
+        rag = ResourceAllocationGraph()
+        rag.apply(acquired_event(2, 102, stack("s2")))
+        rag.apply(acquired_event(3, 103, stack("s3")))
+        rag.apply(allow_event(3, 104, stack("w3")))
+        rag.apply(acquired_event(4, 104, stack("s4")))
+        rag.apply(allow_event(4, 103, stack("w4")))   # 3 and 4 deadlock
+        rag.apply(yield_event(1, 102, stack("w1"),
+                              causes=((2, 102, stack("s2")), (3, 103, stack("s3")))))
+        starved = find_starvation(rag)
+        starved_threads = set()
+        for cycle in starved:
+            starved_threads.update(cycle.threads)
+        assert 1 not in starved_threads
+
+    def test_pick_victim_prefers_most_locks_held(self):
+        rag = ResourceAllocationGraph()
+        rag.apply(acquired_event(1, 101, stack("s1")))
+        rag.apply(acquired_event(1, 105, stack("s5")))
+        rag.apply(acquired_event(2, 102, stack("s2")))
+        rag.apply(yield_event(1, 102, stack("w1"), causes=((2, 102, stack("s2")),)))
+        rag.apply(yield_event(2, 101, stack("w2"), causes=((1, 101, stack("s1")),)))
+        starved = find_starvation(rag)
+        assert len(starved) == 1
+        assert pick_starvation_victim(rag, starved[0]) == 1
+
+    def test_detect_all_combines_both(self):
+        rag = build_two_thread_deadlock()
+        rag.apply(acquired_event(5, 105, stack("s5")))
+        rag.apply(acquired_event(6, 106, stack("s6")))
+        rag.apply(yield_event(5, 106, stack("w5"), causes=((6, 106, stack("s6")),)))
+        rag.apply(yield_event(6, 105, stack("w6"), causes=((5, 105, stack("s5")),)))
+        found = detect_all(rag)
+        kinds = sorted(c.kind for c in found)
+        assert kinds == [DEADLOCK, STARVATION]

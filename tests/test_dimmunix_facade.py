@@ -1,0 +1,124 @@
+"""Tests for the Dimmunix facade (lifecycle, wakers, signature management)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.callstack import CallStack
+from repro.core.config import DimmunixConfig
+from repro.core.dimmunix import Dimmunix
+from repro.core.history import History
+from repro.core.signature import Signature
+
+
+def stack(*labels):
+    return CallStack.from_labels(list(labels))
+
+
+S1 = stack("lock:4", "update:1", "main:0")
+S2 = stack("lock:4", "update:2", "main:0")
+
+
+def paper_signature():
+    return Signature([stack("lock:4", "update:1"), stack("lock:4", "update:2")],
+                     matching_depth=2)
+
+
+class TestLifecycle:
+    def test_start_stop_idempotent(self, config):
+        dimmunix = Dimmunix(config=config)
+        dimmunix.start()
+        dimmunix.start()
+        assert dimmunix.running
+        dimmunix.stop()
+        dimmunix.stop()
+        assert not dimmunix.running
+
+    def test_context_manager(self, config):
+        with Dimmunix(config=config) as dimmunix:
+            assert dimmunix.running
+        assert not dimmunix.running
+
+    def test_stop_saves_history(self, tmp_path):
+        path = str(tmp_path / "h.json")
+        config = DimmunixConfig(history_path=path, monitor_interval=0.02)
+        dimmunix = Dimmunix(config=config)
+        dimmunix.start()
+        dimmunix.history.add(paper_signature())
+        dimmunix.stop()
+        assert os.path.exists(path)
+        assert len(History(path=path)) == 1
+
+    def test_process_now_detects_synchronously(self, dimmunix):
+        dimmunix.request(1, 1, S1)
+        dimmunix.acquired(1, 1, S1)
+        dimmunix.request(2, 2, S2)
+        dimmunix.acquired(2, 2, S2)
+        dimmunix.request(1, 2, S1)
+        dimmunix.request(2, 1, S2)
+        found = dimmunix.process_now()
+        assert len(found) == 1
+        assert dimmunix.report()["deadlocks_seen"] == 1
+
+
+class TestWakers:
+    def test_wake_invokes_registered_callable(self, dimmunix):
+        woken = []
+        dimmunix.register_waker(7, lambda: woken.append(7))
+        dimmunix.wake([7, 8])
+        assert woken == [7]
+        dimmunix.unregister_waker(7)
+        dimmunix.wake([7])
+        assert woken == [7]
+
+    def test_release_wakes_yielded_thread(self, dimmunix):
+        dimmunix.history.add(paper_signature())
+        woken = []
+        dimmunix.register_waker(2, lambda: woken.append(2))
+        dimmunix.request(1, 2, S2)
+        dimmunix.acquired(1, 2, S2)
+        assert dimmunix.request(2, 1, S1).is_yield
+        to_wake = dimmunix.release(1, 2)
+        dimmunix.wake(to_wake)
+        assert woken == [2]
+
+
+class TestSignatureManagement:
+    def test_disable_last_signature(self, dimmunix):
+        dimmunix.history.add(paper_signature())
+        dimmunix.request(1, 2, S2)
+        dimmunix.acquired(1, 2, S2)
+        dimmunix.request(2, 1, S1)
+        disabled = dimmunix.disable_last_signature()
+        assert disabled is not None
+        assert not dimmunix.history.get(disabled.fingerprint).enabled
+
+    def test_disable_last_signature_without_avoidance(self, dimmunix):
+        assert dimmunix.disable_last_signature() is None
+
+    def test_export_import(self, dimmunix, tmp_path):
+        dimmunix.history.add(paper_signature())
+        path = str(tmp_path / "sigs.json")
+        assert dimmunix.export_signatures(path) == 1
+        other = Dimmunix(config=DimmunixConfig.for_testing())
+        assert other.import_signatures(path) == 1
+        assert len(other.history) == 1
+
+    def test_reload_history(self, tmp_path):
+        path = str(tmp_path / "h.json")
+        config = DimmunixConfig(history_path=path, monitor_interval=0.02)
+        dimmunix = Dimmunix(config=config)
+        # Simulate a vendor patch: another process writes a signature.
+        vendor = History(path=None, autosave=False)
+        vendor.add(paper_signature())
+        vendor.save(path)
+        assert dimmunix.reload_history() == 1
+        assert len(dimmunix.signatures()) == 1
+
+    def test_report_shape(self, dimmunix):
+        report = dimmunix.report()
+        assert set(report) == {"stats", "history_size", "enabled_signatures",
+                               "deadlocks_seen", "starvations_seen",
+                               "history_bytes"}

