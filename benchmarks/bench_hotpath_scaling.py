@@ -1,0 +1,124 @@
+"""Hot-path scaling — request throughput over a threads × history-size grid.
+
+The whole point of Dimmunix is near-zero overhead on the lock acquisition
+hot path (paper section 5.6): a request whose stack suffix hits no
+signature bucket must decide GO without scanning the history and without
+serializing against other threads.  This microbenchmark drives the
+avoidance engine directly (no native locks, no monitor thread) with N
+real threads hammering request/acquired/release on disjoint locks and
+stacks, against histories of increasing size, and reports ops/sec.
+
+The stacks used by the worker threads never match any signature, so every
+request takes the GO fast path — the common case in production.  Results
+for the current engine are recorded in CHANGES.md so future PRs can
+compare against the baseline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.avoidance import AvoidanceEngine
+from repro.core.callstack import CallStack
+from repro.core.config import DimmunixConfig
+from repro.core.history import History
+from repro.workloads.synth_history import synthesize_history
+from repro.util.eventqueue import EventQueue
+
+THREAD_COUNTS = (1, 2, 4, 8)
+HISTORY_SIZES = (0, 100, 1000)
+OPS_PER_THREAD = 2000
+
+#: Signature-stack universe, disjoint from the worker stacks below so the
+#: benchmark exercises the miss path.
+_SIG_UNIVERSE = [
+    CallStack.from_labels([f"sig_lock:{i}", f"sig_caller:{i % 7}", "sig_main:0"])
+    for i in range(64)
+]
+
+
+def _make_engine(history_size: int) -> AvoidanceEngine:
+    history = History(path=None, autosave=False)
+    if history_size:
+        synthesize_history(_SIG_UNIVERSE, count=history_size,
+                           matching_depth=4, seed=7, history=history)
+    config = DimmunixConfig.for_testing()
+    # Bounded queue: the benchmark has no monitor draining it, and an
+    # unbounded queue would measure allocation, not the decision path.
+    return AvoidanceEngine(history, config, event_queue=EventQueue(maxsize=4096))
+
+
+def _worker_stack(worker: int) -> CallStack:
+    return CallStack.from_labels(
+        [f"app_lock:{worker}", f"app_caller:{worker}", "app_main:0"])
+
+
+def run_grid(thread_counts=THREAD_COUNTS, history_sizes=HISTORY_SIZES,
+             ops_per_thread=OPS_PER_THREAD):
+    """Run the full grid; returns a list of result dictionaries."""
+    rows = []
+    for history_size in history_sizes:
+        for threads in thread_counts:
+            engine = _make_engine(history_size)
+            barrier = threading.Barrier(threads + 1)
+
+            def work(worker: int) -> None:
+                stack = _worker_stack(worker)
+                lock_id = 1000 + worker
+                barrier.wait()
+                for _ in range(ops_per_thread):
+                    engine.request(worker + 1, lock_id, stack)
+                    engine.acquired(worker + 1, lock_id, stack)
+                    engine.release(worker + 1, lock_id)
+
+            pool = [threading.Thread(target=work, args=(w,), daemon=True)
+                    for w in range(threads)]
+            for thread in pool:
+                thread.start()
+            barrier.wait()
+            started = time.perf_counter()
+            for thread in pool:
+                thread.join()
+            elapsed = time.perf_counter() - started
+            total_ops = threads * ops_per_thread
+            rows.append({
+                "threads": threads,
+                "history_size": history_size,
+                "total_ops": total_ops,
+                "elapsed_s": elapsed,
+                "ops_per_sec": total_ops / elapsed if elapsed > 0 else float("inf"),
+            })
+    return rows
+
+
+def format_rows(rows) -> str:
+    lines = ["threads  history  ops/sec", "-" * 30]
+    for row in rows:
+        lines.append(f"{row['threads']:>7}  {row['history_size']:>7}  "
+                     f"{row['ops_per_sec']:>10.0f}")
+    return "\n".join(lines)
+
+
+def bench_hotpath_scaling():
+    rows = run_grid()
+    print()
+    print(format_rows(rows))
+    return rows
+
+
+def test_hotpath_scaling(once):
+    rows = once(bench_hotpath_scaling)
+    assert len(rows) == len(THREAD_COUNTS) * len(HISTORY_SIZES)
+    for row in rows:
+        assert row["ops_per_sec"] > 0
+    # A large history must not collapse throughput: the 1k-signature cell
+    # must stay within 20x of the empty-history cell at the same thread
+    # count (pre-refactor engines fail this by orders of magnitude).
+    by_key = {(r["threads"], r["history_size"]): r["ops_per_sec"] for r in rows}
+    for threads in THREAD_COUNTS:
+        assert by_key[(threads, 1000)] * 20 >= by_key[(threads, 0)]
+
+
+if __name__ == "__main__":
+    print(format_rows(run_grid()))

@@ -25,6 +25,8 @@ from .history import History
 from .monitor import MonitorCore, MonitorThread
 from .porting import CodeMapping, PortingReport, port_history, port_signature
 from .rag import LockState, ResourceAllocationGraph, ThreadState
+from .runtime_api import RuntimeCore, ThreadParker
+from .sigindex import SignatureIndex
 from .signature import DEADLOCK, STARVATION, Signature
 from .stats import EngineStats
 
@@ -63,10 +65,13 @@ __all__ = [
     "RequestOutcome",
     "ResourceAllocationGraph",
     "RestartRequired",
+    "RuntimeCore",
     "STARVATION",
     "STRONG_IMMUNITY",
     "Signature",
     "SignatureError",
+    "SignatureIndex",
+    "ThreadParker",
     "SimDeadlockError",
     "SimulationError",
     "ThreadState",

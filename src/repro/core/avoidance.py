@@ -14,12 +14,24 @@ The engine keeps the avoidance cache current, emits events for the
 asynchronous monitor, matches the current state against the signature
 history (exact-cover search over the Allowed sets), and manages yield
 causes, aborted yields and forced-GO overrides used to break starvation.
+
+Concurrency design (the paper's section 5.6 fast path): engine state is
+striped rather than guarded by one global mutex.  Per-thread yield and
+forced-GO state lives in per-thread slots owned by their thread; the
+:class:`~repro.core.cache.AvoidanceCache` is lock-striped; and the
+signature history is consulted through a read-mostly incremental
+:class:`~repro.core.sigindex.SignatureIndex`.  A request whose stack
+suffix hits no index bucket — the common case — completes without taking
+any engine-wide lock.  Only requests that could instantiate a signature
+serialize on a single match mutex, which keeps the exact-cover search and
+the publication of the resulting yield state atomic with respect to other
+potential matches.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -30,10 +42,12 @@ from .errors import AvoidanceError
 from .events import (acquired_event, allow_event, cancel_event, release_event,
                      request_event, yield_event)
 from .history import History
+from .sigindex import SignatureIndex
 from .signature import Signature
 from .stats import EngineStats
 from ..util.clock import Clock, WallClock
 from ..util.eventqueue import EventQueue
+from ..util.slots import SlotRegistry
 
 
 class Decision(Enum):
@@ -79,6 +93,21 @@ class _YieldState:
     since: float = 0.0
 
 
+class _ThreadSlot:
+    """Per-thread engine state, owned by its thread.
+
+    Attribute assignments are atomic under the GIL, so the owning thread
+    reads and writes its slot without locking; the monitor only ever flips
+    ``forced_go`` and clears ``yield_state``, both single assignments.
+    """
+
+    __slots__ = ("yield_state", "forced_go")
+
+    def __init__(self):
+        self.yield_state: Optional[_YieldState] = None
+        self.forced_go = False
+
+
 class AvoidanceEngine:
     """Makes GO/YIELD decisions and keeps the avoidance cache up to date."""
 
@@ -98,17 +127,24 @@ class AvoidanceEngine:
         self.stats = stats or EngineStats()
         self.calibrator = calibrator
         self.mode = mode
-        self._mutex = threading.RLock()
-        self._yield_states: Dict[int, _YieldState] = {}
-        self._forced_go: Set[int] = set()
         self._external_names = set(self.config.external_synchronization)
-        # Section 5.6: signatures are indexed by the depth-d suffix of each
-        # of their stacks, so a request only examines signatures that its
-        # own stack could possibly cover.  The index is rebuilt lazily when
-        # the history changes (new signature, disable, recalibrated depth).
-        self._index: Dict[int, Dict[Tuple, List[Signature]]] = {}
-        self._index_version = -1
-        self._index_depths: Dict[str, int] = {}
+        #: Section 5.6: the suffix-keyed signature index.  It maintains
+        #: itself incrementally from history observer notifications and
+        #: calibrator depth-listener callbacks, so the request path never
+        #: scans the history for staleness and never triggers a rebuild.
+        self.index = SignatureIndex(history)
+        if calibrator is not None:
+            calibrator.add_depth_listener(self.index.refresh)
+        #: Serializes only the matching slow path: requests whose stack
+        #: suffix hits at least one index bucket.
+        self._match_mutex = threading.Lock()
+        self._slots: SlotRegistry[_ThreadSlot] = SlotRegistry(_ThreadSlot)
+        #: Fingerprint of the most recently avoided signature (section 5.7
+        #: "disable the last avoided signature" semantics).
+        self._last_avoided_fp: Optional[str] = None
+
+    def _slot(self, thread_id: int) -> _ThreadSlot:
+        return self._slots.get(thread_id)
 
     # ------------------------------------------------------------------ request --
 
@@ -123,40 +159,59 @@ class AvoidanceEngine:
             return RequestOutcome(Decision.GO)
         now = self.clock.now()
         self.stats.bump("requests")
-        with self._mutex:
-            self.events.put(request_event(thread_id, lock_id, stack, timestamp=now))
+        self.events.put(request_event(thread_id, lock_id, stack, timestamp=now))
+        slot = self._slot(thread_id)
 
-            if self._should_bypass(thread_id, lock_id, stack):
-                return self._grant(thread_id, lock_id, stack, now)
+        if self._should_bypass(slot, thread_id, lock_id, stack):
+            return self._grant(slot, thread_id, lock_id, stack, now)
 
-            match = self._match_history(thread_id, lock_id, stack)
-            if match is None:
-                return self._grant(thread_id, lock_id, stack, now)
+        # Fast path: no signature has a stack whose depth-d suffix equals
+        # this request's suffix, so no instance can involve this binding —
+        # grant without any engine-wide synchronization.
+        candidates = self.index.candidates(stack)
+        if not candidates:
+            return self._grant(slot, thread_id, lock_id, stack, now)
 
-            signature, instance = match
-            causes = tuple(binding for binding in instance
-                           if binding[0] != thread_id)
-            self.cache.remove_allow(thread_id)
-            self.cache.set_yield_cause(thread_id, causes)
-            self._yield_states[thread_id] = _YieldState(
-                signature=signature, lock_id=lock_id, stack=stack,
-                causes=causes, since=now)
-            signature.record_avoidance()
-            self.stats.bump("yield_decisions")
-            self.events.put(yield_event(thread_id, lock_id, stack, causes,
-                                        timestamp=now))
-            if self.calibrator is not None:
-                deeper = self._depths_matching(signature, thread_id, lock_id, stack)
-                self.calibrator.on_avoidance(signature, thread_id, lock_id, stack,
-                                             causes, deeper)
-            return RequestOutcome(Decision.YIELD, signature=signature, causes=causes)
+        with self._match_mutex:
+            while True:
+                match = self._match_candidates(candidates, thread_id, lock_id, stack)
+                if match is None:
+                    return self._grant(slot, thread_id, lock_id, stack, now)
+                signature, instance = match
+                causes = tuple(binding for binding in instance
+                               if binding[0] != thread_id)
+                self.cache.remove_allow(thread_id)
+                self.cache.set_yield_cause(thread_id, causes)
+                if not all(self.cache.binding_live(tid, lid)
+                           for tid, lid, _stack in causes):
+                    # A concurrent release or cancel dissolved the instance
+                    # between the cover search and the cause publication;
+                    # re-match so the thread is not parked on a dead cause.
+                    self.cache.clear_yield_cause(thread_id)
+                    continue
+                slot.yield_state = _YieldState(
+                    signature=signature, lock_id=lock_id, stack=stack,
+                    causes=causes, since=now)
+                self._last_avoided_fp = signature.fingerprint
+                signature.record_avoidance()
+                self.stats.bump("yield_decisions")
+                self.events.put(yield_event(thread_id, lock_id, stack, causes,
+                                            timestamp=now))
+                if self.calibrator is not None:
+                    deeper = self._depths_matching(signature, thread_id, lock_id,
+                                                   stack)
+                    self.calibrator.on_avoidance(signature, thread_id, lock_id,
+                                                 stack, causes, deeper)
+                return RequestOutcome(Decision.YIELD, signature=signature,
+                                      causes=causes)
 
-    def _should_bypass(self, thread_id: int, lock_id: int, stack: CallStack) -> bool:
+    def _should_bypass(self, slot: _ThreadSlot, thread_id: int, lock_id: int,
+                       stack: CallStack) -> bool:
         """Cases in which no history matching is performed."""
         if self.mode == MODE_UPDATES_ONLY or self.config.detection_only:
             return True
-        if thread_id in self._forced_go:
-            self._forced_go.discard(thread_id)
+        if slot.forced_go:
+            slot.forced_go = False
             self.stats.bump("forced_go")
             return True
         if self.cache.hold_count(thread_id, lock_id) > 0:
@@ -171,67 +226,35 @@ class AvoidanceEngine:
             return True
         return False
 
-    def _grant(self, thread_id: int, lock_id: int, stack: CallStack,
-               now: float) -> RequestOutcome:
+    def _grant(self, slot: _ThreadSlot, thread_id: int, lock_id: int,
+               stack: CallStack, now: float) -> RequestOutcome:
         self.cache.add_allow(thread_id, lock_id, stack)
         self.cache.clear_yield_cause(thread_id)
-        self._yield_states.pop(thread_id, None)
+        slot.yield_state = None
         self.stats.bump("go_decisions")
         self.events.put(allow_event(thread_id, lock_id, stack, timestamp=now))
         return RequestOutcome(Decision.GO)
 
     # ------------------------------------------------------------- history match --
 
-    def _signature_index(self) -> Dict[int, Dict[Tuple, List[Signature]]]:
-        """The suffix-keyed signature index, rebuilt when the history changes.
-
-        The calibrator mutates per-signature matching depths without going
-        through the history, so the index is also invalidated whenever an
-        indexed signature's depth no longer matches what was recorded.
-        """
-        stale = (self._index_version != self.history.version
-                 or any(self.history.get(fp) is not None
-                        and self.history.get(fp).matching_depth != depth
-                        for fp, depth in self._index_depths.items()))
-        if not stale:
-            return self._index
-        index: Dict[int, Dict[Tuple, List[Signature]]] = {}
-        depths: Dict[str, int] = {}
-        for signature in self.history.enabled_signatures():
-            depth = signature.matching_depth
-            depths[signature.fingerprint] = depth
-            bucket = index.setdefault(depth, {})
-            for sig_stack in signature.stacks:
-                key = sig_stack.frames[:depth]
-                entries = bucket.setdefault(key, [])
-                if signature not in entries:
-                    entries.append(signature)
-        self._index = index
-        self._index_depths = depths
-        self._index_version = self.history.version
-        return index
-
-    def _match_history(self, thread_id: int, lock_id: int,
-                       stack: CallStack) -> Optional[Tuple[Signature, List[Binding]]]:
+    def _match_candidates(self, candidates: Sequence[Signature], thread_id: int,
+                          lock_id: int, stack: CallStack
+                          ) -> Optional[Tuple[Signature, List[Binding]]]:
         """Find a signature whose instantiation includes the tentative request.
 
-        Only signatures having a stack whose depth-d suffix equals the
-        request stack's suffix can possibly be covered by the tentative
-        binding, so the per-depth hash lookup discards everything else in
-        O(1) (the paper's section 5.6 fast path).
+        ``candidates`` come from the incremental suffix index: only
+        signatures having a stack whose depth-d suffix equals the request
+        stack's suffix can possibly be covered by the tentative binding, so
+        everything else was already discarded in O(1) (the paper's section
+        5.6 fast path).
         """
-        index = self._signature_index()
-        seen: Set[str] = set()
-        for depth, bucket in index.items():
-            key = stack.frames[:depth]
-            for signature in bucket.get(key, ()):
-                if signature.disabled or signature.fingerprint in seen:
-                    continue
-                seen.add(signature.fingerprint)
-                instance = self._find_instance(signature, thread_id, lock_id, stack,
-                                               signature.matching_depth)
-                if instance is not None:
-                    return signature, instance
+        for signature in candidates:
+            if signature.disabled:
+                continue
+            instance = self._find_instance(signature, thread_id, lock_id, stack,
+                                           signature.matching_depth)
+            if instance is not None:
+                return signature, instance
         return None
 
     def _find_instance(self, signature: Signature, thread_id: int, lock_id: int,
@@ -294,17 +317,16 @@ class AvoidanceEngine:
         if self.mode == MODE_INSTRUMENTATION_ONLY:
             return
         now = self.clock.now()
-        with self._mutex:
-            if stack is None:
-                waiting = self.cache.waiting_of(thread_id)
-                stack = waiting[1] if waiting is not None else CallStack(())
-            held_before = tuple(self.cache.locks_held_by(thread_id))
-            self.cache.add_hold(thread_id, lock_id, stack)
-            self._yield_states.pop(thread_id, None)
-            self.stats.bump("acquisitions")
-            self.events.put(acquired_event(thread_id, lock_id, stack, timestamp=now))
-            if self.calibrator is not None:
-                self.calibrator.on_lock_acquired(thread_id, lock_id, held_before, stack)
+        if stack is None:
+            waiting = self.cache.waiting_of(thread_id)
+            stack = waiting[1] if waiting is not None else CallStack(())
+        held_before = tuple(self.cache.locks_held_by(thread_id))
+        self.cache.add_hold(thread_id, lock_id, stack)
+        self._slot(thread_id).yield_state = None
+        self.stats.bump("acquisitions")
+        self.events.put(acquired_event(thread_id, lock_id, stack, timestamp=now))
+        if self.calibrator is not None:
+            self.calibrator.on_lock_acquired(thread_id, lock_id, held_before, stack)
 
     # ---------------------------------------------------------------------- release --
 
@@ -313,17 +335,16 @@ class AvoidanceEngine:
         if self.mode == MODE_INSTRUMENTATION_ONLY:
             return []
         now = self.clock.now()
-        with self._mutex:
-            fully, stack = self.cache.release_hold(thread_id, lock_id)
-            self.stats.bump("releases")
-            self.events.put(release_event(thread_id, lock_id,
-                                          stack if stack is not None else CallStack(()),
-                                          timestamp=now))
-            if self.calibrator is not None:
-                self.calibrator.on_lock_released(thread_id, lock_id)
-            if not fully:
-                return []
-            return self.cache.threads_to_wake(thread_id, lock_id, stack)
+        fully, stack = self.cache.release_hold(thread_id, lock_id)
+        self.stats.bump("releases")
+        self.events.put(release_event(thread_id, lock_id,
+                                      stack if stack is not None else CallStack(()),
+                                      timestamp=now))
+        if self.calibrator is not None:
+            self.calibrator.on_lock_released(thread_id, lock_id)
+        if not fully:
+            return []
+        return self.cache.threads_to_wake(thread_id, lock_id, stack)
 
     # ----------------------------------------------------------------------- cancel --
 
@@ -332,12 +353,11 @@ class AvoidanceEngine:
         if self.mode == MODE_INSTRUMENTATION_ONLY:
             return
         now = self.clock.now()
-        with self._mutex:
-            self.cache.remove_allow(thread_id)
-            self.cache.clear_yield_cause(thread_id)
-            self._yield_states.pop(thread_id, None)
-            self.stats.bump("cancels")
-            self.events.put(cancel_event(thread_id, lock_id, timestamp=now))
+        self.cache.remove_allow(thread_id)
+        self.cache.clear_yield_cause(thread_id)
+        self._slot(thread_id).yield_state = None
+        self.stats.bump("cancels")
+        self.events.put(cancel_event(thread_id, lock_id, timestamp=now))
 
     # ---------------------------------------------------------- yield management --
 
@@ -348,35 +368,37 @@ class AvoidanceEngine:
         (section 5.7), arranges for the thread's next request to be answered
         with GO, and returns the signature involved.
         """
-        with self._mutex:
-            state = self._yield_states.pop(thread_id, None)
-            self.cache.clear_yield_cause(thread_id)
-            self._forced_go.add(thread_id)
-            self.stats.bump("aborted_yields")
-            if state is None:
-                return None
-            signature = state.signature
-            aborts = signature.record_abort()
-            threshold = self.config.auto_disable_abort_threshold
-            if threshold is not None and aborts >= threshold and not signature.disabled:
-                self.history.disable(signature.fingerprint)
-            return signature
+        slot = self._slot(thread_id)
+        state = slot.yield_state
+        slot.yield_state = None
+        self.cache.clear_yield_cause(thread_id)
+        slot.forced_go = True
+        self.stats.bump("aborted_yields")
+        if state is None:
+            return None
+        signature = state.signature
+        aborts = signature.record_abort()
+        threshold = self.config.auto_disable_abort_threshold
+        if threshold is not None and aborts >= threshold and not signature.disabled:
+            self.history.disable(signature.fingerprint)
+        return signature
 
     def force_go(self, thread_id: int) -> None:
         """Force the thread's next request to be granted (starvation breaking)."""
-        with self._mutex:
-            self._yield_states.pop(thread_id, None)
-            self.cache.clear_yield_cause(thread_id)
-            self._forced_go.add(thread_id)
+        slot = self._slot(thread_id)
+        slot.yield_state = None
+        self.cache.clear_yield_cause(thread_id)
+        slot.forced_go = True
 
     def yielding_threads(self) -> List[int]:
         """Threads currently parked by an avoidance decision."""
-        with self._mutex:
-            return list(self._yield_states)
+        return [tid for tid, slot in self._slots.items()
+                if slot.yield_state is not None]
 
     def yield_state_of(self, thread_id: int) -> Optional[Tuple[Signature, float]]:
         """The (signature, since) pair for a yielding thread, if any."""
-        state = self._yield_states.get(thread_id)
+        slot = self._slots.peek(thread_id)
+        state = slot.yield_state if slot is not None else None
         if state is None:
             return None
         return state.signature, state.since
@@ -385,37 +407,31 @@ class AvoidanceEngine:
         """The signature involved in the most recent yield, if any.
 
         Supports the "disable the last avoided signature" user interaction
-        described in section 5.7.
+        described in section 5.7.  Prefers a currently parked thread's
+        signature; otherwise falls back to the explicitly tracked
+        fingerprint of the most *recently* avoided signature (not the most
+        *often* avoided one).
         """
-        with self._mutex:
-            latest: Optional[_YieldState] = None
-            for state in self._yield_states.values():
-                if latest is None or state.since > latest.since:
-                    latest = state
-            if latest is not None:
-                return latest.signature
-        # Fall back to the most recently avoided signature in the history.
-        best = None
-        for signature in self.history.signatures():
-            if signature.avoidance_count == 0:
-                continue
-            if best is None or signature.avoidance_count > best.avoidance_count:
-                best = signature
-        return best
+        latest: Optional[_YieldState] = None
+        for slot in self._slots.values():
+            state = slot.yield_state
+            if state is not None and (latest is None or state.since > latest.since):
+                latest = state
+        if latest is not None:
+            return latest.signature
+        if self._last_avoided_fp is not None:
+            return self.history.get(self._last_avoided_fp)
+        return None
 
     # ---------------------------------------------------------------- maintenance --
 
     def forget_thread(self, thread_id: int) -> None:
         """Drop all engine state about a terminated thread."""
-        with self._mutex:
-            self.cache.forget_thread(thread_id)
-            self._yield_states.pop(thread_id, None)
-            self._forced_go.discard(thread_id)
+        self.cache.forget_thread(thread_id)
+        self._slots.pop(thread_id)
 
     def reset(self) -> None:
         """Clear all runtime state (cache, yields, queue) but keep the history."""
-        with self._mutex:
-            self.cache.clear()
-            self._yield_states.clear()
-            self._forced_go.clear()
-            self.events.clear()
+        self.cache.clear()
+        self._slots.clear()
+        self.events.clear()

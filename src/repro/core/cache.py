@@ -1,4 +1,4 @@
-"""The avoidance-side RAG cache.
+"""The avoidance-side RAG cache, lock-striped for hot-path scalability.
 
 The monitor's RAG is updated lazily and may lag behind reality; the
 avoidance code, however, needs an always-current view of who holds what
@@ -8,13 +8,18 @@ decisions (paper section 5.1).  This module provides that cache:
 * *Allowed sets*: for every distinct acquisition call stack, the set of
   (thread, lock) pairs that currently hold — or are allowed to wait
   for — a lock with that stack (section 5.6).
-* holders / waiting / per-thread holds: the simplified lock-to-owner map.
-* yield causes: for each parked thread, the (thread, lock, stack) tuples
-  whose dissolution should wake it.
+* holders / waiters: the lock-to-owner map, sharded by lock id.
+* per-thread state: the holds multiset, the allowed-wait edge, and the
+  yield causes of each thread, owned by that thread's slot.
 
-The cache is consulted and mutated synchronously on every lock operation,
-so all operations are O(1) dictionary work except candidate enumeration,
-which is proportional to the number of distinct stacks currently present.
+Earlier versions serialized every operation through one global mutex.
+The cache is now striped the way the paper's generalized-Peterson design
+intends: Allowed sets are sharded by stack hash, holder records by lock
+id, and per-thread state lives in per-thread slots that are written
+almost exclusively by their owning thread — so unrelated lock operations
+never contend.  Cross-structure atomicity is *not* provided here; the
+engine serializes the signature-matching slow path itself and treats the
+monitor's detection pass as the safety net, exactly as the paper does.
 """
 
 from __future__ import annotations
@@ -25,9 +30,13 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .callstack import CallStack
 from .errors import AvoidanceError
+from ..util.slots import SlotRegistry
 
 #: A (thread_id, lock_id, stack) binding, as used in signature instances.
 Binding = Tuple[int, int, CallStack]
+
+#: Default number of stripes for the allowed-set and holder shards.
+DEFAULT_STRIPES = 16
 
 
 @dataclass
@@ -42,85 +51,120 @@ class HolderRecord:
         return len(self.stacks)
 
 
+class _Stripe:
+    """One shard: a mutex plus the allowed-set and holder maps it guards."""
+
+    __slots__ = ("mutex", "allowed", "holders")
+
+    def __init__(self):
+        self.mutex = threading.Lock()
+        #: stack -> set of (thread, lock) pairs allowed to wait / holding.
+        self.allowed: Dict[CallStack, Set[Tuple[int, int]]] = {}
+        #: lock -> holder record (locks whose id maps to this stripe).
+        self.holders: Dict[int, HolderRecord] = {}
+
+
+class _ThreadSlot:
+    """Per-thread cache state, written (almost) only by its owning thread."""
+
+    __slots__ = ("waiting", "yield_cause", "holds")
+
+    def __init__(self):
+        #: (lock, stack) the thread is allowed to wait for, or None.
+        self.waiting: Optional[Tuple[int, CallStack]] = None
+        #: Immutable snapshot of the cause bindings it is yielding on;
+        #: replaced wholesale so concurrent readers never see a partial set.
+        self.yield_cause: frozenset = frozenset()
+        #: {lock: [stacks]} currently held (reentrant holds stacked).
+        self.holds: Dict[int, List[CallStack]] = {}
+
+
 class AvoidanceCache:
     """Always-current synchronization state used by the request method."""
 
-    def __init__(self, use_peterson: bool = False, peterson_capacity: int = 0):
+    def __init__(self, use_peterson: bool = False, peterson_capacity: int = 0,
+                 stripes: int = DEFAULT_STRIPES):
         # The paper uses a generalized Peterson algorithm to avoid locking;
-        # under the GIL a standard mutex is cheaper and equally correct, so
-        # it is the default.  ``use_peterson`` is accepted for fidelity and
-        # simply documents intent; the mutex below protects either way.
-        self._mutex = threading.RLock()
+        # under the GIL striped mutexes are cheaper and equally correct, so
+        # they are the default.  ``use_peterson`` is accepted for fidelity
+        # and simply documents intent.
+        if stripes < 1:
+            raise AvoidanceError("stripe count must be >= 1")
         self._use_peterson = use_peterson
         self._peterson_capacity = peterson_capacity
-        #: stack -> set of (thread, lock) pairs allowed to wait / holding.
-        self._allowed: Dict[CallStack, Set[Tuple[int, int]]] = {}
-        #: lock -> holder record.
-        self._holders: Dict[int, HolderRecord] = {}
-        #: thread -> (lock, stack) it is allowed to wait for.
-        self._waiting: Dict[int, Tuple[int, CallStack]] = {}
-        #: thread -> set of cause bindings it is yielding on.
-        self._yield_cause: Dict[int, Set[Binding]] = {}
-        #: thread -> {lock: [stacks]} currently held.
-        self._holds_by_thread: Dict[int, Dict[int, List[CallStack]]] = {}
+        self._stripes: List[_Stripe] = [_Stripe() for _ in range(stripes)]
+        self._slots: SlotRegistry[_ThreadSlot] = SlotRegistry(_ThreadSlot)
+        #: Slots of currently yielding threads only, so release-side wake
+        #: scans stay O(yielders) instead of O(threads ever seen).
+        self._yielding: Dict[int, _ThreadSlot] = {}
+        self._yielding_lock = threading.Lock()
 
-    # -- context helper --------------------------------------------------------------
+    # -- stripe / slot addressing ----------------------------------------------------
 
-    def locked(self):
-        """The internal mutex as a context manager (used by the engine)."""
-        return self._mutex
+    def _stack_stripe(self, stack: CallStack) -> _Stripe:
+        return self._stripes[hash(stack) % len(self._stripes)]
+
+    def _lock_stripe(self, lock_id: int) -> _Stripe:
+        return self._stripes[lock_id % len(self._stripes)]
+
+    def _slot(self, thread_id: int) -> _ThreadSlot:
+        return self._slots.get(thread_id)
 
     # -- allow / wait edges -------------------------------------------------------------
 
     def add_allow(self, thread_id: int, lock_id: int, stack: CallStack) -> None:
         """Record that ``thread_id`` is allowed to block waiting for ``lock_id``."""
-        with self._mutex:
-            previous = self._waiting.get(thread_id)
-            if previous is not None:
-                self._discard_allowed(previous[1], thread_id, previous[0])
-            self._waiting[thread_id] = (lock_id, stack)
-            self._allowed.setdefault(stack, set()).add((thread_id, lock_id))
+        slot = self._slot(thread_id)
+        previous = slot.waiting
+        if previous is not None:
+            self._discard_allowed(previous[1], thread_id, previous[0])
+        slot.waiting = (lock_id, stack)
+        self._add_allowed(stack, thread_id, lock_id)
 
     def remove_allow(self, thread_id: int) -> Optional[Tuple[int, CallStack]]:
         """Drop the thread's allow edge (cancel / yield); returns what it was."""
-        with self._mutex:
-            previous = self._waiting.pop(thread_id, None)
-            if previous is not None:
-                self._discard_allowed(previous[1], thread_id, previous[0])
-            return previous
+        slot = self._slot(thread_id)
+        previous = slot.waiting
+        slot.waiting = None
+        if previous is not None:
+            self._discard_allowed(previous[1], thread_id, previous[0])
+        return previous
 
     def waiting_of(self, thread_id: int) -> Optional[Tuple[int, CallStack]]:
         """The (lock, stack) the thread is allowed to wait for, if any."""
-        return self._waiting.get(thread_id)
+        slot = self._slots.peek(thread_id)
+        return slot.waiting if slot is not None else None
 
     # -- hold edges ------------------------------------------------------------------------
 
     def add_hold(self, thread_id: int, lock_id: int, stack: CallStack) -> int:
         """Record an acquisition; returns the new reentrancy count."""
-        with self._mutex:
-            waiting = self._waiting.get(thread_id)
-            if waiting is not None and waiting[0] == lock_id:
-                # Promote the allow edge: the (thread, lock) pair stays in
-                # the Allowed set for the stack it waited with, and the hold
-                # is recorded with the acquisition stack.
-                del self._waiting[thread_id]
-                if waiting[1] != stack:
-                    self._discard_allowed(waiting[1], thread_id, lock_id)
-                    self._allowed.setdefault(stack, set()).add((thread_id, lock_id))
-            else:
-                self._allowed.setdefault(stack, set()).add((thread_id, lock_id))
-            record = self._holders.get(lock_id)
+        slot = self._slot(thread_id)
+        waiting = slot.waiting
+        if waiting is not None and waiting[0] == lock_id:
+            # Promote the allow edge: the (thread, lock) pair stays in
+            # the Allowed set for the stack it waited with, and the hold
+            # is recorded with the acquisition stack.
+            slot.waiting = None
+            if waiting[1] != stack:
+                self._discard_allowed(waiting[1], thread_id, lock_id)
+                self._add_allowed(stack, thread_id, lock_id)
+        else:
+            self._add_allowed(stack, thread_id, lock_id)
+        stripe = self._lock_stripe(lock_id)
+        with stripe.mutex:
+            record = stripe.holders.get(lock_id)
             if record is None:
                 record = HolderRecord(thread_id=thread_id)
-                self._holders[lock_id] = record
+                stripe.holders[lock_id] = record
             elif record.thread_id != thread_id:
                 raise AvoidanceError(
                     f"lock {lock_id} acquired by thread {thread_id} while held "
                     f"by thread {record.thread_id}")
             record.stacks.append(stack)
-            self._holds_by_thread.setdefault(thread_id, {}) \
-                .setdefault(lock_id, []).append(stack)
-            return record.count
+            count = record.count
+        slot.holds.setdefault(lock_id, []).append(stack)
+        return count
 
     def release_hold(self, thread_id: int, lock_id: int) -> Tuple[bool, Optional[CallStack]]:
         """Record a release.
@@ -129,61 +173,91 @@ class AvoidanceCache:
         acquisition stack of the hold edge that was removed; ``fully_released``
         is True when the lock became available to other threads.
         """
-        with self._mutex:
-            record = self._holders.get(lock_id)
+        stripe = self._lock_stripe(lock_id)
+        with stripe.mutex:
+            record = stripe.holders.get(lock_id)
             if record is None or record.thread_id != thread_id or not record.stacks:
                 raise AvoidanceError(
                     f"thread {thread_id} released lock {lock_id} it does not hold")
             stack = record.stacks.pop()
-            per_thread = self._holds_by_thread.get(thread_id, {})
-            stacks = per_thread.get(lock_id)
-            if stacks:
-                stacks.pop()
-                if not stacks:
-                    del per_thread[lock_id]
             fully = not record.stacks
             if fully:
-                del self._holders[lock_id]
-                self._discard_allowed(stack, thread_id, lock_id)
-            return fully, stack
+                del stripe.holders[lock_id]
+        slot = self._slot(thread_id)
+        stacks = slot.holds.get(lock_id)
+        if stacks:
+            stacks.pop()
+            if not stacks:
+                del slot.holds[lock_id]
+        if fully:
+            self._discard_allowed(stack, thread_id, lock_id)
+        return fully, stack
 
     def holder_of(self, lock_id: int) -> Optional[int]:
         """The thread currently holding ``lock_id``, or ``None``."""
-        record = self._holders.get(lock_id)
+        record = self._lock_stripe(lock_id).holders.get(lock_id)
         return record.thread_id if record is not None else None
 
     def hold_count(self, thread_id: int, lock_id: int) -> int:
         """How many times ``thread_id`` currently holds ``lock_id``."""
-        return len(self._holds_by_thread.get(thread_id, {}).get(lock_id, []))
+        slot = self._slots.peek(thread_id)
+        if slot is None:
+            return 0
+        return len(slot.holds.get(lock_id, ()))
 
     def locks_held_by(self, thread_id: int) -> List[int]:
         """The locks currently held by ``thread_id`` (each listed once)."""
-        return list(self._holds_by_thread.get(thread_id, {}))
+        slot = self._slots.peek(thread_id)
+        return list(slot.holds) if slot is not None else []
 
     def total_holds(self, thread_id: int) -> int:
         """Number of hold edges of ``thread_id`` (reentrant holds counted)."""
-        return sum(len(stacks)
-                   for stacks in self._holds_by_thread.get(thread_id, {}).values())
+        slot = self._slots.peek(thread_id)
+        if slot is None:
+            return 0
+        return sum(len(stacks) for stacks in list(slot.holds.values()))
+
+    def binding_live(self, thread_id: int, lock_id: int) -> bool:
+        """Is the (thread, lock) binding still backed by a hold or allow edge?
+
+        Used by the engine to validate freshly recorded yield causes
+        against concurrent releases/cancels (the striped design has no
+        global mutex serializing request against release).
+        """
+        if self.holder_of(lock_id) == thread_id:
+            return True
+        waiting = self.waiting_of(thread_id)
+        return waiting is not None and waiting[0] == lock_id
 
     # -- yield causes -----------------------------------------------------------------------
 
     def set_yield_cause(self, thread_id: int, causes: Iterable[Binding]) -> None:
         """Record why ``thread_id`` is yielding."""
-        with self._mutex:
-            self._yield_cause[thread_id] = set(causes)
+        slot = self._slot(thread_id)
+        slot.yield_cause = frozenset(causes)
+        with self._yielding_lock:
+            if slot.yield_cause:
+                self._yielding[thread_id] = slot
+            else:
+                self._yielding.pop(thread_id, None)
 
     def clear_yield_cause(self, thread_id: int) -> None:
         """Forget the thread's yield causes (it got GO, aborted, or was forced)."""
-        with self._mutex:
-            self._yield_cause.pop(thread_id, None)
+        slot = self._slots.peek(thread_id)
+        if slot is not None and slot.yield_cause:
+            slot.yield_cause = frozenset()
+            with self._yielding_lock:
+                self._yielding.pop(thread_id, None)
 
     def yield_cause_of(self, thread_id: int) -> Set[Binding]:
         """The thread's current yield causes (empty set when not yielding)."""
-        return set(self._yield_cause.get(thread_id, ()))
+        slot = self._slots.peek(thread_id)
+        return set(slot.yield_cause) if slot is not None else set()
 
     def yielding_threads(self) -> List[int]:
         """Threads currently parked by an avoidance decision."""
-        return [tid for tid, causes in self._yield_cause.items() if causes]
+        return [tid for tid, slot in list(self._yielding.items())
+                if slot.yield_cause]
 
     def threads_to_wake(self, thread_id: int, lock_id: int,
                         stack: Optional[CallStack]) -> List[int]:
@@ -195,18 +269,17 @@ class AvoidanceCache:
         cause.
         """
         woken: List[int] = []
-        with self._mutex:
-            for tid, causes in self._yield_cause.items():
-                for cause_thread, cause_lock, cause_stack in causes:
-                    if cause_thread != thread_id or cause_lock != lock_id:
-                        continue
-                    if stack is not None and cause_stack and stack != cause_stack \
-                            and self.hold_count(thread_id, lock_id) > 0:
-                        # The released hold edge is not the one named by the
-                        # cause and the causing hold is still in place.
-                        continue
-                    woken.append(tid)
-                    break
+        for tid, slot in list(self._yielding.items()):
+            for cause_thread, cause_lock, cause_stack in slot.yield_cause:
+                if cause_thread != thread_id or cause_lock != lock_id:
+                    continue
+                if stack is not None and cause_stack and stack != cause_stack \
+                        and self.hold_count(thread_id, lock_id) > 0:
+                    # The released hold edge is not the one named by the
+                    # cause and the causing hold is still in place.
+                    continue
+                woken.append(tid)
+                break
         return woken
 
     # -- candidate enumeration for signature matching ----------------------------------------
@@ -220,65 +293,92 @@ class AvoidanceCache:
         search can enforce the "distinct threads and locks" requirement.
         """
         results: List[Binding] = []
-        with self._mutex:
-            for stack, pairs in self._allowed.items():
-                if not signature_stack.matches(stack, depth):
-                    continue
-                for thread_id, lock_id in pairs:
-                    if thread_id in exclude_threads or lock_id in exclude_locks:
+        for stripe in self._stripes:
+            with stripe.mutex:
+                for stack, pairs in stripe.allowed.items():
+                    if not signature_stack.matches(stack, depth):
                         continue
-                    results.append((thread_id, lock_id, stack))
+                    for thread_id, lock_id in pairs:
+                        if thread_id in exclude_threads or lock_id in exclude_locks:
+                            continue
+                        results.append((thread_id, lock_id, stack))
         return results
 
     def allowed_set_sizes(self) -> Dict[CallStack, int]:
         """Size of every Allowed set (used by resource-utilization reports)."""
-        with self._mutex:
-            return {stack: len(pairs) for stack, pairs in self._allowed.items()}
+        sizes: Dict[CallStack, int] = {}
+        for stripe in self._stripes:
+            with stripe.mutex:
+                for stack, pairs in stripe.allowed.items():
+                    sizes[stack] = len(pairs)
+        return sizes
 
     # -- maintenance ------------------------------------------------------------------------------
 
     def forget_thread(self, thread_id: int) -> None:
         """Drop all state of a terminated thread."""
-        with self._mutex:
-            waiting = self._waiting.pop(thread_id, None)
-            if waiting is not None:
-                self._discard_allowed(waiting[1], thread_id, waiting[0])
-            self._yield_cause.pop(thread_id, None)
-            holds = self._holds_by_thread.pop(thread_id, {})
-            for lock_id, stacks in holds.items():
-                record = self._holders.get(lock_id)
+        slot = self._slots.pop(thread_id)
+        with self._yielding_lock:
+            self._yielding.pop(thread_id, None)
+        if slot is None:
+            return
+        if slot.waiting is not None:
+            self._discard_allowed(slot.waiting[1], thread_id, slot.waiting[0])
+        for lock_id, stacks in slot.holds.items():
+            stripe = self._lock_stripe(lock_id)
+            with stripe.mutex:
+                record = stripe.holders.get(lock_id)
                 if record is not None and record.thread_id == thread_id:
-                    del self._holders[lock_id]
-                for stack in stacks:
-                    self._discard_allowed(stack, thread_id, lock_id)
+                    del stripe.holders[lock_id]
+            for stack in stacks:
+                self._discard_allowed(stack, thread_id, lock_id)
 
     def clear(self) -> None:
         """Reset the cache entirely (used between experiment trials)."""
-        with self._mutex:
-            self._allowed.clear()
-            self._holders.clear()
-            self._waiting.clear()
-            self._yield_cause.clear()
-            self._holds_by_thread.clear()
+        for stripe in self._stripes:
+            with stripe.mutex:
+                stripe.allowed.clear()
+                stripe.holders.clear()
+        self._slots.clear()
+        with self._yielding_lock:
+            self._yielding.clear()
+
+    def _add_allowed(self, stack: CallStack, thread_id: int, lock_id: int) -> None:
+        stripe = self._stack_stripe(stack)
+        with stripe.mutex:
+            stripe.allowed.setdefault(stack, set()).add((thread_id, lock_id))
 
     def _discard_allowed(self, stack: CallStack, thread_id: int, lock_id: int) -> None:
-        pairs = self._allowed.get(stack)
-        if pairs is None:
-            return
-        pairs.discard((thread_id, lock_id))
-        if not pairs:
-            del self._allowed[stack]
+        stripe = self._stack_stripe(stack)
+        with stripe.mutex:
+            pairs = stripe.allowed.get(stack)
+            if pairs is None:
+                return
+            pairs.discard((thread_id, lock_id))
+            if not pairs:
+                del stripe.allowed[stack]
 
     # -- introspection ----------------------------------------------------------------------------
 
     def snapshot(self) -> Dict:
         """A JSON-friendly snapshot (debugging and reports)."""
-        with self._mutex:
-            return {
-                "holders": {lock: (rec.thread_id, rec.count)
-                            for lock, rec in self._holders.items()},
-                "waiting": {tid: lock for tid, (lock, _stack) in self._waiting.items()},
-                "yielding": {tid: len(causes)
-                             for tid, causes in self._yield_cause.items() if causes},
-                "distinct_stacks": len(self._allowed),
-            }
+        holders: Dict[int, Tuple[int, int]] = {}
+        distinct_stacks = 0
+        for stripe in self._stripes:
+            with stripe.mutex:
+                for lock, rec in stripe.holders.items():
+                    holders[lock] = (rec.thread_id, rec.count)
+                distinct_stacks += len(stripe.allowed)
+        waiting = {}
+        yielding = {}
+        for tid, slot in self._slots.items():
+            if slot.waiting is not None:
+                waiting[tid] = slot.waiting[0]
+            if slot.yield_cause:
+                yielding[tid] = len(slot.yield_cause)
+        return {
+            "holders": holders,
+            "waiting": waiting,
+            "yielding": yielding,
+            "distinct_stacks": distinct_stacks,
+        }

@@ -28,6 +28,7 @@ from .config import DimmunixConfig
 from .errors import MonitorError
 from .history import History
 from .monitor import MonitorCore, MonitorThread
+from .runtime_api import RuntimeCore
 from .signature import Signature
 from .stats import EngineStats
 from ..util.clock import Clock, WallClock
@@ -58,6 +59,9 @@ class Dimmunix:
         self._wakers: Dict[int, Callable[[], None]] = {}
         self._wakers_lock = threading.Lock()
         self._started = False
+        #: Default engine-driving layer for adapters that do not supply
+        #: their own parker (see :mod:`repro.core.runtime_api`).
+        self.runtime_core = RuntimeCore(self)
 
     # -- lifecycle ---------------------------------------------------------------------
 

@@ -17,6 +17,7 @@ import json
 import os
 import tempfile
 import threading
+import weakref
 from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 from .errors import HistoryError, HistoryFormatError
@@ -34,8 +35,12 @@ class History:
         self._signatures: Dict[str, Signature] = {}
         self._lock = threading.RLock()
         self._listeners: List[Callable[[Signature], None]] = []
-        #: Bumped on every mutation; lets the avoidance engine know when its
-        #: signature index (section 5.6 hash tables) must be rebuilt.
+        #: Observers notified of every mutation kind (add/remove/enable/
+        #: disable/clear); the incremental signature index maintains itself
+        #: through these hooks instead of rescanning the history.
+        self._observers: List = []
+        #: Bumped on every mutation; kept as a cheap staleness oracle for
+        #: diagnostics and external tooling.
         self._version = 0
         if path is not None and os.path.exists(path):
             self.load(path)
@@ -98,16 +103,20 @@ class History:
                 self.save()
         for listener in list(self._listeners):
             listener(signature)
+        self._notify("on_signature_added", signature)
         return True
 
     def remove(self, fingerprint: str) -> bool:
         """Delete a signature; returns ``True`` if it existed."""
         with self._lock:
-            removed = self._signatures.pop(fingerprint, None) is not None
+            signature = self._signatures.pop(fingerprint, None)
+            removed = signature is not None
             if removed:
                 self._bump_version()
             if removed and self._autosave:
                 self.save()
+        if removed:
+            self._notify("on_signature_removed", signature)
         return removed
 
     def disable(self, fingerprint: str) -> bool:
@@ -120,6 +129,7 @@ class History:
             self._bump_version()
             if self._autosave:
                 self.save()
+        self._notify("on_signature_disabled", signature)
         return True
 
     def enable(self, fingerprint: str) -> bool:
@@ -132,6 +142,7 @@ class History:
             self._bump_version()
             if self._autosave:
                 self.save()
+        self._notify("on_signature_enabled", signature)
         return True
 
     def clear(self) -> None:
@@ -141,6 +152,7 @@ class History:
             self._bump_version()
             if self._autosave:
                 self.save()
+        self._notify("on_history_cleared")
 
     def merge(self, other: Iterable[Signature]) -> int:
         """Import signatures from another history or an export file.
@@ -158,6 +170,45 @@ class History:
     def add_listener(self, listener: Callable[[Signature], None]) -> None:
         """Register a callback invoked whenever a new signature is added."""
         self._listeners.append(listener)
+
+    # -- observers (incremental index maintenance) -----------------------------------------
+
+    def add_observer(self, observer) -> None:
+        """Register a mutation observer.
+
+        An observer may implement any of ``on_signature_added``,
+        ``on_signature_removed``, ``on_signature_enabled``,
+        ``on_signature_disabled`` and ``on_history_cleared``; missing hooks
+        are simply skipped.  Notifications are dispatched outside the
+        history's internal lock.
+
+        Observers are held through weak references: a history routinely
+        outlives the engines attached to it (experiment harnesses create
+        one engine per trial against a shared history), and strong
+        references would keep every dead engine's index alive and
+        receiving notifications forever.  Callers must therefore keep
+        their observer strongly referenced for as long as they need it.
+        """
+        self._observers.append(weakref.ref(observer))
+
+    def remove_observer(self, observer) -> None:
+        """Unregister a previously added observer (no-op when absent)."""
+        self._observers = [ref for ref in self._observers
+                           if ref() is not None and ref() is not observer]
+
+    def _notify(self, hook: str, *args) -> None:
+        dead = False
+        for ref in list(self._observers):
+            observer = ref()
+            if observer is None:
+                dead = True
+                continue
+            callback = getattr(observer, hook, None)
+            if callback is not None:
+                callback(*args)
+        if dead:
+            self._observers = [ref for ref in self._observers
+                               if ref() is not None]
 
     # -- persistence ----------------------------------------------------------------------------
 
@@ -221,12 +272,16 @@ class History:
         records = payload["signatures"]
         if not isinstance(records, list):
             raise HistoryFormatError("'signatures' must be a list")
+        merged = []
         with self._lock:
             for record in records:
                 signature = Signature.from_dict(record)
                 if signature.fingerprint not in self._signatures:
                     self._signatures[signature.fingerprint] = signature
                     self._bump_version()
+                    merged.append(signature)
+        for signature in merged:
+            self._notify("on_signature_added", signature)
 
     # -- import/export helpers (signature distribution) ----------------------------------------
 

@@ -11,6 +11,15 @@ The detection logic lives in :class:`MonitorCore`, which is runtime
 agnostic and can be driven synchronously (the simulator calls
 ``process()`` directly); :class:`MonitorThread` wraps it in a background
 ``threading.Thread`` for the real-thread runtime.
+
+With the striped avoidance engine the monitor is also the safety net for
+the lock-free fast path: requests that cannot instantiate any signature
+are granted without engine-wide synchronization, so in principle two
+simultaneous requests could slip past avoidance into a *new* deadlock —
+exactly the situation the paper designs for: the monitor detects the
+cycle, archives its signature (which reaches the engine's incremental
+index through the history's observer hooks), and the pattern is avoided
+from then on.
 """
 
 from __future__ import annotations

@@ -1,0 +1,145 @@
+"""The unified runtime-core API shared by every runtime adapter.
+
+Dimmunix has two runtimes: the real-thread instrumentation
+(:mod:`repro.instrument`) and the deterministic simulator
+(:mod:`repro.sim`).  Both used to carry their own copy of the
+engine-driving glue — forwarding request/acquired/release/cancel to the
+engine and hand-rolling the release-side wakeups.  This module extracts
+that glue into one place:
+
+* :class:`RuntimeCore` — the six-operation protocol
+  (``request`` / ``acquired`` / ``release`` / ``cancel`` / ``park`` /
+  ``wake``) through which runtimes drive the avoidance engine.  Releases
+  wake dissolved yielders through the waker registry uniformly, so no
+  runtime needs its own wake plumbing.
+* :class:`ThreadParker` — the runtime-specific parking primitive a
+  runtime plugs into the core.  The instrumentation parks real threads on
+  per-thread events; the simulator "parks" by flipping a thread's
+  scheduler state, registering a waker that marks it runnable again.
+
+The engine itself never blocks: a YIELD outcome tells the *runtime* to
+park, and a wake tells it to retry the request — the core codifies that
+contract once for both worlds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from .avoidance import RequestOutcome
+from .callstack import CallStack
+from .signature import Signature
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .dimmunix import Dimmunix
+
+
+class ThreadParker:
+    """Runtime-specific parking primitive plugged into :class:`RuntimeCore`.
+
+    ``prepare`` is called *before* the request so a wake triggered between
+    the decision and the park is not lost; ``park`` blocks (or suspends)
+    the thread until woken or until the timeout expires, returning whether
+    it was woken.  The default implementation never parks — suitable for
+    runtimes that manage blocking themselves (the simulator flips thread
+    states instead of blocking).
+    """
+
+    def prepare(self, thread_id: int) -> None:
+        """Arm the wake primitive for ``thread_id`` (pre-request)."""
+
+    def park(self, thread_id: int, timeout: Optional[float]) -> bool:
+        """Suspend ``thread_id``; return True when woken before ``timeout``."""
+        return True
+
+    def forget(self, thread_id: int) -> None:
+        """Drop parking state of a terminated thread."""
+
+
+class RuntimeCore:
+    """Drives the avoidance engine on behalf of a runtime adapter.
+
+    One :class:`RuntimeCore` wraps one :class:`~repro.core.dimmunix.Dimmunix`
+    instance.  All engine access from lock wrappers, simulator backends,
+    and monkey-patched call sites goes through these methods — runtimes
+    never reach into ``dimmunix.engine`` directly.
+    """
+
+    def __init__(self, dimmunix: "Dimmunix",
+                 parker: Optional[ThreadParker] = None):
+        self.dimmunix = dimmunix
+        self.parker = parker if parker is not None else ThreadParker()
+
+    # -- engine access -----------------------------------------------------------------
+
+    @property
+    def engine(self):
+        """The avoidance engine being driven (introspection only)."""
+        return self.dimmunix.engine
+
+    @property
+    def config(self):
+        """The configuration of the attached Dimmunix instance."""
+        return self.dimmunix.config
+
+    # -- the six-operation protocol -------------------------------------------------------
+
+    def request(self, thread_id: int, lock_id: int,
+                stack: CallStack) -> RequestOutcome:
+        """Ask for a GO/YIELD decision before blocking on ``lock_id``."""
+        return self.dimmunix.engine.request(thread_id, lock_id, stack)
+
+    def acquired(self, thread_id: int, lock_id: int,
+                 stack: Optional[CallStack] = None) -> None:
+        """Record that the thread actually obtained the lock."""
+        self.dimmunix.engine.acquired(thread_id, lock_id, stack)
+
+    def release(self, thread_id: int, lock_id: int) -> List[int]:
+        """Record a release and wake every thread whose yield cause dissolved.
+
+        Waking goes through the waker registry, so the caller does not need
+        its own wake plumbing; the woken ids are still returned for
+        introspection and scheduler bookkeeping.
+        """
+        woken = self.dimmunix.engine.release(thread_id, lock_id)
+        if woken:
+            self.dimmunix.wake(woken)
+        return woken
+
+    def cancel(self, thread_id: int, lock_id: int) -> None:
+        """Roll back a previously allowed request (trylock / timed lock)."""
+        self.dimmunix.engine.cancel(thread_id, lock_id)
+
+    def park(self, thread_id: int, timeout: Optional[float]) -> bool:
+        """Park a thread that received YIELD; True when woken in time."""
+        return self.parker.park(thread_id, timeout)
+
+    def wake(self, thread_ids: List[int]) -> None:
+        """Un-park the given threads through the waker registry."""
+        self.dimmunix.wake(thread_ids)
+
+    # -- yield lifecycle helpers ------------------------------------------------------------
+
+    def prepare_wait(self, thread_id: int) -> None:
+        """Arm the parker before a request (closes the lost-wakeup window)."""
+        self.parker.prepare(thread_id)
+
+    def abort_yield(self, thread_id: int) -> Optional[Signature]:
+        """Abort the thread's current yield after the yield bound expired."""
+        return self.dimmunix.engine.abort_yield(thread_id)
+
+    # -- waker registry pass-throughs --------------------------------------------------------
+
+    def register_waker(self, thread_id: int, waker: Callable[[], None]) -> None:
+        """Register the callable that un-parks ``thread_id``."""
+        self.dimmunix.register_waker(thread_id, waker)
+
+    def unregister_waker(self, thread_id: int) -> None:
+        """Remove a previously registered waker."""
+        self.dimmunix.unregister_waker(thread_id)
+
+    def forget_thread(self, thread_id: int) -> None:
+        """Drop engine, parker, and waker state of a terminated thread."""
+        self.dimmunix.engine.forget_thread(thread_id)
+        self.parker.forget(thread_id)
+        self.dimmunix.unregister_waker(thread_id)

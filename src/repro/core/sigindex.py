@@ -1,0 +1,235 @@
+"""Incremental suffix-keyed signature index (the paper's section 5.6 tables).
+
+Signatures are indexed by the depth-d suffix of each of their stacks so a
+request only examines signatures that its own stack could possibly cover.
+Earlier versions of the engine rebuilt this index from scratch whenever the
+history changed and scanned the whole history on *every* request to detect
+depth recalibrations — an O(history) cost on the hot path.  This module
+replaces both with an index that maintains itself incrementally:
+
+* :class:`~repro.core.history.History` notifies the index through its
+  observer hooks when signatures are added, removed, enabled, disabled, or
+  the history is cleared;
+* the :class:`~repro.core.calibration.Calibrator` notifies it through a
+  depth listener whenever it changes a signature's matching depth.
+
+Reads are lock-free: mutations build fresh bucket dictionaries and publish
+them with a single reference assignment (copy-on-write), so the request
+path never takes a lock and never observes a partially updated index.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from .callstack import CallStack
+from .signature import Signature
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .history import History
+
+#: depth -> stack-suffix key -> signatures whose stacks carry that suffix.
+Buckets = Dict[int, Dict[Tuple, Tuple[Signature, ...]]]
+
+
+class SignatureIndex:
+    """Read-mostly suffix index over the enabled signatures of a history."""
+
+    def __init__(self, history: Optional["History"] = None):
+        self._mutex = threading.Lock()
+        self._buckets: Buckets = {}
+        #: fingerprint -> signature, for enabled indexed signatures.
+        self._entries: Dict[str, Signature] = {}
+        #: fingerprint -> depth the signature is currently indexed under.
+        self._depths: Dict[str, int] = {}
+        #: Diagnostics: incremental updates vs from-scratch rebuilds.  The
+        #: hot-path regression test asserts ``full_rebuilds`` stays at its
+        #: post-construction value while requests are served.
+        self.updates = 0
+        self.full_rebuilds = 0
+        self._history = history
+        if history is not None:
+            history.add_observer(self)
+            self.rebuild()
+
+    # -- read path (lock-free) ---------------------------------------------------------
+
+    def candidates(self, stack: CallStack) -> List[Signature]:
+        """Enabled signatures one of whose stacks ``stack`` could cover.
+
+        Deduplicated; ordering follows bucket iteration order.  Lock-free:
+        reads one published snapshot of the buckets.
+        """
+        buckets = self._buckets
+        if not buckets:
+            return []
+        found: List[Signature] = []
+        seen = set()
+        frames = stack.frames
+        for depth, bucket in buckets.items():
+            entries = bucket.get(frames[:depth])
+            if not entries:
+                continue
+            for signature in entries:
+                if signature.fingerprint not in seen:
+                    seen.add(signature.fingerprint)
+                    found.append(signature)
+        return found
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def indexed_depth_of(self, fingerprint: str) -> Optional[int]:
+        """The depth a signature is currently indexed under, or ``None``."""
+        return self._depths.get(fingerprint)
+
+    def keys_of(self, fingerprint: str) -> List[Tuple[int, Tuple]]:
+        """The (depth, suffix-key) pairs under which a signature is indexed."""
+        result = []
+        buckets = self._buckets
+        for depth, bucket in buckets.items():
+            for key, entries in bucket.items():
+                if any(sig.fingerprint == fingerprint for sig in entries):
+                    result.append((depth, key))
+        return result
+
+    # -- incremental mutation ------------------------------------------------------------
+
+    def add(self, signature: Signature) -> None:
+        """Index an enabled signature (no-op for disabled ones)."""
+        if signature.disabled:
+            return
+        with self._mutex:
+            self._insert(signature)
+            self.updates += 1
+
+    def discard(self, signature: Signature) -> None:
+        """Remove a signature from the index (no-op when absent)."""
+        with self._mutex:
+            self._remove(signature.fingerprint)
+            self.updates += 1
+
+    def refresh(self, signature: Signature) -> None:
+        """Re-index a signature after its matching depth (or status) changed.
+
+        This is the calibrator's depth-listener hook: only the affected
+        signature's bucket entries move; every other entry is untouched.
+        """
+        with self._mutex:
+            fingerprint = signature.fingerprint
+            known = fingerprint in self._entries
+            if not known:
+                return
+            if self._depths.get(fingerprint) == signature.matching_depth \
+                    and not signature.disabled:
+                return
+            self._remove(fingerprint)
+            if not signature.disabled:
+                self._insert(signature)
+            self.updates += 1
+
+    def rebuild(self) -> None:
+        """Rebuild from scratch out of the attached history (startup path)."""
+        if self._history is None:
+            return
+        with self._mutex:
+            buckets: Buckets = {}
+            entries: Dict[str, Signature] = {}
+            depths: Dict[str, int] = {}
+            for signature in self._history.enabled_signatures():
+                depth = signature.matching_depth
+                entries[signature.fingerprint] = signature
+                depths[signature.fingerprint] = depth
+                bucket = buckets.setdefault(depth, {})
+                for sig_stack in signature.stacks:
+                    key = sig_stack.frames[:depth]
+                    existing = bucket.get(key, ())
+                    if signature not in existing:
+                        bucket[key] = existing + (signature,)
+            self._buckets = buckets
+            self._entries = entries
+            self._depths = depths
+            self.full_rebuilds += 1
+
+    # -- history observer hooks -----------------------------------------------------------
+
+    def on_signature_added(self, signature: Signature) -> None:
+        self.add(signature)
+
+    def on_signature_removed(self, signature: Signature) -> None:
+        self.discard(signature)
+
+    def on_signature_enabled(self, signature: Signature) -> None:
+        self.add(signature)
+
+    def on_signature_disabled(self, signature: Signature) -> None:
+        self.discard(signature)
+
+    def on_history_cleared(self) -> None:
+        with self._mutex:
+            self._buckets = {}
+            self._entries = {}
+            self._depths = {}
+            self.updates += 1
+
+    # -- internals (callers hold self._mutex) ---------------------------------------------
+
+    def _insert(self, signature: Signature) -> None:
+        depth = signature.matching_depth
+        new_buckets = dict(self._buckets)
+        bucket = dict(new_buckets.get(depth, {}))
+        for sig_stack in signature.stacks:
+            key = sig_stack.frames[:depth]
+            existing = bucket.get(key, ())
+            if signature not in existing:
+                bucket[key] = existing + (signature,)
+        new_buckets[depth] = bucket
+        self._buckets = new_buckets
+        self._entries[signature.fingerprint] = signature
+        self._depths[signature.fingerprint] = depth
+
+    def _remove(self, fingerprint: str) -> None:
+        signature = self._entries.pop(fingerprint, None)
+        depth = self._depths.pop(fingerprint, None)
+        if signature is None or depth is None:
+            return
+        bucket = dict(self._buckets.get(depth, {}))
+        for sig_stack in signature.stacks:
+            key = sig_stack.frames[:depth]
+            existing = bucket.get(key)
+            if not existing:
+                continue
+            remaining = tuple(sig for sig in existing
+                              if sig.fingerprint != fingerprint)
+            if remaining:
+                bucket[key] = remaining
+            else:
+                del bucket[key]
+        new_buckets = dict(self._buckets)
+        if bucket:
+            new_buckets[depth] = bucket
+        else:
+            new_buckets.pop(depth, None)
+        self._buckets = new_buckets
+
+    # -- equivalence checking (tests, doctor tooling) ---------------------------------------
+
+    def snapshot(self) -> Dict[int, Dict[Tuple, Tuple[str, ...]]]:
+        """Fingerprint-level view of the buckets, for equivalence checks."""
+        return {depth: {key: tuple(sig.fingerprint for sig in entries)
+                        for key, entries in bucket.items()}
+                for depth, bucket in self._buckets.items()}
+
+    def equivalent_to_rebuild(self) -> bool:
+        """Does the incremental state match a from-scratch rebuild?"""
+        if self._history is None:
+            return True
+        fresh = SignatureIndex()
+        fresh._history = self._history
+        fresh.rebuild()
+        mine = {depth: {key: frozenset(fps) for key, fps in bucket.items()}
+                for depth, bucket in self.snapshot().items()}
+        theirs = {depth: {key: frozenset(fps) for key, fps in bucket.items()}
+                  for depth, bucket in fresh.snapshot().items()}
+        return mine == theirs

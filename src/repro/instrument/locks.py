@@ -49,7 +49,7 @@ class DimmunixLock:
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
         """Acquire the lock, running the Dimmunix avoidance protocol first."""
         runtime = self._runtime
-        engine = runtime.engine
+        core = runtime.core
         thread_id = runtime.current_thread_id()
 
         if self._reentrant and self._owner == thread_id:
@@ -57,7 +57,7 @@ class DimmunixLock:
             # multiset accurate.
             self._native.acquire()
             self._count += 1
-            engine.acquired(thread_id, self._lock_id, runtime.capture_stack())
+            core.acquired(thread_id, self._lock_id, runtime.capture_stack())
             return True
 
         stack = runtime.capture_stack()
@@ -66,54 +66,53 @@ class DimmunixLock:
             deadline = time.monotonic() + timeout
 
         while True:
-            wake_event = runtime.yields.prepare_wait(thread_id)
-            outcome = engine.request(thread_id, self._lock_id, stack)
+            core.prepare_wait(thread_id)
+            outcome = core.request(thread_id, self._lock_id, stack)
             if outcome.decision is Decision.GO:
                 break
             if not blocking:
                 # Trylock semantics: never park; roll the request back.
-                engine.cancel(thread_id, self._lock_id)
+                core.cancel(thread_id, self._lock_id)
                 return False
-            wait_for = runtime.config.yield_timeout
+            wait_for = core.config.yield_timeout
             if deadline is not None:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
-                    engine.cancel(thread_id, self._lock_id)
+                    core.cancel(thread_id, self._lock_id)
                     return False
                 wait_for = remaining if wait_for is None else min(wait_for, remaining)
-            woken = wake_event.wait(wait_for)
-            if not woken and runtime.config.yield_timeout is not None:
+            woken = core.park(thread_id, wait_for)
+            if not woken and core.config.yield_timeout is not None:
                 # Yield bound expired (section 5.7): abort the avoidance and
                 # let the thread proceed on its next request.
-                engine.abort_yield(thread_id)
+                core.abort_yield(thread_id)
 
         native_timeout = -1.0
         if deadline is not None:
             native_timeout = max(0.0, deadline - time.monotonic())
         got = self._native.acquire(blocking, native_timeout if deadline is not None else -1)
         if not got:
-            engine.cancel(thread_id, self._lock_id)
+            core.cancel(thread_id, self._lock_id)
             return False
         self._owner = thread_id
         self._count += 1
-        engine.acquired(thread_id, self._lock_id, stack)
+        core.acquired(thread_id, self._lock_id, stack)
         return True
 
     def release(self) -> None:
         """Release the lock and wake any threads whose yield causes dissolved."""
         runtime = self._runtime
-        engine = runtime.engine
+        core = runtime.core
         thread_id = runtime.current_thread_id()
         if self._owner != thread_id or self._count == 0:
             raise InstrumentationError(
                 f"{self._name} released by thread {thread_id} which does not hold it")
-        woken = engine.release(thread_id, self._lock_id)
+        # The core wakes dissolved yielders through the waker registry.
+        core.release(thread_id, self._lock_id)
         self._count -= 1
         if self._count == 0:
             self._owner = None
         self._native.release()
-        if woken:
-            runtime.yields.wake(woken)
 
     def locked(self) -> bool:
         """Whether the underlying native lock is currently held."""

@@ -5,10 +5,16 @@ Responsibilities:
 * assign stable small integer ids to Python threads and lock objects,
 * park and wake threads that received a YIELD decision (the paper uses a
   per-thread ``yieldLock[T]`` object and ``wait``/``notifyAll``; we use a
-  per-thread :class:`threading.Event`),
+  per-thread :class:`threading.Event` plugged into the shared
+  :class:`~repro.core.runtime_api.RuntimeCore` as its parker),
 * manage the process-wide default :class:`~repro.core.dimmunix.Dimmunix`
   instance used by the ``Lock()``/``RLock()`` factories and by
   monkey-patching.
+
+The engine itself is driven exclusively through the
+:class:`~repro.core.runtime_api.RuntimeCore` protocol — the same layer the
+deterministic simulator uses — so the two runtimes share one copy of the
+engine-driving glue.
 """
 
 from __future__ import annotations
@@ -20,16 +26,40 @@ from typing import Dict, Optional
 from ..core.callstack import CallStack
 from ..core.dimmunix import Dimmunix
 from ..core.errors import InstrumentationError
+from ..core.runtime_api import RuntimeCore, ThreadParker
+
+
+class _DeathToken:
+    """Sentinel stored in a thread's local storage; collected on thread death.
+
+    CPython drops a thread's ``threading.local`` dictionary when the thread
+    terminates, which finalizes this token and fires the callback — giving
+    the runtime automatic per-thread cleanup (engine slots, wake events,
+    wakers) without the application having to call anything.
+    """
+
+    __slots__ = ("thread_id", "callback")
+
+    def __init__(self, thread_id: int, callback):
+        self.thread_id = thread_id
+        self.callback = callback
+
+    def __del__(self):
+        try:
+            self.callback(self.thread_id)
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
 
 
 class ThreadRegistry:
     """Assigns stable small integer ids to live Python threads."""
 
-    def __init__(self):
+    def __init__(self, on_thread_death=None):
         self._local = threading.local()
         self._counter = itertools.count(1)
         self._lock = threading.Lock()
         self._names: Dict[int, str] = {}
+        self._on_thread_death = on_thread_death
 
     def current_thread_id(self) -> int:
         """The stable id of the calling thread (allocated on first use)."""
@@ -39,6 +69,8 @@ class ThreadRegistry:
                 ident = next(self._counter)
                 self._names[ident] = threading.current_thread().name
             self._local.thread_id = ident
+            if self._on_thread_death is not None:
+                self._local.death_token = _DeathToken(ident, self._on_thread_death)
         return ident
 
     def name_of(self, thread_id: int) -> Optional[str]:
@@ -51,8 +83,12 @@ class ThreadRegistry:
             return dict(self._names)
 
 
-class YieldManager:
-    """Parks and wakes threads that received a YIELD decision."""
+class YieldManager(ThreadParker):
+    """Parks and wakes threads that received a YIELD decision.
+
+    Implements the :class:`~repro.core.runtime_api.ThreadParker` protocol
+    on top of per-thread :class:`threading.Event` objects.
+    """
 
     def __init__(self, dimmunix: Dimmunix):
         self._dimmunix = dimmunix
@@ -76,7 +112,7 @@ class YieldManager:
                     self._dimmunix.register_waker(thread_id, event.set)
         return event
 
-    def prepare_wait(self, thread_id: int) -> threading.Event:
+    def prepare(self, thread_id: int) -> threading.Event:
         """Clear and return the wake event, to be called *before* ``request``.
 
         Clearing before the request closes the classic lost-wakeup window:
@@ -87,10 +123,13 @@ class YieldManager:
         event.clear()
         return event
 
-    def wait(self, thread_id: int, timeout: Optional[float]) -> bool:
+    def park(self, thread_id: int, timeout: Optional[float]) -> bool:
         """Park the calling thread until woken or until ``timeout`` expires."""
-        event = self.event_for(thread_id)
-        return event.wait(timeout)
+        return self.event_for(thread_id).wait(timeout)
+
+    # Backwards-compatible aliases for the pre-RuntimeCore method names.
+    prepare_wait = prepare
+    wait = park
 
     def wake(self, thread_ids) -> None:
         """Wake the given threads (used directly by lock release paths)."""
@@ -107,12 +146,17 @@ class YieldManager:
 
 
 class InstrumentationRuntime:
-    """Bundles a Dimmunix instance with the thread registry and yield manager."""
+    """Bundles a Dimmunix instance with the thread registry and runtime core."""
 
     def __init__(self, dimmunix: Dimmunix):
         self.dimmunix = dimmunix
-        self.threads = ThreadRegistry()
         self.yields = YieldManager(dimmunix)
+        #: The unified engine-driving layer; lock wrappers go through this.
+        self.core = RuntimeCore(dimmunix, parker=self.yields)
+        # Terminated threads drop their engine slots, wake events, and
+        # wakers automatically (see _DeathToken), so servers with
+        # short-lived threads do not accumulate per-thread state.
+        self.threads = ThreadRegistry(on_thread_death=self.core.forget_thread)
         self._lock_ids = itertools.count(1)
         self._lock_id_lock = threading.Lock()
 

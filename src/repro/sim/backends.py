@@ -20,6 +20,7 @@ from ..core.callstack import CallStack
 from ..core.config import DimmunixConfig
 from ..core.dimmunix import Dimmunix
 from ..core.history import History
+from ..core.runtime_api import RuntimeCore
 from ..util.clock import VirtualClock
 from .result import StallRecord
 
@@ -84,7 +85,12 @@ class DimmunixBackend(SchedulerBackend):
 
     The Dimmunix instance uses the scheduler's virtual clock and its
     monitor is executed synchronously from :meth:`poll` and
-    :meth:`on_quiescence` rather than from a background thread.
+    :meth:`on_quiescence` rather than from a background thread.  All
+    engine access goes through the same
+    :class:`~repro.core.runtime_api.RuntimeCore` layer as the real-thread
+    instrumentation: the simulator registers a waker per thread that flips
+    it back to READY, and the core's release path wakes dissolved yielders
+    through that registry.
     """
 
     name = "dimmunix"
@@ -98,6 +104,8 @@ class DimmunixBackend(SchedulerBackend):
             config = config or DimmunixConfig.for_testing()
             dimmunix = Dimmunix(config=config, history=history, clock=self.clock)
         self.dimmunix = dimmunix
+        #: Unified engine-driving layer (shared with repro.instrument).
+        self.core = RuntimeCore(dimmunix)
         self._scheduler = None
 
     # -- scheduler wiring --------------------------------------------------------------
@@ -113,22 +121,22 @@ class DimmunixBackend(SchedulerBackend):
         if self._scheduler is None:
             return
         scheduler = self._scheduler
-        self.dimmunix.register_waker(
+        self.core.register_waker(
             thread_id, lambda tid=thread_id: scheduler.wake_thread(tid))
 
     # -- lock protocol ------------------------------------------------------------------
 
     def request(self, thread_id: int, lock_id: int, stack: CallStack) -> bool:
-        return self.dimmunix.engine.request(thread_id, lock_id, stack).is_go
+        return self.core.request(thread_id, lock_id, stack).is_go
 
     def acquired(self, thread_id: int, lock_id: int, stack: CallStack) -> None:
-        self.dimmunix.engine.acquired(thread_id, lock_id, stack)
+        self.core.acquired(thread_id, lock_id, stack)
 
     def release(self, thread_id: int, lock_id: int) -> List[int]:
-        return self.dimmunix.engine.release(thread_id, lock_id)
+        return self.core.release(thread_id, lock_id)
 
     def cancel(self, thread_id: int, lock_id: int) -> None:
-        self.dimmunix.engine.cancel(thread_id, lock_id)
+        self.core.cancel(thread_id, lock_id)
 
     # -- monitor hooks --------------------------------------------------------------------
 

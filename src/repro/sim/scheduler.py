@@ -270,6 +270,10 @@ class SimScheduler:
             thread.held[lock.lock_id] = count
         if fully:
             self._hand_over(lock)
+        # Engine-backed cores (DimmunixBackend) already wake dissolved
+        # yielders through the waker registry — waking them again here is
+        # an idempotent no-op.  Baseline backends (gate locks, ghost locks)
+        # have no waker registry and rely on this loop.
         for thread_id in woken:
             self.wake_thread(thread_id)
 

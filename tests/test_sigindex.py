@@ -1,0 +1,197 @@
+"""Tests for the incremental suffix-keyed signature index."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.avoidance import AvoidanceEngine
+from repro.core.calibration import Calibrator
+from repro.core.callstack import CallStack
+from repro.core.config import DimmunixConfig
+from repro.core.dimmunix import Dimmunix
+from repro.core.history import History
+from repro.core.sigindex import SignatureIndex
+from repro.core.signature import Signature
+
+
+def stack(*labels):
+    return CallStack.from_labels(list(labels))
+
+
+def make_signature(seed: int, depth: int = 2) -> Signature:
+    return Signature([stack(f"lock:{seed}", f"callerA:{seed}", "main:0"),
+                      stack(f"lock:{seed + 1000}", f"callerB:{seed}", "main:0")],
+                     matching_depth=depth)
+
+
+@pytest.fixture
+def history():
+    return History(path=None, autosave=False)
+
+
+class TestIncrementalMaintenance:
+    def test_add_and_lookup(self, history):
+        index = SignatureIndex(history)
+        sig = make_signature(1)
+        history.add(sig)
+        assert index.candidates(stack("lock:1", "callerA:1", "main:0")) == [sig]
+        assert index.candidates(stack("lock:999", "other:0")) == []
+
+    def test_remove_disable_enable(self, history):
+        index = SignatureIndex(history)
+        sig = make_signature(1)
+        history.add(sig)
+        probe = stack("lock:1", "callerA:1", "main:0")
+        history.disable(sig.fingerprint)
+        assert index.candidates(probe) == []
+        history.enable(sig.fingerprint)
+        assert index.candidates(probe) == [sig]
+        history.remove(sig.fingerprint)
+        assert index.candidates(probe) == []
+        assert len(index) == 0
+
+    def test_clear_empties_index(self, history):
+        index = SignatureIndex(history)
+        history.add(make_signature(1))
+        history.add(make_signature(2))
+        history.clear()
+        assert len(index) == 0
+        assert index.candidates(stack("lock:1", "callerA:1", "main:0")) == []
+
+    def test_no_full_rebuild_after_construction(self, history):
+        for seed in range(5):
+            history.add(make_signature(seed))
+        index = SignatureIndex(history)
+        rebuilds_after_init = index.full_rebuilds
+        history.add(make_signature(50))
+        history.disable(make_signature(1).fingerprint)
+        index.refresh(history.signatures()[0])
+        for _ in range(100):
+            index.candidates(stack("lock:0", "callerA:0", "main:0"))
+        assert index.full_rebuilds == rebuilds_after_init
+        assert index.equivalent_to_rebuild()
+
+
+class TestDepthRecalibration:
+    def test_refresh_moves_only_affected_signature(self, history):
+        index = SignatureIndex(history)
+        moved = make_signature(1, depth=2)
+        untouched = make_signature(2, depth=2)
+        history.add(moved)
+        history.add(untouched)
+        untouched_keys = set(index.keys_of(untouched.fingerprint))
+        old_moved_keys = set(index.keys_of(moved.fingerprint))
+
+        moved.matching_depth = 3
+        index.refresh(moved)
+
+        assert set(index.keys_of(untouched.fingerprint)) == untouched_keys
+        new_moved_keys = set(index.keys_of(moved.fingerprint))
+        assert new_moved_keys.isdisjoint(old_moved_keys)
+        assert all(depth == 3 for depth, _key in new_moved_keys)
+        assert index.equivalent_to_rebuild()
+
+    def test_calibrator_recalibration_invalidates_exactly_affected(self):
+        """Regression: a depth recalibration must re-bucket the affected
+        signature — and only it — without a full rebuild or staleness scan."""
+        config = DimmunixConfig.for_testing(calibration_enabled=True)
+        dimmunix = Dimmunix(config=config)
+        engine = dimmunix.engine
+        recalibrated = make_signature(1, depth=4)
+        bystander = make_signature(2, depth=4)
+        dimmunix.history.add(recalibrated)
+        dimmunix.history.add(bystander)
+        # Calibration resets a signature's depth to 1 the first time the
+        # calibrator sees it; recalibrate_all goes through the same path.
+        bystander_keys = set(engine.index.keys_of(bystander.fingerprint))
+        rebuilds = engine.index.full_rebuilds
+        dimmunix.calibrator.recalibrate_all([recalibrated])
+        assert recalibrated.matching_depth == 1
+        assert engine.index.indexed_depth_of(recalibrated.fingerprint) == 1
+        assert set(engine.index.keys_of(bystander.fingerprint)) == bystander_keys
+        assert engine.index.full_rebuilds == rebuilds
+        assert engine.index.equivalent_to_rebuild()
+
+    def test_engine_matches_at_recalibrated_depth(self):
+        history = History(path=None, autosave=False)
+        sig = Signature([stack("lock:4", "update:1"), stack("lock:4", "update:2")],
+                        matching_depth=2)
+        history.add(sig)
+        engine = AvoidanceEngine(history, DimmunixConfig.for_testing())
+        s1 = stack("lock:4", "update:1", "main:0")
+        s2 = stack("lock:4", "update:2", "main:0")
+        engine.request(1, 2, s2)
+        engine.acquired(1, 2, s2)
+        assert engine.request(2, 1, s1).is_yield
+        engine.force_go(2)
+        assert engine.request(2, 1, s1).is_go
+        engine.acquired(2, 1, s1)
+        engine.release(2, 1)
+        # Deepen the depth so the "update" frames must also match; the
+        # index must re-bucket, making previously yielding paths pass.
+        sig.matching_depth = 3
+        engine.index.refresh(sig)
+        different = stack("lock:4", "update:1", "elsewhere:9")
+        assert engine.request(2, 1, different).is_go
+
+
+class TestNoStalenessScanOnRequestPath:
+    def test_request_path_never_scans_history(self, monkeypatch):
+        """Regression for the O(history)-per-request staleness scan: the
+        request path must not call ``history.get`` (the old scan called it
+        twice per signature per request) and must not rebuild the index."""
+        history = History(path=None, autosave=False)
+        for seed in range(50):
+            history.add(make_signature(seed))
+        engine = AvoidanceEngine(history, DimmunixConfig.for_testing())
+        rebuilds = engine.index.full_rebuilds
+
+        calls = {"get": 0}
+        original_get = history.get
+
+        def counting_get(fingerprint):
+            calls["get"] += 1
+            return original_get(fingerprint)
+
+        monkeypatch.setattr(history, "get", counting_get)
+        probe = stack("app:1", "caller:1", "main:0")
+        for i in range(200):
+            engine.request(1, 10 + (i % 3), probe)
+            engine.acquired(1, 10 + (i % 3), probe)
+            engine.release(1, 10 + (i % 3))
+        assert calls["get"] == 0
+        assert engine.index.full_rebuilds == rebuilds
+
+
+class TestRandomizedEquivalence:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_add_disable_recalibrate_stays_equivalent(self, seed):
+        rng = random.Random(seed)
+        history = History(path=None, autosave=False)
+        index = SignatureIndex(history)
+        pool = []
+        for step in range(40):
+            op = rng.randrange(5)
+            if op == 0 or not pool:
+                sig = make_signature(rng.randrange(20),
+                                     depth=rng.randrange(1, 5))
+                if history.add(sig):
+                    pool.append(sig)
+            elif op == 1:
+                history.disable(rng.choice(pool).fingerprint)
+            elif op == 2:
+                history.enable(rng.choice(pool).fingerprint)
+            elif op == 3:
+                victim = rng.choice(pool)
+                history.remove(victim.fingerprint)
+                pool = [s for s in pool
+                        if s.fingerprint != victim.fingerprint]
+            else:
+                sig = rng.choice(pool)
+                sig.matching_depth = rng.randrange(1, 6)
+                index.refresh(sig)
+            assert index.equivalent_to_rebuild(), f"diverged at step {step}"
