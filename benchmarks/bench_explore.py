@@ -1,0 +1,84 @@
+"""Schedule-exploration throughput — states/sec across modes and scenarios.
+
+The explorer's usefulness is bounded by how many scheduler states it can
+visit per second: a deadlock that needs 10^4 interleavings to manifest is
+only testable if the engine sustains that within CI budgets.  This
+benchmark drives the DFS (with and without sleep-set pruning) and the
+random-walk mode over the canonical scenarios under both ``NullBackend``
+and a forked Dimmunix backend, and reports interleavings/sec and
+states/sec (one state = one scheduler step).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_explore.py
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DimmunixConfig
+from repro.harness.report import format_table
+from repro.sim import (DimmunixBackend, Explorer, NullBackend,
+                       build_philosophers, build_two_lock_inversion)
+
+MAX_RUNS = 4_000
+RANDOM_RUNS = 400
+
+
+def _scenarios():
+    return [
+        ("two-lock", lambda backend: build_two_lock_inversion(backend)),
+        ("philosophers-3", lambda backend: build_philosophers(backend, seats=3)),
+        ("philosophers-3/eat0",
+         lambda backend: build_philosophers(backend, seats=3, eat_time=0.0)),
+        ("philosophers-4",
+         lambda backend: build_philosophers(backend, seats=4)),
+    ]
+
+
+def _null_factory(scenario):
+    return lambda: scenario(NullBackend())
+
+
+def _dimmunix_factory(scenario):
+    prototype = DimmunixBackend(config=DimmunixConfig.for_testing())
+    return lambda: scenario(prototype.fork())
+
+
+def run_benchmark(max_runs: int = MAX_RUNS, random_runs: int = RANDOM_RUNS):
+    """Run all mode × scenario × backend combinations; returns row dicts."""
+    rows = []
+    for name, scenario in _scenarios():
+        for backend_name, factory in (("null", _null_factory(scenario)),
+                                      ("dimmunix", _dimmunix_factory(scenario))):
+            explorer = Explorer(factory, name=name, max_runs=max_runs)
+            for mode, result in (
+                    ("dfs", explorer.explore()),
+                    ("dfs/nosleep",
+                     Explorer(factory, name=name, max_runs=max_runs,
+                              sleep_sets=False).explore()),
+                    ("random", explorer.random_walk(runs=random_runs))):
+                rows.append({
+                    "scenario": name,
+                    "backend": backend_name,
+                    "mode": mode,
+                    "runs": result.runs,
+                    "states": result.steps,
+                    "deadlocks": result.deadlock_count,
+                    "unique": result.unique_deadlocks,
+                    "exhausted": result.exhausted,
+                    "runs_per_sec": round(result.runs / result.elapsed, 1)
+                    if result.elapsed else 0.0,
+                    "states_per_sec": round(result.states_per_second, 1),
+                })
+    return rows
+
+
+def main() -> None:
+    rows = run_benchmark()
+    print(format_table(rows, title="Schedule exploration throughput "
+                                   f"(max_runs={MAX_RUNS}, "
+                                   f"random_runs={RANDOM_RUNS})"))
+
+
+if __name__ == "__main__":
+    main()

@@ -148,6 +148,19 @@ class GateLockBackend(SchedulerBackend):
         # A failed trylock releases any gates taken for it.
         self.release(thread_id, lock_id)
 
+    def fork(self) -> "GateLockBackend":
+        """A fresh backend with the learned gates but clean runtime state.
+
+        Gates are keyed on encoded code sites, which are stable across
+        runs, so a fork keeps the protection while dropping owners,
+        waiters, and per-run counters — what schedule exploration needs
+        for per-interleaving isolation.
+        """
+        fork = GateLockBackend()
+        for gate in self._gates:
+            fork.add_gate(gate.sites)
+        return fork
+
     # -- reporting ---------------------------------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:

@@ -110,6 +110,20 @@ class GhostLockBackend(SchedulerBackend):
                 woken.extend(ghost.waiters)
                 ghost.waiters.clear()
 
+    def fork(self) -> "GhostLockBackend":
+        """A fresh backend with the installed ghosts but clean runtime state.
+
+        Ghost locks are keyed on lock *identities*, so a fork only
+        protects scenarios that reuse the same lock objects across runs
+        (``SimScheduler.register_lock``); scenarios that rebuild their
+        locks per run get fresh lock ids the ghosts cannot cover — an
+        inherent property of the identity-keyed design, not of the fork.
+        """
+        fork = GhostLockBackend()
+        for ghost in self._ghosts:
+            fork.add_ghost(ghost.lock_ids)
+        return fork
+
     # -- reporting ----------------------------------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:

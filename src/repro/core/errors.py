@@ -75,5 +75,20 @@ class SimDeadlockError(SimulationError):
         self.cycle = cycle
 
 
+class ReplayDivergenceError(SimulationError):
+    """Raised when a recorded schedule cannot be re-driven step-for-step.
+
+    A trace diverges when the scenario being replayed is not the scenario
+    that was recorded (different threads, different backend decisions) —
+    the scheduler reaches a choice point whose candidate set no longer
+    contains the recorded choice, or runs out of recorded choices while
+    choice points remain.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
 class InstrumentationError(DimmunixError):
     """Raised when lock instrumentation or monkey-patching fails."""

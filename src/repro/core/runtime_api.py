@@ -82,6 +82,35 @@ class RuntimeCore:
         """The configuration of the attached Dimmunix instance."""
         return self.dimmunix.config
 
+    def fork(self) -> "RuntimeCore":
+        """A fresh core: new engine, same config, deep-copied history.
+
+        Systematic exploration runs the same scenario under many
+        interleavings; each run must start from identical engine state and
+        must not leak learned signatures (or mutated signature counters)
+        into its siblings.  ``fork`` gives every run its own Dimmunix
+        instance seeded with an isolated copy of the current history.
+
+        The fork gets the default (non-blocking) parker: parkers are
+        runtime-specific and bound to their runtime's wake machinery, so
+        a runtime that parks for real must install its own parker against
+        the forked core — which is exactly what the simulator's backends
+        do (they manage thread states themselves and never park).
+        """
+        from .dimmunix import Dimmunix  # runtime import: cycle guard
+        from .history import History
+
+        source = self.dimmunix
+        history = History(path=None, autosave=False)
+        history.merge(Signature.from_dict(sig.to_dict())
+                      for sig in source.history.signatures())
+        clone = Dimmunix(config=source.config, history=history,
+                         clock=type(source.clock)(),
+                         deadlock_handler=source.monitor.deadlock_handler,
+                         restart_handler=source.monitor.restart_handler,
+                         engine_mode=source.engine.mode)
+        return clone.runtime_core
+
     # -- the six-operation protocol -------------------------------------------------------
 
     def request(self, thread_id: int, lock_id: int,

@@ -4,6 +4,7 @@ from .ablation import (AllowEdgeRow, DetectionLatencyRow, ImmunityModeRow,
                        run_allow_edge_ablation, run_detection_latency,
                        run_immunity_mode_ablation)
 from .effectiveness import (Table1Row, Table2Row, run_table1, run_table2)
+from .explore import ExplorationRow, run_exploration_matrix
 from .appworkloads import run_broker_workload, run_jdbc_workload
 from .overhead import Figure4Row, run_figure4
 from .microsweeps import (Figure5Row, Figure6Row, Figure7Row, Figure8Row,
@@ -15,6 +16,7 @@ from .report import format_table
 __all__ = [
     "AllowEdgeRow",
     "DetectionLatencyRow",
+    "ExplorationRow",
     "Figure4Row",
     "Figure5Row",
     "Figure6Row",
@@ -29,6 +31,7 @@ __all__ = [
     "run_allow_edge_ablation",
     "run_broker_workload",
     "run_detection_latency",
+    "run_exploration_matrix",
     "run_figure4",
     "run_figure5",
     "run_figure6",

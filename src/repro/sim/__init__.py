@@ -1,4 +1,4 @@
-"""Deterministic concurrency simulator.
+"""Deterministic concurrency simulator and schedule-exploration engine.
 
 Real deadlocks are timing dependent and awkward to reproduce in tests; the
 paper's authors built timing-loop "exploits" to trigger them reliably.
@@ -9,12 +9,26 @@ avoidance engine and monitor as the real-thread instrumentation, which
 makes deadlock, avoidance, and starvation scenarios exactly reproducible
 (and lets experiments scale to 1024 simulated threads without fighting
 the GIL).
+
+Scheduling decisions go through a pluggable
+:class:`~repro.sim.schedule.SchedulePolicy` and are recorded as
+serializable :class:`~repro.sim.schedule.ScheduleTrace` objects, which
+turns the simulator into a model checker: :mod:`repro.sim.explore`
+enumerates all bounded interleavings (with sleep-set pruning and
+preemption bounding), replays recorded schedules step-for-step, shrinks
+deadlock counterexamples, and checks the paper's immunity claim over the
+whole bounded schedule space instead of one lucky seed.
 """
 
 from .actions import Acquire, Compute, Log, Release, TryAcquire, call_site
 from .backends import (DimmunixBackend, NullBackend, SchedulerBackend)
+from .explore import (DeadlockFinding, ExplorationResult, Explorer,
+                      ImmunityChecker, ImmunityReport, SCENARIOS,
+                      build_philosophers, build_two_lock_inversion)
 from .locks import SimLock
 from .result import SimResult
+from .schedule import (FirstReadyPolicy, RandomPolicy, ReplayPolicy,
+                       SchedulePolicy, ScheduleTrace)
 from .scheduler import SimScheduler, SimThread
 from .programs import (lock_order_program, philosopher_program,
                        random_workload_program, two_phase_program)
@@ -22,16 +36,29 @@ from .programs import (lock_order_program, philosopher_program,
 __all__ = [
     "Acquire",
     "Compute",
+    "DeadlockFinding",
     "DimmunixBackend",
+    "ExplorationResult",
+    "Explorer",
+    "FirstReadyPolicy",
+    "ImmunityChecker",
+    "ImmunityReport",
     "Log",
     "NullBackend",
+    "RandomPolicy",
     "Release",
+    "ReplayPolicy",
+    "SCENARIOS",
+    "SchedulePolicy",
     "SchedulerBackend",
+    "ScheduleTrace",
     "SimLock",
     "SimResult",
     "SimScheduler",
     "SimThread",
     "TryAcquire",
+    "build_philosophers",
+    "build_two_lock_inversion",
     "call_site",
     "lock_order_program",
     "philosopher_program",

@@ -70,6 +70,16 @@ class SchedulerBackend:
         """Backend-specific counters included in the run result."""
         return {}
 
+    def fork(self) -> "SchedulerBackend":
+        """A fresh, unattached backend equivalent to this one at rest.
+
+        The exploration engine runs one scenario under many interleavings
+        and needs a pristine backend per run.  The default covers
+        stateless backends (fresh default-constructed instance); stateful
+        backends override it to carry their configuration across.
+        """
+        return type(self)()
+
 
 class NullBackend(SchedulerBackend):
     """No avoidance: every request is granted immediately."""
@@ -156,6 +166,20 @@ class DimmunixBackend(SchedulerBackend):
         data = self.dimmunix.stats.snapshot()
         data["history_size"] = len(self.dimmunix.history)
         return data
+
+    def fork(self) -> "DimmunixBackend":
+        """A fresh backend around a forked core (copied history, new engine).
+
+        Subclasses that only adjust configuration (e.g. the detection-only
+        baseline) are preserved: the fork is constructed from the cloned
+        Dimmunix instance via ``type(self)``-independent wiring, so the
+        exploration engine can fork any engine-backed backend.
+        """
+        core = self.core.fork()
+        fork = DimmunixBackend.__new__(type(self))
+        DimmunixBackend.__init__(fork, dimmunix=core.dimmunix,
+                                 clock=core.dimmunix.clock)
+        return fork
 
     # -- convenience ----------------------------------------------------------------------
 

@@ -1,0 +1,680 @@
+"""Systematic schedule exploration: the simulator as a model checker.
+
+One seeded run samples a single interleaving; the paper's immunity claim
+("once a pattern is in the history, *no* future interleaving re-manifests
+it") quantifies over *all* interleavings.  This module makes that claim
+testable by exploring the scheduler's choice tree:
+
+* :class:`Explorer` — bounded exhaustive DFS over scheduling choices
+  (with preemption bounding, invisible-move reduction, and sleep-set
+  pruning), plus a swarm/random-walk mode for programs too large to
+  enumerate.  Each run re-drives a forced prefix of choices through a
+  fresh scheduler built by a *scenario factory*, then branches at the
+  first free choice points — stateless model checking in the style of
+  VeriSoft/CHESS.
+* Record/replay — every run yields a serializable
+  :class:`~repro.sim.schedule.ScheduleTrace`; :meth:`Explorer.replay`
+  re-drives one step-for-step (byte-identical when re-recorded).
+* :meth:`Explorer.shrink` — greedy trace minimization for small, readable
+  deadlock counterexamples suitable for fixture check-in.
+* :class:`ImmunityChecker` — the paper's claim as an executable check:
+  the scenario deadlocks under :class:`~repro.sim.backends.NullBackend`
+  in at least one bounded interleaving, and under Dimmunix with the
+  seeded history in none.
+
+Reductions and soundness.  Local steps (``Compute``/``Log``/thread exit)
+commute with everything, so they are executed eagerly without branching
+(``visible_only``).  Sleep sets use per-lock footprints as the
+independence relation, which is exact for the pure-mutex semantics of
+``NullBackend`` but not for engine-backed backends (a request on one lock
+can change the avoidance decision on another), so sleep sets default to
+*on* only for ``NullBackend`` scenarios.  A preemption bound, when set,
+restricts the search to schedules with at most that many preemptive
+context switches (CHESS-style iterative context bounding) and is reported
+as such — the search is then complete only w.r.t. the bound.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.errors import ReplayDivergenceError
+from .backends import NullBackend, SchedulerBackend
+from .programs import lock_order_program, philosopher_program
+from .result import SimResult
+from .schedule import (RandomPolicy, ReplayPolicy, SchedulePolicy,
+                       ScheduleTrace, lock_footprint)
+from .scheduler import SimScheduler
+
+#: A scenario factory: builds a fresh, fully configured scheduler
+#: (threads, locks, backend) for one exploration run.
+ScenarioFactory = Callable[[], SimScheduler]
+
+
+class _CutRun(Exception):
+    """Internal control flow: abandon the current run.
+
+    ``reason`` is ``"sleep"`` when every branchable candidate is in the
+    sleep set (the continuation is covered by a sibling branch) or
+    ``"depth"`` when the per-run choice-point bound was hit.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class _Node:
+    """One frontier entry of the DFS: a forced prefix plus sleep insertions."""
+
+    choices: Tuple[int, ...]
+    #: choice-point position -> sleep entries ((slot, lock footprint), ...)
+    #: inserted when the replay reaches that position.
+    sleep_at: Dict[int, Tuple[Tuple[int, Optional[int]], ...]]
+
+
+@dataclass
+class _ChoiceRecord:
+    """A free choice point observed during a DFS run (branching data)."""
+
+    position: int
+    taken_before: List[int]
+    chosen_slot: int
+    chosen_lock: Optional[int]
+    #: Branchable alternatives (slot, lock footprint), ascending slot order.
+    alternatives: List[Tuple[int, Optional[int]]]
+    prev_slot: Optional[int]
+    prev_runnable: bool
+    preemptions: int
+
+
+class _DfsPolicy(SchedulePolicy):
+    """Replays a forced prefix, then takes default choices recording branches."""
+
+    name = "dfs"
+
+    def __init__(self, node: _Node, max_depth: Optional[int],
+                 visible_only: bool, sleep_enabled: bool):
+        self.forced = node.choices
+        self.sleep_in = node.sleep_at
+        self.max_depth = max_depth
+        self.visible_only = visible_only
+        self.sleep_enabled = sleep_enabled
+        self.sleep: Dict[int, Optional[int]] = {}
+        self.taken: List[int] = []
+        self.records: List[_ChoiceRecord] = []
+        self.position = 0
+        self.prev_slot: Optional[int] = None
+        self.preemptions = 0
+
+    def choose(self, candidates, scheduler):
+        position = self.position
+        self.position += 1
+        if self.max_depth is not None and position >= self.max_depth:
+            raise _CutRun("depth")
+        if self.sleep_enabled:
+            for slot, lock in self.sleep_in.get(position, ()):
+                self.sleep[slot] = lock
+        by_slot = {}
+        for thread in candidates:
+            slot = scheduler.slot_of(thread.thread_id)
+            lock = lock_footprint(thread.peek_action())
+            # Footprints are lock *slots*, not lock ids: sleep entries
+            # travel between runs, and each run has fresh lock ids.
+            if lock is not None:
+                lock = scheduler.lock_slot_of(lock)
+            by_slot[slot] = (thread, lock)
+        slots = sorted(by_slot)
+
+        if position < len(self.forced):
+            slot = self.forced[position]
+            entry = by_slot.get(slot)
+            if entry is None:
+                raise ReplayDivergenceError(
+                    f"DFS prefix diverged at choice point {position}: slot "
+                    f"{slot} is not runnable (candidates: {slots})",
+                    position=position)
+            return self._take(slot, entry[0], slots,
+                              visible=entry[1] is not None)
+
+        if self.visible_only:
+            invisible = [s for s in slots if by_slot[s][1] is None]
+            if invisible:
+                # Local moves commute with everything: run one eagerly,
+                # never branch over their order (and never charge the
+                # reduction-imposed switch as a preemption).
+                slot = self.prev_slot if self.prev_slot in invisible else invisible[0]
+                return self._take(slot, by_slot[slot][0], slots, visible=False)
+            pool = [s for s in slots if by_slot[s][1] is not None]
+        else:
+            pool = slots
+        branchable = [s for s in pool if s not in self.sleep]
+        if not branchable:
+            raise _CutRun("sleep")
+        chosen = self.prev_slot if self.prev_slot in branchable else branchable[0]
+        alternatives = [(s, by_slot[s][1]) for s in branchable if s != chosen]
+        if alternatives:
+            self.records.append(_ChoiceRecord(
+                position=position,
+                taken_before=list(self.taken),
+                chosen_slot=chosen,
+                chosen_lock=by_slot[chosen][1],
+                alternatives=alternatives,
+                prev_slot=self.prev_slot,
+                prev_runnable=self.prev_slot in by_slot,
+                preemptions=self.preemptions))
+        return self._take(chosen, by_slot[chosen][0], slots,
+                          visible=by_slot[chosen][1] is not None)
+
+    def _take(self, slot: int, thread, candidate_slots: List[int],
+              visible: bool):
+        # A preemption is a switch away from the thread that performed
+        # the last *visible* (lock) operation while it could still run.
+        # Invisible moves are glue: they neither count as preemptions nor
+        # change whose turn it conceptually is.
+        if (visible and self.prev_slot is not None and self.prev_slot != slot
+                and self.prev_slot in candidate_slots):
+            self.preemptions += 1
+        self.taken.append(slot)
+        return thread
+
+    def observe(self, scheduler, thread, action) -> None:
+        slot = scheduler.slot_of(thread.thread_id)
+        if lock_footprint(action) is not None:
+            self.prev_slot = slot
+        if not self.sleep_enabled or not self.sleep:
+            return
+        # A sleep entry dissolves when a dependent step executes: any step
+        # touching the same lock, or the sleeping thread itself moving.
+        self.sleep.pop(slot, None)
+        lock = lock_footprint(action)
+        if lock is not None:
+            lock = scheduler.lock_slot_of(lock)
+            for sleeping in [s for s, l in self.sleep.items() if l == lock]:
+                del self.sleep[sleeping]
+
+
+@dataclass
+class DeadlockFinding:
+    """One deadlocking interleaving discovered by the explorer."""
+
+    trace: ScheduleTrace
+    result: SimResult
+    #: Sorted (slot, lock id) wait pairs of the stall — the deduplication key.
+    footprint: Tuple[Tuple[int, int], ...]
+
+
+@dataclass
+class ExplorationResult:
+    """Aggregate outcome of one exploration (DFS or random walk)."""
+
+    mode: str
+    runs: int = 0
+    steps: int = 0
+    completed: int = 0
+    deadlocks: List[DeadlockFinding] = field(default_factory=list)
+    #: Distinct stall footprints among ``deadlocks``.
+    unique_deadlocks: int = 0
+    #: Runs abandoned because every branchable move was in the sleep set.
+    pruned_sleep: int = 0
+    #: Runs truncated by the per-run choice-point depth bound.
+    cut_depth: int = 0
+    #: Branches not pushed because they exceeded the preemption bound.
+    skipped_preemption: int = 0
+    #: True when the bounded choice tree was fully enumerated (no depth
+    #: cuts, no run-budget exhaustion; preemption skips are reported, not
+    #: counted against exhaustiveness of the *bounded* space).
+    exhausted: bool = False
+    elapsed: float = 0.0
+
+    @property
+    def deadlock_count(self) -> int:
+        return len(self.deadlocks)
+
+    @property
+    def states_per_second(self) -> float:
+        """Scheduler steps (explored states) per wall-clock second."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.steps / self.elapsed
+
+    def summary(self) -> Dict:
+        return {
+            "mode": self.mode,
+            "runs": self.runs,
+            "steps": self.steps,
+            "completed": self.completed,
+            "deadlocks": self.deadlock_count,
+            "unique_deadlocks": self.unique_deadlocks,
+            "pruned_sleep": self.pruned_sleep,
+            "cut_depth": self.cut_depth,
+            "skipped_preemption": self.skipped_preemption,
+            "exhausted": self.exhausted,
+            "elapsed": round(self.elapsed, 6),
+            "states_per_second": round(self.states_per_second, 1),
+        }
+
+
+class Explorer:
+    """Bounded systematic exploration of a scenario's schedule tree.
+
+    ``scenario`` is a zero-argument factory returning a fresh, fully
+    configured :class:`SimScheduler`; each run gets its own scheduler (and
+    backend — use :meth:`SchedulerBackend.fork` for stateful backends).
+
+    Bounds: ``max_runs`` caps the number of executions, ``max_depth`` the
+    choice points per run, ``preemption_bound`` the preemptive context
+    switches per schedule (``None`` = unbounded; switches counted at
+    visible lock operations only).  ``sleep_sets=None`` enables sleep-set
+    pruning automatically when the scenario runs on a
+    :class:`NullBackend` (where per-lock independence is exact); setting
+    a preemption bound forces sleep sets off, since the two reductions
+    are unsound in combination.
+    """
+
+    def __init__(self, scenario: ScenarioFactory, *, name: str = "scenario",
+                 max_runs: int = 10_000, max_depth: Optional[int] = None,
+                 preemption_bound: Optional[int] = None,
+                 visible_only: bool = True,
+                 sleep_sets: Optional[bool] = None):
+        self.scenario = scenario
+        self.name = name
+        self.max_runs = max_runs
+        self.max_depth = max_depth
+        self.preemption_bound = preemption_bound
+        self.visible_only = visible_only
+        self.sleep_sets = sleep_sets
+
+    # -- run plumbing ----------------------------------------------------------------------
+
+    def _build(self, policy: SchedulePolicy) -> SimScheduler:
+        scheduler = self.scenario()
+        scheduler.policy = policy
+        return scheduler
+
+    def _sleep_enabled(self, scheduler: SimScheduler) -> bool:
+        if self.preemption_bound is not None:
+            # Sleep sets prune an ordering because an equivalent sibling
+            # branch covers it — but preemption counts are not invariant
+            # across equivalent orderings, so with a bound the covering
+            # branch may be skipped (over the bound) while the pruned one
+            # was within it, silently losing schedules.  Bounded search
+            # therefore always runs without sleep sets (as CHESS does).
+            return False
+        if self.sleep_sets is not None:
+            return self.sleep_sets
+        return isinstance(scheduler.backend, NullBackend)
+
+    def _record_outcome(self, res: ExplorationResult, scheduler: SimScheduler,
+                        result: SimResult, seen: set) -> None:
+        res.steps += result.steps
+        if result.deadlocked and result.stall is not None:
+            footprint = tuple(sorted(
+                (scheduler.slot_of(thread_id), scheduler.lock_slot_of(lock_id))
+                for thread_id, lock_id in result.stall.waiting.items()))
+            trace = ScheduleTrace(list(result.schedule), meta={
+                "scenario": self.name,
+                "backend": scheduler.backend.name,
+                "outcome": "deadlock",
+            })
+            res.deadlocks.append(DeadlockFinding(trace, result, footprint))
+            if footprint not in seen:
+                seen.add(footprint)
+                res.unique_deadlocks += 1
+        elif result.completed:
+            res.completed += 1
+
+    # -- bounded exhaustive DFS ------------------------------------------------------------
+
+    def explore(self, stop_on_first_deadlock: bool = False) -> ExplorationResult:
+        """Depth-first enumeration of the bounded schedule tree."""
+        res = ExplorationResult(mode="dfs")
+        seen: set = set()
+        started = time.perf_counter()
+        frontier: List[_Node] = [_Node(choices=(), sleep_at={})]
+        exhausted = True
+        while frontier:
+            if res.runs >= self.max_runs:
+                exhausted = False
+                break
+            node = frontier.pop()
+            scheduler = self.scenario()
+            sleep_enabled = self._sleep_enabled(scheduler)
+            policy = _DfsPolicy(node, self.max_depth, self.visible_only,
+                                sleep_enabled)
+            scheduler.policy = policy
+            res.runs += 1
+            try:
+                result = scheduler.run()
+            except _CutRun as cut:
+                result = None
+                res.steps += scheduler.result.steps
+                if cut.reason == "depth":
+                    res.cut_depth += 1
+                    exhausted = False
+                else:
+                    res.pruned_sleep += 1
+            if result is not None:
+                self._record_outcome(res, scheduler, result, seen)
+            # Push the unexplored siblings of every free choice taken in
+            # this run; reversed-within-record so the leftmost alternative
+            # of the deepest record ends up on top (depth-first order).
+            for record in policy.records:
+                pushes: List[_Node] = []
+                asleep: List[Tuple[int, Optional[int]]] = [
+                    (record.chosen_slot, record.chosen_lock)]
+                for alt_slot, alt_lock in record.alternatives:
+                    if self.preemption_bound is not None:
+                        # Mirror _DfsPolicy._take: only a visible (lock)
+                        # move away from a still-runnable previous thread
+                        # counts against the bound.
+                        preemptive = (alt_lock is not None
+                                      and record.prev_runnable
+                                      and record.prev_slot is not None
+                                      and alt_slot != record.prev_slot)
+                        if record.preemptions + (1 if preemptive else 0) \
+                                > self.preemption_bound:
+                            res.skipped_preemption += 1
+                            continue
+                    sleep_at = dict(node.sleep_at)
+                    if sleep_enabled:
+                        sleep_at[record.position] = tuple(asleep)
+                    pushes.append(_Node(
+                        choices=tuple(record.taken_before) + (alt_slot,),
+                        sleep_at=sleep_at))
+                    asleep.append((alt_slot, alt_lock))
+                frontier.extend(reversed(pushes))
+            if stop_on_first_deadlock and res.deadlocks:
+                exhausted = not frontier
+                break
+        res.exhausted = exhausted and not frontier
+        res.elapsed = time.perf_counter() - started
+        return res
+
+    # -- swarm / random walk ------------------------------------------------------------------
+
+    def random_walk(self, runs: int = 100, seed: int = 0,
+                    stop_on_first_deadlock: bool = False) -> ExplorationResult:
+        """Sample ``runs`` random schedules (for trees too large to enumerate)."""
+        res = ExplorationResult(mode="random")
+        seen: set = set()
+        started = time.perf_counter()
+        for index in range(runs):
+            scheduler = self._build(RandomPolicy(seed=seed * 1_000_003 + index))
+            result = scheduler.run()
+            res.runs += 1
+            self._record_outcome(res, scheduler, result, seen)
+            if stop_on_first_deadlock and res.deadlocks:
+                break
+        res.elapsed = time.perf_counter() - started
+        return res
+
+    # -- record / replay -------------------------------------------------------------------------
+
+    def replay(self, trace: ScheduleTrace, strict: bool = True) -> SimResult:
+        """Re-drive a recorded schedule through a fresh scenario instance."""
+        scheduler = self._build(ReplayPolicy(trace, strict=strict))
+        return scheduler.run()
+
+    # -- greedy trace shrinking ------------------------------------------------------------------
+
+    def shrink(self, trace: ScheduleTrace,
+               preserve: Optional[Callable[[SimResult], bool]] = None,
+               max_passes: int = 8) -> ScheduleTrace:
+        """Minimize a counterexample schedule while ``preserve`` still holds.
+
+        Greedy passes of prefix truncation and single-choice deletion,
+        each validated by a tolerant replay; the surviving schedule is
+        re-recorded from the actual run, so the result always replays
+        strictly (and byte-identically).  ``preserve`` defaults to "the
+        run still deadlocks".
+        """
+        if preserve is None:
+            preserve = lambda result: result.deadlocked  # noqa: E731
+
+        def attempt(choices: List[int]) -> Tuple[SimResult, List[int]]:
+            result = self.replay(ScheduleTrace(choices), strict=False)
+            return result, list(result.schedule)
+
+        best_result, best = attempt(list(trace.choices))
+        if not preserve(best_result):
+            raise ValueError("trace does not satisfy the predicate to preserve")
+        for _pass in range(max_passes):
+            improved = False
+            for cut in range(len(best)):
+                result, recorded = attempt(best[:cut])
+                if preserve(result) and len(recorded) < len(best):
+                    best = recorded
+                    improved = True
+                    break
+            if improved:
+                continue
+            index = 0
+            while index < len(best):
+                result, recorded = attempt(best[:index] + best[index + 1:])
+                if preserve(result) and len(recorded) < len(best):
+                    best = recorded
+                    improved = True
+                else:
+                    index += 1
+            if not improved:
+                break
+        meta = dict(trace.meta)
+        meta["shrunk_from"] = len(trace.choices)
+        return ScheduleTrace(best, meta=meta)
+
+
+# ---------------------------------------------------------------------------
+# Immunity checking
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ImmunityReport:
+    """Outcome of an :class:`ImmunityChecker` run."""
+
+    scenario: str
+    vulnerable: ExplorationResult
+    minimal_trace: Optional[ScheduleTrace]
+    learned_signatures: int
+    immune: Optional[ExplorationResult]
+
+    @property
+    def vacuous(self) -> bool:
+        """True when no bounded interleaving deadlocked even without avoidance."""
+        return self.vulnerable.deadlock_count == 0
+
+    @property
+    def holds(self) -> bool:
+        """The paper's claim: vulnerable baseline, zero deadlocks with history.
+
+        The immune phase is a universal claim, so it only counts when its
+        bounded tree was fully enumerated (``immune.exhausted``) — a
+        truncated search with zero deadlocks proves nothing.  The
+        vulnerable phase is existential and needs no exhaustiveness.
+        """
+        return (not self.vacuous and self.immune is not None
+                and self.immune.exhausted
+                and self.immune.deadlock_count == 0)
+
+    def as_dict(self) -> Dict:
+        return {
+            "scenario": self.scenario,
+            "vulnerable_runs": self.vulnerable.runs,
+            "vulnerable_deadlocks": self.vulnerable.deadlock_count,
+            "unique_deadlocks": self.vulnerable.unique_deadlocks,
+            "minimal_trace_len": (len(self.minimal_trace)
+                                  if self.minimal_trace is not None else None),
+            "signatures": self.learned_signatures,
+            "immune_runs": self.immune.runs if self.immune else None,
+            "immune_deadlocks": (self.immune.deadlock_count
+                                 if self.immune else None),
+            "immune_exhausted": (self.immune.exhausted
+                                 if self.immune else None),
+            "immune": self.holds,
+        }
+
+
+class ImmunityChecker:
+    """Executable statement of the paper's immunity claim for one scenario.
+
+    ``scenario`` is a callable taking a backend and returning a fresh,
+    fully configured scheduler.  :meth:`check` then asserts, over all
+    interleavings within the configured bounds:
+
+    1. **vulnerable** — under :class:`NullBackend` the scenario deadlocks
+       in at least one interleaving (otherwise the claim is vacuous);
+    2. **learn** — the minimal deadlocking schedule is replayed under a
+       fresh Dimmunix backend with an empty history (an empty history
+       makes every request GO, so the schedule re-drives exactly) to
+       archive the deadlock's signature;
+    3. **immune** — with that history seeded, *no* bounded interleaving
+       deadlocks; each run receives its own forked backend so learned
+       state never leaks between interleavings.
+    """
+
+    def __init__(self, scenario: Callable[[SchedulerBackend], SimScheduler],
+                 *, name: str = "scenario", max_runs: int = 5_000,
+                 max_depth: Optional[int] = None,
+                 preemption_bound: Optional[int] = None,
+                 backend_prototype: Optional[SchedulerBackend] = None,
+                 shrink: bool = True):
+        self.scenario = scenario
+        self.name = name
+        self.max_runs = max_runs
+        self.max_depth = max_depth
+        self.preemption_bound = preemption_bound
+        self.backend_prototype = backend_prototype
+        self.do_shrink = shrink
+
+    def _explorer(self, factory: ScenarioFactory) -> Explorer:
+        return Explorer(factory, name=self.name, max_runs=self.max_runs,
+                        max_depth=self.max_depth,
+                        preemption_bound=self.preemption_bound)
+
+    def _fresh_prototype(self, history=None) -> SchedulerBackend:
+        from ..core.config import DimmunixConfig
+        from .backends import DimmunixBackend
+
+        if self.backend_prototype is not None:
+            prototype = self.backend_prototype.fork()
+            if history is not None:
+                merge = getattr(prototype, "history", None)
+                if merge is not None:
+                    merge.merge(history.signatures())
+            return prototype
+        return DimmunixBackend(config=DimmunixConfig.for_testing(),
+                               history=history)
+
+    def check(self) -> ImmunityReport:
+        vulnerable_explorer = self._explorer(lambda: self.scenario(NullBackend()))
+        vulnerable = vulnerable_explorer.explore()
+        if not vulnerable.deadlocks:
+            return ImmunityReport(scenario=self.name, vulnerable=vulnerable,
+                                  minimal_trace=None, learned_signatures=0,
+                                  immune=None)
+
+        trace = vulnerable.deadlocks[0].trace
+        minimal = (vulnerable_explorer.shrink(trace) if self.do_shrink
+                   else trace)
+
+        # Learn: archive the signature by re-driving the minimal schedule
+        # under an engine-backed backend with an empty history.
+        learner = self._fresh_prototype()
+        learn_scheduler = self.scenario(learner)
+        learn_scheduler.policy = ReplayPolicy(minimal, strict=True)
+        try:
+            learn_result = learn_scheduler.run()
+            learned = learn_result.deadlocked
+        except ReplayDivergenceError:
+            learned = False
+        if not learned:
+            # The backend perturbed the schedule; find a deadlock under it
+            # directly instead of replaying the NullBackend counterexample.
+            fallback = self._explorer(
+                lambda: self.scenario(self._fresh_prototype()))
+            found = fallback.explore(stop_on_first_deadlock=True)
+            if not found.deadlocks:
+                return ImmunityReport(scenario=self.name, vulnerable=vulnerable,
+                                      minimal_trace=minimal,
+                                      learned_signatures=0, immune=None)
+            learner = self._fresh_prototype()
+            learn_scheduler = self.scenario(learner)
+            learn_scheduler.policy = ReplayPolicy(found.deadlocks[0].trace,
+                                                  strict=True)
+            try:
+                learned = learn_scheduler.run().deadlocked
+            except ReplayDivergenceError:
+                learned = False
+
+        # Engine-backed learners carry their immunity in a History; other
+        # backends (gate/ghost locks) learned inside the backend itself
+        # during the deadlocking replay, so the learner becomes the
+        # prototype and fork() carries the protection into each run.
+        history = getattr(learner, "history", None)
+        if not learned or (history is not None and len(history) == 0):
+            # Learning failed: report it as such (immune=None) rather than
+            # exploring against an unseeded backend and misreporting the
+            # claim itself as broken.
+            return ImmunityReport(scenario=self.name, vulnerable=vulnerable,
+                                  minimal_trace=minimal,
+                                  learned_signatures=0, immune=None)
+        if history is not None:
+            immune_prototype = self._fresh_prototype(history=history)
+        else:
+            immune_prototype = learner
+        immune_explorer = self._explorer(lambda: self.scenario(
+            immune_prototype.fork()))
+        immune = immune_explorer.explore()
+        return ImmunityReport(scenario=self.name, vulnerable=vulnerable,
+                              minimal_trace=minimal,
+                              learned_signatures=(len(history)
+                                                  if history is not None
+                                                  else 0),
+                              immune=immune)
+
+
+# ---------------------------------------------------------------------------
+# Canonical scenarios (shared by tests, harness, benchmarks, fixtures)
+# ---------------------------------------------------------------------------
+
+def build_two_lock_inversion(backend: SchedulerBackend,
+                             hold_time: float = 0.0) -> SimScheduler:
+    """The paper's section 4 example: update(A, B) racing update(B, A).
+
+    With zero hold time the bounded schedule space contains both
+    completing and deadlocking interleavings (a positive hold time forces
+    the two critical sections to overlap in virtual time, which makes the
+    deadlock inevitable under ``NullBackend``).
+    """
+    scheduler = SimScheduler(backend=backend)
+    lock_a = scheduler.new_lock("A")
+    lock_b = scheduler.new_lock("B")
+    scheduler.add_thread(lock_order_program(lock_a, lock_b, "s1",
+                                            hold_time=hold_time), name="fwd")
+    scheduler.add_thread(lock_order_program(lock_b, lock_a, "s2",
+                                            hold_time=hold_time), name="rev")
+    return scheduler
+
+
+def build_philosophers(backend: SchedulerBackend, seats: int = 3,
+                       meals: int = 1,
+                       eat_time: float = 0.001) -> SimScheduler:
+    """Dining philosophers, all grabbing the left fork first."""
+    scheduler = SimScheduler(backend=backend)
+    forks = [scheduler.new_lock(f"fork-{i}") for i in range(seats)]
+    for seat in range(seats):
+        scheduler.add_thread(philosopher_program(
+            forks[seat], forks[(seat + 1) % seats], seat,
+            think_time=0.0, eat_time=eat_time, meals=meals),
+            name=f"philosopher-{seat}")
+    return scheduler
+
+
+#: Scenario registry used by replay fixtures and the harness matrix.
+SCENARIOS: Dict[str, Callable[[SchedulerBackend], SimScheduler]] = {
+    "two-lock-inversion": build_two_lock_inversion,
+    "philosophers-3": lambda backend: build_philosophers(backend, seats=3),
+}

@@ -49,6 +49,14 @@ class SimResult:
     log: List[str] = field(default_factory=list)
     #: Snapshot of the backend's statistics at the end of the run.
     backend_stats: Dict[str, int] = field(default_factory=dict)
+    #: Slot (registration index) chosen at each scheduling choice point;
+    #: this is the run's schedule trace — replaying it reproduces the run.
+    schedule: List[int] = field(default_factory=list)
+
+    @property
+    def choice_points(self) -> int:
+        """Number of scheduling decisions where more than one thread was runnable."""
+        return len(self.schedule)
 
     @property
     def completed(self) -> bool:
@@ -69,6 +77,7 @@ class SimResult:
             "yields": self.yields,
             "blocks": self.blocks,
             "steps": self.steps,
+            "choice_points": self.choice_points,
             "virtual_time": round(self.virtual_time, 6),
             "deadlocked": self.deadlocked,
             "completed_threads": self.completed_threads,

@@ -7,13 +7,18 @@ lock operation, and invokes the backend's monitor hook periodically and at
 quiescence — mirroring how the real instrumentation, locks, and monitor
 thread interact.
 
-Given the same programs, seed, and backend, a run is fully deterministic.
+Scheduling choices — which runnable thread goes next when several are
+ready at the earliest virtual time — are delegated to a pluggable
+:class:`~repro.sim.schedule.SchedulePolicy` (seeded random by default),
+and every choice taken is recorded in ``SimResult.schedule`` as the slot
+of the chosen thread.  Given the same programs, policy, and backend, a
+run is fully deterministic; re-driving a recorded schedule with a
+:class:`~repro.sim.schedule.ReplayPolicy` reproduces it step-for-step.
 """
 
 from __future__ import annotations
 
 import itertools
-import random
 from enum import Enum
 from typing import Callable, Dict, Iterable, List, Optional
 
@@ -23,6 +28,7 @@ from .actions import Acquire, Compute, Log, Release, TryAcquire
 from .backends import NullBackend, SchedulerBackend
 from .locks import SimLock
 from .result import SimResult, StallRecord
+from .schedule import RandomPolicy, SchedulePolicy, ScheduleTrace
 
 
 class ThreadState(Enum):
@@ -50,6 +56,8 @@ class SimThread:
         self.ready_at = 0.0
         self.pending = None            # action being retried (Acquire/TryAcquire)
         self.last_result = None        # value sent into the generator
+        self._peeked = None            # action fetched by peek_action, not yet run
+        self._peeked_valid = False
         self.held: Dict[int, int] = {}  # lock_id -> reentrancy count
         self.lock_ops = 0
         self.yields = 0
@@ -62,8 +70,45 @@ class SimThread:
             raise SimulationError(
                 f"{self.name}: program factory must return a generator")
 
+    def peek_action(self):
+        """Fetch the upcoming action without consuming it.
+
+        A retried action (``pending``) is the upcoming action; otherwise
+        the generator is advanced once and the result cached for the next
+        :meth:`next_action`.  Returns ``None`` when the program is done —
+        the FINISHED transition is deferred to consumption so peeking
+        never mutates scheduling state.
+
+        The scheduler prefetches eagerly after every step (see
+        ``SimScheduler._prefetch``), so by the time a policy inspects a
+        candidate this is a cache hit: program code between yields has
+        already run as part of the thread's *preceding* step, under every
+        policy alike.  That makes inter-yield side effects a pure
+        function of the schedule — exploration and strict replay of the
+        same trace observe identical states.
+        """
+        if self.pending is not None:
+            return self.pending
+        if self._peeked_valid:
+            return self._peeked
+        try:
+            action = self._generator.send(self.last_result)
+        except StopIteration:
+            action = None
+        self.last_result = None
+        self._peeked = action
+        self._peeked_valid = True
+        return action
+
     def next_action(self):
         """Advance the generator and return its next action (or None when done)."""
+        if self._peeked_valid:
+            action = self._peeked
+            self._peeked = None
+            self._peeked_valid = False
+            if action is None:
+                self.state = ThreadState.FINISHED
+            return action
         try:
             action = self._generator.send(self.last_result)
         except StopIteration:
@@ -81,19 +126,28 @@ class SimThread:
 
 
 class SimScheduler:
-    """Cooperative virtual-time scheduler with a pluggable avoidance backend."""
+    """Cooperative virtual-time scheduler with pluggable backend and policy."""
 
     def __init__(self, backend: Optional[SchedulerBackend] = None,
                  seed: int = 0, poll_interval: int = 25,
-                 max_steps: int = 2_000_000):
+                 max_steps: int = 2_000_000,
+                 policy: Optional[SchedulePolicy] = None):
         self.backend = backend if backend is not None else NullBackend()
         self.clock = VirtualClock()
         self.clock_listeners: List[Callable[[float], None]] = []
-        self.rng = random.Random(seed)
+        #: Scheduling strategy; defaults to the historical seeded-random pick.
+        self.policy = policy if policy is not None else RandomPolicy(seed)
         self.poll_interval = poll_interval
         self.max_steps = max_steps
         self.threads: Dict[int, SimThread] = {}
         self.locks: Dict[int, SimLock] = {}
+        #: thread id -> slot (registration index); slots are what schedule
+        #: traces record, because thread ids are process-global.
+        self._slots: Dict[int, int] = {}
+        self._by_slot: List[SimThread] = []
+        #: lock id -> slot; used to compare stalls across runs, since lock
+        #: ids are process-global too.
+        self._lock_slots: Dict[int, int] = {}
         self.result = SimResult()
         self._attached = False
 
@@ -103,6 +157,8 @@ class SimScheduler:
                    name: Optional[str] = None) -> SimThread:
         """Register a simulated thread; ``program`` is a generator factory."""
         thread = SimThread(program, name=name)
+        self._slots[thread.thread_id] = len(self.threads)
+        self._by_slot.append(thread)
         self.threads[thread.thread_id] = thread
         if self._attached:
             self.backend.on_thread_added(thread.thread_id)
@@ -110,18 +166,36 @@ class SimScheduler:
 
     def new_lock(self, name: Optional[str] = None) -> SimLock:
         """Create a lock owned by this scheduler."""
-        lock = SimLock(name=name)
-        self.locks[lock.lock_id] = lock
-        return lock
+        return self.register_lock(SimLock(name=name))
 
     def register_lock(self, lock: SimLock) -> SimLock:
         """Register an externally created lock (e.g. shared across runs)."""
+        if lock.lock_id not in self._lock_slots:
+            self._lock_slots[lock.lock_id] = len(self._lock_slots)
         self.locks[lock.lock_id] = lock
         return lock
 
     def thread_ids(self) -> List[int]:
         """Identifiers of all registered threads."""
         return list(self.threads)
+
+    def slot_of(self, thread_id: int) -> int:
+        """Registration index of a thread (stable across processes)."""
+        return self._slots[thread_id]
+
+    def thread_at_slot(self, slot: int) -> SimThread:
+        """The thread registered at position ``slot`` (trace debugging)."""
+        if 0 <= slot < len(self._by_slot):
+            return self._by_slot[slot]
+        raise SimulationError(f"no thread registered at slot {slot}")
+
+    def lock_slot_of(self, lock_id: int) -> int:
+        """Registration index of a lock (stable across runs/processes)."""
+        return self._lock_slots[lock_id]
+
+    def trace(self, **meta) -> ScheduleTrace:
+        """The schedule of the last/current run as a serializable trace."""
+        return ScheduleTrace(list(self.result.schedule), meta=meta)
 
     # -- queries used by backends -----------------------------------------------------------
 
@@ -146,6 +220,7 @@ class SimScheduler:
         for thread in self.threads.values():
             if thread._generator is None:
                 thread.start()
+            self._prefetch(thread)
         self.result.total_threads = len(self.threads)
 
         steps = 0
@@ -165,6 +240,7 @@ class SimScheduler:
             thread = self._pick(runnable)
             self._advance_clock(thread.ready_at)
             self._step(thread)
+            self._prefetch(thread)
             steps += 1
             self.result.steps = steps
             if self.poll_interval and steps % self.poll_interval == 0:
@@ -185,15 +261,35 @@ class SimScheduler:
         candidates = [t for t in runnable if t.ready_at <= earliest + 1e-12]
         if len(candidates) == 1:
             return candidates[0]
-        return self.rng.choice(candidates)
+        candidates.sort(key=lambda t: self._slots[t.thread_id])
+        chosen = self.policy.choose(candidates, self)
+        if chosen not in candidates:
+            raise SimulationError(
+                f"policy {self.policy.name!r} chose a non-candidate thread")
+        self.result.schedule.append(self._slots[chosen.thread_id])
+        return chosen
 
     def _advance_clock(self, timestamp: float) -> None:
         self.clock.advance_to(timestamp)
         for listener in self.clock_listeners:
             listener(self.clock.now())
 
+    def _prefetch(self, thread: SimThread) -> None:
+        """Advance the thread's generator up to its next yield right away.
+
+        This pins down *when* program code between yields runs: as part
+        of the step that just completed (or, for a thread unblocked by a
+        lock hand-over, the releaser's step).  Every schedule policy —
+        random, DFS exploration, replay — therefore sees side effects at
+        identical points, and policies may inspect
+        :meth:`SimThread.peek_action` without perturbing the program.
+        """
+        if not thread.finished and thread.pending is None:
+            thread.peek_action()
+
     def _step(self, thread: SimThread) -> None:
         action = thread.pending if thread.pending is not None else thread.next_action()
+        self.policy.observe(self, thread, action)
         if action is None:
             return
         if isinstance(action, Compute):
@@ -293,6 +389,7 @@ class SimScheduler:
             waiter.pending = None
             waiter.state = ThreadState.READY
             waiter.ready_at = max(waiter.ready_at, self.clock.now())
+            self._prefetch(waiter)
             return
 
     def _declare_stall(self) -> None:

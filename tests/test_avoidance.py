@@ -267,6 +267,67 @@ class TestCancel:
         assert engine.request(2, 1, S1).is_yield
 
 
+class TestExploredImmunity:
+    """The section 4 scenario checked over *all* bounded interleavings.
+
+    The unit tests above pin the engine's GO/YIELD decisions on
+    hand-picked event orders; these close the loop by quantifying over
+    the schedule space of the full simulated scenario: without avoidance
+    the deadlock manifests in some interleaving, and with the paper
+    signature in the history it manifests in none.
+    """
+
+    def _scenario(self, backend):
+        from repro.sim import build_two_lock_inversion
+        return build_two_lock_inversion(backend)
+
+    def test_paper_deadlock_manifests_without_avoidance(self):
+        from repro.sim import Explorer, NullBackend
+        result = Explorer(lambda: self._scenario(NullBackend()),
+                          name="paper-section4").explore()
+        assert result.exhausted
+        assert result.deadlock_count >= 1
+        assert result.completed >= 1
+
+    def test_paper_signature_immunizes_every_interleaving(self):
+        from repro.sim import DimmunixBackend, Explorer
+
+        # Learn the signature once (any deadlocking run archives it) ...
+        learner = DimmunixBackend(config=DimmunixConfig.for_testing())
+        self._scenario(learner).run()
+        if len(learner.history) == 0:
+            # The sampled schedule dodged the deadlock; force one via DFS.
+            explorer = Explorer(lambda: self._scenario(
+                DimmunixBackend(config=DimmunixConfig.for_testing(),
+                                history=learner.history)))
+            explorer.explore(stop_on_first_deadlock=True)
+        assert len(learner.history) >= 1
+
+        # ... then no bounded interleaving re-manifests it.
+        prototype = DimmunixBackend(config=DimmunixConfig.for_testing(),
+                                    history=learner.history)
+        immune = Explorer(lambda: self._scenario(prototype.fork()),
+                          name="paper-section4-immune").explore()
+        assert immune.exhausted
+        assert immune.deadlock_count == 0
+        assert immune.completed == immune.runs
+
+    def test_disabled_signature_restores_vulnerability_in_exploration(self):
+        from repro.sim import DimmunixBackend, Explorer
+        learner = DimmunixBackend(config=DimmunixConfig.for_testing())
+        Explorer(lambda: self._scenario(
+            DimmunixBackend(config=DimmunixConfig.for_testing(),
+                            history=learner.history))).explore(
+                                stop_on_first_deadlock=True)
+        assert len(learner.history) >= 1
+        for signature in learner.history.signatures():
+            learner.history.disable(signature.fingerprint)
+        prototype = DimmunixBackend(config=DimmunixConfig.for_testing(),
+                                    history=learner.history)
+        result = Explorer(lambda: self._scenario(prototype.fork())).explore()
+        assert result.deadlock_count >= 1
+
+
 class TestThreeThreadSignature:
     def test_three_stack_signature_requires_three_bindings(self):
         sig = Signature([stack("a:1"), stack("b:2"), stack("c:3")], matching_depth=1)

@@ -1,0 +1,210 @@
+"""Property tests for History persistence (save/load/merge, corruption,
+concurrent autosave) — the edge cases the deadlock "immune memory"
+depends on surviving."""
+
+from __future__ import annotations
+
+import json
+import os
+import string
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.callstack import CallStack, Frame
+from repro.core.errors import HistoryError, HistoryFormatError
+from repro.core.history import History
+from repro.core.signature import DEADLOCK, STARVATION, Signature
+
+_name = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+
+frames = st.builds(Frame, function=_name, filename=_name,
+                   lineno=st.integers(min_value=0, max_value=9999))
+
+stacks = st.builds(CallStack, st.lists(frames, min_size=1, max_size=5))
+
+signatures = st.builds(
+    Signature,
+    st.lists(stacks, min_size=1, max_size=4),
+    kind=st.sampled_from([DEADLOCK, STARVATION]),
+    matching_depth=st.integers(min_value=1, max_value=8),
+)
+
+
+def _fingerprints(history):
+    return {sig.fingerprint for sig in history.signatures()}
+
+
+class TestSaveLoadRoundTrip:
+    @given(st.lists(signatures, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_explicit_save_load_preserves_signatures_and_state(self, sigs):
+        import tempfile
+        with tempfile.TemporaryDirectory() as workdir:
+            path = os.path.join(workdir, "history.json")
+            source = History(path=None, autosave=False)
+            for signature in sigs:
+                source.add(signature)
+            if sigs:
+                source.disable(sigs[0].fingerprint)
+            source.save(path)
+
+            restored = History(path=path, autosave=False)
+            assert _fingerprints(restored) == _fingerprints(source)
+            for signature in source.signatures():
+                twin = restored.get(signature.fingerprint)
+                assert twin is not None
+                assert twin.disabled == signature.disabled
+                assert twin.matching_depth == signature.matching_depth
+                assert twin.kind == signature.kind
+
+    @given(st.lists(signatures, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_saved_file_is_valid_stable_json(self, sigs):
+        import tempfile
+        with tempfile.TemporaryDirectory() as workdir:
+            path = os.path.join(workdir, "history.json")
+            history = History(path=None, autosave=False)
+            for signature in sigs:
+                history.add(signature)
+            history.save(path)
+            with open(path, "r", encoding="utf-8") as handle:
+                first = handle.read()
+            payload = json.loads(first)
+            assert payload["format_version"] == 1
+            assert len(payload["signatures"]) == len(history)
+            history.save(path)
+            with open(path, "r", encoding="utf-8") as handle:
+                assert handle.read() == first
+
+
+class TestMergeProperties:
+    @given(st.lists(signatures, max_size=6), st.lists(signatures, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_is_union_and_idempotent(self, left, right):
+        a = History(path=None, autosave=False)
+        b = History(path=None, autosave=False)
+        for signature in left:
+            a.add(signature)
+        for signature in right:
+            b.add(signature)
+        before = _fingerprints(a)
+        added = a.merge(b.signatures())
+        assert _fingerprints(a) == before | _fingerprints(b)
+        assert added == len(_fingerprints(a)) - len(before)
+        # Merging the same signatures again adds nothing new.
+        assert a.merge(b.signatures()) == 0
+
+    @given(st.lists(signatures, min_size=1, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_merge_counts_duplicates_as_occurrences(self, sigs):
+        history = History(path=None, autosave=False)
+        for signature in sigs:
+            history.add(signature)
+        copies = [Signature.from_dict(sig.to_dict())
+                  for sig in history.signatures()]
+        history.merge(copies)
+        for signature in history.signatures():
+            assert signature.occurrence_count >= 2
+
+
+class TestCorruptAndPartialFiles:
+    def _history_from(self, tmp_path, content: str) -> History:
+        path = tmp_path / "history.json"
+        path.write_text(content, encoding="utf-8")
+        return History(path=str(path), autosave=False)
+
+    def test_invalid_json_raises_format_error(self, tmp_path):
+        with pytest.raises(HistoryFormatError):
+            self._history_from(tmp_path, "{not json at all")
+
+    def test_truncated_file_raises_format_error(self, tmp_path):
+        full = History(path=None, autosave=False)
+        full.add(Signature.from_stacks([["a:1"], ["b:2"]], matching_depth=2))
+        serialized = json.dumps(full.to_dict())
+        with pytest.raises(HistoryFormatError):
+            self._history_from(tmp_path, serialized[:len(serialized) // 2])
+
+    def test_wrong_payload_shape_raises_format_error(self, tmp_path):
+        with pytest.raises(HistoryFormatError):
+            self._history_from(tmp_path, json.dumps({"no_signatures": []}))
+        with pytest.raises(HistoryFormatError):
+            self._history_from(tmp_path,
+                               json.dumps({"signatures": "not-a-list"}))
+
+    def test_unsupported_format_version_raises(self, tmp_path):
+        with pytest.raises(HistoryFormatError):
+            self._history_from(
+                tmp_path, json.dumps({"format_version": 99, "signatures": []}))
+
+    def test_missing_file_is_not_an_error(self, tmp_path):
+        history = History(path=str(tmp_path / "absent.json"), autosave=False)
+        assert len(history) == 0
+        assert history.load() == 0
+
+    def test_unreadable_directory_path_raises_history_error(self, tmp_path):
+        with pytest.raises(HistoryError):
+            History(path=None, autosave=False).save(str(tmp_path))
+
+
+class TestConcurrentAutosave:
+    def test_parallel_adds_leave_a_consistent_file(self, tmp_path):
+        """Concurrent adds with autosave on: the file stays parseable and
+        ends up containing every signature (atomic replace per save)."""
+        path = str(tmp_path / "history.json")
+        history = History(path=path, autosave=True)
+        workers, per_worker = 8, 12
+        barrier = threading.Barrier(workers)
+
+        def add_batch(worker: int):
+            barrier.wait()
+            for index in range(per_worker):
+                history.add(Signature.from_stacks(
+                    [[f"w{worker}:{index}"], [f"peer{worker}:{index}"]],
+                    matching_depth=2))
+
+        threads = [threading.Thread(target=add_batch, args=(worker,))
+                   for worker in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(history) == workers * per_worker
+        reloaded = History(path=path, autosave=False)
+        assert _fingerprints(reloaded) == _fingerprints(history)
+
+    def test_autosave_add_remove_interleaved_with_reloads(self, tmp_path):
+        path = str(tmp_path / "history.json")
+        history = History(path=path, autosave=True)
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            index = 0
+            while not stop.is_set():
+                signature = Signature.from_stacks(
+                    [[f"churn:{index}"], ["peer:0"]], matching_depth=2)
+                history.add(signature)
+                if index % 3 == 0:
+                    history.remove(signature.fingerprint)
+                index += 1
+
+        def reload_loop():
+            while not stop.is_set():
+                try:
+                    History(path=path, autosave=False)
+                except HistoryError as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+        writer = threading.Thread(target=churn)
+        reader = threading.Thread(target=reload_loop)
+        writer.start()
+        reader.start()
+        import time
+        time.sleep(0.3)
+        stop.set()
+        writer.join()
+        reader.join()
+        assert not errors, f"reload saw a torn file: {errors[0]}"

@@ -1,0 +1,85 @@
+"""Replay-fixture regression tests.
+
+``tests/fixtures/*.trace.json`` are minimized deadlock counterexamples
+found by the explorer and checked in.  Each must keep replaying
+deterministically: the scenario named in the trace's metadata is rebuilt
+under ``NullBackend``, the schedule is re-driven strictly, the recorded
+deadlock must re-manifest, and re-recording plus re-serializing must be
+byte-identical to the checked-in file.  A behaviour change in the
+scheduler, the policies, or the trace format shows up here first.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.core.config import DimmunixConfig
+from repro.sim import (DimmunixBackend, Explorer, NullBackend, ReplayPolicy,
+                       ScheduleTrace)
+from repro.sim.explore import SCENARIOS
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "fixtures")
+FIXTURES = sorted(glob.glob(os.path.join(FIXTURE_DIR, "*.trace.json")))
+
+
+def _load(path):
+    trace = ScheduleTrace.load(path)
+    scenario = SCENARIOS[trace.meta["scenario"]]
+    return trace, scenario
+
+
+def test_fixture_directory_is_populated():
+    assert len(FIXTURES) >= 2
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=os.path.basename)
+def test_fixture_replays_to_deadlock(path):
+    trace, scenario = _load(path)
+    scheduler = scenario(NullBackend())
+    scheduler.policy = ReplayPolicy(trace, strict=True)
+    result = scheduler.run()
+    assert result.deadlocked, f"{path} no longer reproduces its deadlock"
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=os.path.basename)
+def test_fixture_rerecords_byte_identically(path):
+    trace, scenario = _load(path)
+    scheduler = scenario(NullBackend())
+    scheduler.policy = ReplayPolicy(trace, strict=True)
+    result = scheduler.run()
+    rerecorded = ScheduleTrace(list(result.schedule), meta=trace.meta)
+    assert rerecorded.choices == trace.choices
+    with open(path, "r", encoding="utf-8") as handle:
+        assert rerecorded.dumps() == handle.read(), (
+            f"{path} serialization drifted")
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=os.path.basename)
+def test_fixture_is_minimal(path):
+    """Greedy shrinking must not find a shorter schedule than the fixture."""
+    trace, scenario = _load(path)
+    explorer = Explorer(lambda: scenario(NullBackend()),
+                        name=trace.meta["scenario"])
+    assert len(explorer.shrink(trace)) == len(trace)
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=os.path.basename)
+def test_fixture_seeds_immunity(path):
+    """Replaying the fixture under Dimmunix archives exactly its signature,
+    which then protects every bounded interleaving."""
+    trace, scenario = _load(path)
+    learner = DimmunixBackend(config=DimmunixConfig.for_testing())
+    scheduler = scenario(learner)
+    scheduler.policy = ReplayPolicy(trace, strict=True)
+    assert scheduler.run().deadlocked
+    assert len(learner.history) == 1
+
+    prototype = DimmunixBackend(config=DimmunixConfig.for_testing(),
+                                history=learner.history)
+    immune = Explorer(lambda: scenario(prototype.fork()),
+                      name=trace.meta["scenario"]).explore()
+    assert immune.exhausted
+    assert immune.deadlock_count == 0

@@ -1,4 +1,10 @@
-"""Simulation tests for induced starvation, weak/strong immunity, and scale."""
+"""Simulation tests for induced starvation, weak/strong immunity, and scale.
+
+Deadlock and immunity assertions quantify over *all* bounded
+interleavings via :class:`repro.sim.Explorer` instead of sampling one
+seeded schedule — the form of the paper's claim ("no future interleaving
+re-manifests an archived pattern") that a single lucky seed cannot test.
+"""
 
 from __future__ import annotations
 
@@ -6,8 +12,9 @@ import pytest
 
 from repro.core.config import DimmunixConfig, STRONG_IMMUNITY
 from repro.core.signature import STARVATION, Signature
-from repro.sim import (Acquire, Compute, DimmunixBackend, Release, SimScheduler,
-                       call_site, philosopher_program)
+from repro.sim import (Acquire, Compute, DimmunixBackend, Explorer,
+                       NullBackend, Release, SimScheduler, call_site,
+                       philosopher_program)
 from repro.sim.actions import call_site as site
 
 
@@ -38,6 +45,29 @@ class TestPhilosopherImmunity:
         result = build_philosopher_table(immune, meals=2, seed=3).run()
         assert result.completed
         assert result.lock_ops == 5 * 2 * 2
+
+    def test_immunity_over_all_bounded_interleavings(self):
+        """The paper's claim, exhaustively: every NullBackend interleaving
+        of a 3-seat table deadlocks, and with the archived signature *no*
+        interleaving does."""
+        vulnerable = Explorer(
+            lambda: build_philosopher_table(NullBackend(), seats=3),
+            name="philosophers-3").explore()
+        assert vulnerable.exhausted
+        assert vulnerable.deadlock_count >= 1
+
+        learner = DimmunixBackend(config=DimmunixConfig.for_testing())
+        assert build_philosopher_table(learner, seats=3).run().deadlocked
+        assert len(learner.history) == 1
+
+        prototype = DimmunixBackend(config=DimmunixConfig.for_testing(),
+                                    history=learner.history)
+        immune = Explorer(
+            lambda: build_philosopher_table(prototype.fork(), seats=3),
+            name="philosophers-3-immune").explore()
+        assert immune.exhausted
+        assert immune.deadlock_count == 0
+        assert immune.completed == immune.runs
 
     def test_scales_to_many_threads(self):
         backend = DimmunixBackend(config=DimmunixConfig.for_testing(detection_only=True))
@@ -96,6 +126,19 @@ class TestInducedStarvation:
         assert stats["starvations_broken"] >= 1
         # The starvation signature itself was archived for the future.
         assert any(sig.kind == STARVATION for sig in backend.history.signatures())
+
+    def test_weak_immunity_completes_in_all_bounded_interleavings(self):
+        """No interleaving may stall: whenever the poisoned history
+        induces the mutual-yield starvation, the monitor must break it."""
+        prototype = DimmunixBackend(config=DimmunixConfig.for_testing())
+        for signature in self._starvation_history():
+            prototype.history.add(signature)
+        result = Explorer(lambda: self._build(prototype.fork()),
+                          name="induced-starvation").explore()
+        assert result.exhausted
+        assert result.deadlock_count == 0
+        assert result.completed == result.runs
+        assert result.runs > 1
 
     def test_strong_immunity_requests_restart(self):
         restarts = []
