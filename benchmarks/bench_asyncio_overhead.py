@@ -1,0 +1,141 @@
+"""Asyncio overhead — AioLock acquisition cost on a live event loop.
+
+The event-loop runtime must keep the paper's near-zero-overhead promise
+in its own world: an ``async with lock`` whose stack suffix hits no
+signature bucket should cost little more than a native ``asyncio.Lock``.
+This benchmark drives a tasks × history-size grid on a real event loop
+(monitor thread running, like production) with every task hammering
+acquire/release on its own uncontended lock, and reports ops/sec plus
+the overhead relative to native ``asyncio.Lock`` at the same task count.
+
+The worker stacks never match any signature, so every request takes the
+GO fast path — the common case in production.  Run directly for the
+table, or under pytest-benchmark for wall-clock tracking::
+
+    PYTHONPATH=src python benchmarks/bench_asyncio_overhead.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_asyncio_overhead.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.core.callstack import CallStack
+from repro.core.config import DimmunixConfig
+from repro.core.dimmunix import Dimmunix
+from repro.core.history import History
+from repro.instrument.aio import AioLock, AsyncioRuntime
+from repro.workloads.synth_history import synthesize_history
+
+TASK_COUNTS = (1, 4, 16)
+HISTORY_SIZES = (0, 100, 1000)
+OPS_PER_TASK = 2000
+
+#: Signature-stack universe, disjoint from the benchmark's coroutine
+#: stacks so every request exercises the miss path.
+_SIG_UNIVERSE = [
+    CallStack.from_labels([f"sig_alock:{i}", f"sig_acaller:{i % 7}", "sig_amain:0"])
+    for i in range(64)
+]
+
+
+def _make_runtime(history_size: int) -> AsyncioRuntime:
+    history = History(path=None, autosave=False)
+    if history_size:
+        synthesize_history(_SIG_UNIVERSE, count=history_size,
+                           matching_depth=4, seed=7, history=history)
+    config = DimmunixConfig.for_testing(monitor_interval=0.05)
+    dimmunix = Dimmunix(config=config, history=history)
+    dimmunix.start()  # the monitor drains the event queue, as in production
+    return AsyncioRuntime(dimmunix)
+
+
+async def _hammer_aio_locks(tasks: int, ops_per_task: int,
+                            runtime: AsyncioRuntime) -> float:
+    locks = [AioLock(runtime=runtime, name=f"bench-{i}") for i in range(tasks)]
+
+    async def worker(index: int) -> None:
+        lock = locks[index]
+        for _ in range(ops_per_task):
+            async with lock:
+                pass
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker(i) for i in range(tasks)))
+    return time.perf_counter() - started
+
+
+async def _hammer_native_locks(tasks: int, ops_per_task: int) -> float:
+    locks = [asyncio.Lock() for _ in range(tasks)]
+
+    async def worker(index: int) -> None:
+        lock = locks[index]
+        for _ in range(ops_per_task):
+            async with lock:
+                pass
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker(i) for i in range(tasks)))
+    return time.perf_counter() - started
+
+
+def run_grid(task_counts=TASK_COUNTS, history_sizes=HISTORY_SIZES,
+             ops_per_task=OPS_PER_TASK):
+    """Run the full grid; returns a list of result dictionaries."""
+    rows = []
+    for tasks in task_counts:
+        native_elapsed = asyncio.run(_hammer_native_locks(tasks, ops_per_task))
+        native_ops = tasks * ops_per_task / native_elapsed
+        rows.append({
+            "tasks": tasks,
+            "history_size": "native",
+            "ops_per_sec": native_ops,
+            "overhead_x": 1.0,
+        })
+        for history_size in history_sizes:
+            runtime = _make_runtime(history_size)
+            try:
+                elapsed = asyncio.run(
+                    _hammer_aio_locks(tasks, ops_per_task, runtime))
+            finally:
+                runtime.dimmunix.stop()
+            ops = tasks * ops_per_task / elapsed
+            rows.append({
+                "tasks": tasks,
+                "history_size": history_size,
+                "ops_per_sec": ops,
+                "overhead_x": native_ops / ops if ops else float("inf"),
+            })
+    return rows
+
+
+def format_rows(rows) -> str:
+    lines = ["tasks  history  ops/sec     overhead", "-" * 40]
+    for row in rows:
+        lines.append(f"{row['tasks']:>5}  {str(row['history_size']):>7}  "
+                     f"{row['ops_per_sec']:>10.0f}  {row['overhead_x']:>7.2f}x")
+    return "\n".join(lines)
+
+
+def bench_asyncio_overhead():
+    rows = run_grid()
+    print()
+    print(format_rows(rows))
+    return rows
+
+
+def test_asyncio_overhead(once):
+    rows = once(bench_asyncio_overhead)
+    assert len(rows) == len(TASK_COUNTS) * (len(HISTORY_SIZES) + 1)
+    for row in rows:
+        assert row["ops_per_sec"] > 0
+    # A large history must not collapse throughput: the 1k-signature cell
+    # must stay within 20x of the empty-history cell at the same task count.
+    by_key = {(r["tasks"], r["history_size"]): r["ops_per_sec"] for r in rows}
+    for tasks in TASK_COUNTS:
+        assert by_key[(tasks, 1000)] * 20 >= by_key[(tasks, 0)]
+
+
+if __name__ == "__main__":
+    print(format_rows(run_grid()))

@@ -29,12 +29,19 @@ Quickstart::
 from .core import (CallStack, Decision, DetectedCycle, Dimmunix, DimmunixConfig,
                    DimmunixError, EngineStats, Frame, History, RestartRequired,
                    Signature, STRONG_IMMUNITY, WEAK_IMMUNITY)
-from .instrument import (DimmunixCondition, DimmunixLock, DimmunixRLock,
-                         immunize, install, patched, uninstall)
+from .instrument import (AioCondition, AioLock, AioSemaphore, AsyncioRuntime,
+                         DimmunixCondition, DimmunixLock, DimmunixRLock,
+                         immunize, immunize_asyncio, install, install_asyncio,
+                         patched, patched_asyncio, uninstall,
+                         uninstall_asyncio)
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "AioCondition",
+    "AioLock",
+    "AioSemaphore",
+    "AsyncioRuntime",
     "CallStack",
     "Decision",
     "DetectedCycle",
@@ -53,7 +60,11 @@ __all__ = [
     "WEAK_IMMUNITY",
     "__version__",
     "immunize",
+    "immunize_asyncio",
     "install",
+    "install_asyncio",
     "patched",
+    "patched_asyncio",
     "uninstall",
+    "uninstall_asyncio",
 ]

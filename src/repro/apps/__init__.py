@@ -8,11 +8,16 @@ self-contained application whose locking structure reproduces the
 reported bug exactly (same lock ordering mistake, same method pair, and
 therefore the same deadlock cycle and signature shape).
 
-Every application accepts an :class:`~repro.instrument.runtime.InstrumentationRuntime`
-so the same code can run uninstrumented, detection-only, or fully immune.
+Every threaded application accepts an
+:class:`~repro.instrument.runtime.InstrumentationRuntime` so the same
+code can run uninstrumented, detection-only, or fully immune; the
+asyncio applications (:mod:`repro.apps.aiobroker`) accept an
+:class:`~repro.instrument.aio.AsyncioRuntime` the same way.
 """
 
 from .base import AppLockTimeout, MiniApp, interleave_pause
+from .aiobroker import (AioApp, AioBroker, AioQueue, AioSession,
+                        AioSubscription, aio_interleave_pause)
 from .minidb import CustomRecursiveLock, MiniDB
 from .connpool import Connection, PreparedStatement, Statement
 from .minibroker import Broker, PrefetchSubscription, Queue, Session
@@ -22,6 +27,11 @@ from .netlib import NetLibrary, NetSocket
 from .taskqueue import Task, TaskQueue
 
 __all__ = [
+    "AioApp",
+    "AioBroker",
+    "AioQueue",
+    "AioSession",
+    "AioSubscription",
     "AppLockTimeout",
     "BeanContext",
     "Broker",
@@ -43,5 +53,6 @@ __all__ = [
     "SyncVector",
     "Task",
     "TaskQueue",
+    "aio_interleave_pause",
     "interleave_pause",
 ]

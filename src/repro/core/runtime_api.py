@@ -14,12 +14,17 @@ that glue into one place:
   runtime needs its own wake plumbing.
 * :class:`ThreadParker` — the runtime-specific parking primitive a
   runtime plugs into the core.  The instrumentation parks real threads on
-  per-thread events; the simulator "parks" by flipping a thread's
-  scheduler state, registering a waker that marks it runnable again.
+  per-thread events; the asyncio runtime parks *tasks* on loop-bound
+  futures; the simulator "parks" by flipping a thread's scheduler state,
+  registering a waker that marks it runnable again.
 
 The engine itself never blocks: a YIELD outcome tells the *runtime* to
 park, and a wake tells it to retry the request — the core codifies that
-contract once for both worlds.
+contract once for all three worlds.  "Thread" in this API means a unit
+of execution identified by a small integer: an OS thread in
+:mod:`repro.instrument`, an asyncio task in :mod:`repro.instrument.aio`,
+a simulated generator-thread in :mod:`repro.sim`.  The engine never
+inspects the identity — any stable integer works.
 """
 
 from __future__ import annotations
@@ -51,6 +56,18 @@ class ThreadParker:
     def park(self, thread_id: int, timeout: Optional[float]) -> bool:
         """Suspend ``thread_id``; return True when woken before ``timeout``."""
         return True
+
+    async def park_async(self, thread_id: int,
+                         timeout: Optional[float]) -> bool:
+        """Coroutine form of :meth:`park` for event-loop runtimes.
+
+        Parkers whose callers run inside an event loop (the asyncio
+        runtime) must suspend the *task*, not the loop's thread; they
+        override this coroutine.  The default delegates to the blocking
+        :meth:`park`, which is correct only for parkers that do not
+        actually block (such as the default no-op parker).
+        """
+        return self.park(thread_id, timeout)
 
     def forget(self, thread_id: int) -> None:
         """Drop parking state of a terminated thread."""
@@ -142,6 +159,16 @@ class RuntimeCore:
     def park(self, thread_id: int, timeout: Optional[float]) -> bool:
         """Park a thread that received YIELD; True when woken in time."""
         return self.parker.park(thread_id, timeout)
+
+    async def park_async(self, thread_id: int,
+                         timeout: Optional[float]) -> bool:
+        """Park an event-loop task that received YIELD (coroutine form).
+
+        Same contract as :meth:`park`, but suspends only the calling task;
+        other tasks on the same event loop keep running.  Delegates to the
+        parker's :meth:`ThreadParker.park_async`.
+        """
+        return await self.parker.park_async(thread_id, timeout)
 
     def wake(self, thread_ids: List[int]) -> None:
         """Un-park the given threads through the waker registry."""

@@ -5,7 +5,8 @@ from .ablation import (AllowEdgeRow, DetectionLatencyRow, ImmunityModeRow,
                        run_immunity_mode_ablation)
 from .effectiveness import (Table1Row, Table2Row, run_table1, run_table2)
 from .explore import ExplorationRow, run_exploration_matrix
-from .appworkloads import run_broker_workload, run_jdbc_workload
+from .appworkloads import (run_aiobroker_workload, run_broker_workload,
+                           run_jdbc_workload)
 from .overhead import Figure4Row, run_figure4
 from .microsweeps import (Figure5Row, Figure6Row, Figure7Row, Figure8Row,
                           run_figure5, run_figure6, run_figure7, run_figure8)
@@ -28,6 +29,7 @@ __all__ = [
     "Table1Row",
     "Table2Row",
     "format_table",
+    "run_aiobroker_workload",
     "run_allow_edge_ablation",
     "run_broker_workload",
     "run_detection_latency",

@@ -7,17 +7,25 @@ JDBC driver) by a multi-threaded transaction workload against the mini
 connection/statement layer.  Both interleave locking with non-trivial work
 between critical sections, which is what lets the avoidance overhead be
 absorbed in realistic settings (section 7.2.1).
+
+The asyncio counterpart (:func:`run_aiobroker_workload`) drives the
+mini *async* broker with concurrent tasks on one event loop — the shape
+of modern Python service traffic — so the harness matrix covers the
+event-loop runtime with the same produce/dispatch/ack workload.
 """
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..apps.aiobroker import AioBroker
 from ..apps.connpool import Connection
 from ..apps.minibroker import Broker
+from ..instrument.aio import AsyncioRuntime
 from ..instrument.runtime import InstrumentationRuntime
 
 
@@ -77,6 +85,54 @@ def run_broker_workload(runtime: InstrumentationRuntime, threads: int = 8,
     for thread in workers:
         thread.join()
     duration = time.perf_counter() - started
+    return WorkloadResult(operations=sum(operations), duration=duration,
+                          errors=sum(errors))
+
+
+def run_aiobroker_workload(runtime: AsyncioRuntime, tasks: int = 8,
+                           cycles: int = 10, messages_per_cycle: int = 10
+                           ) -> WorkloadResult:
+    """The asyncio stand-in: concurrent produce/dispatch/ack *task* cycles.
+
+    The event-loop twin of :func:`run_broker_workload`: each task owns
+    one queue but all tasks also contend on a shared queue, so there is
+    genuine lock contention between tasks of one loop — the traffic
+    shape of an async service under load.  Runs its own event loop via
+    ``asyncio.run`` and reports wall-clock throughput.
+    """
+    broker = AioBroker(runtime=runtime, acquire_timeout=1.0)
+    operations = [0] * tasks
+    errors = [0] * tasks
+
+    async def worker(index: int, shared, barrier: asyncio.Event) -> None:
+        await barrier.wait()
+        queue_name = f"aio-queue-{index}"
+        for cycle in range(cycles):
+            try:
+                # Full produce/dispatch/ack cycles on the task's own queue;
+                # the shared queue only sees producer traffic (a single-lock
+                # path), so cross-task contention exists without exercising
+                # the broker's known deadlock-prone method pair.
+                operations[index] += await broker.produce_consume_cycle(
+                    queue_name, messages=messages_per_cycle)
+                if cycle % 2 == 0:
+                    operations[index] += await shared.enqueue(
+                        {"cycle": cycle, "worker": index})
+            except Exception:
+                errors[index] += 1
+
+    async def drive() -> float:
+        shared = await broker.create_queue("aio-shared")
+        barrier = asyncio.Event()
+        workers = [asyncio.ensure_future(worker(i, shared, barrier))
+                   for i in range(tasks)]
+        await asyncio.sleep(0)  # let every worker reach the barrier
+        barrier.set()
+        started = time.perf_counter()
+        await asyncio.gather(*workers)
+        return time.perf_counter() - started
+
+    duration = asyncio.run(drive())
     return WorkloadResult(operations=sum(operations), duration=duration,
                           errors=sum(errors))
 

@@ -24,8 +24,10 @@ from ..core.config import DimmunixConfig
 from ..core.dimmunix import Dimmunix
 from ..core.history import History
 from ..core.signature import Signature
+from ..instrument.aio import AsyncioRuntime
 from ..instrument.runtime import InstrumentationRuntime
-from .appworkloads import WorkloadResult, run_broker_workload, run_jdbc_workload
+from .appworkloads import (WorkloadResult, run_aiobroker_workload,
+                           run_broker_workload, run_jdbc_workload)
 
 _FAST = dict(monitor_interval=0.05, yield_timeout=0.05)
 
@@ -59,11 +61,20 @@ class Figure4Row:
         }
 
 
-def _runtime(history: Optional[History] = None,
-             engine_mode: str = "full") -> InstrumentationRuntime:
+def _runtime(app_name: str = "broker", history: Optional[History] = None,
+             engine_mode: str = "full"):
+    """A started runtime of the flavour ``app_name`` requires.
+
+    Threaded applications get an
+    :class:`~repro.instrument.runtime.InstrumentationRuntime`, asyncio
+    applications an :class:`~repro.instrument.aio.AsyncioRuntime` —
+    both drive the same engine through the same core.
+    """
     config = DimmunixConfig(**_FAST)
     dimmunix = Dimmunix(config=config, history=history, engine_mode=engine_mode)
     dimmunix.start()
+    if app_name in _ASYNC_APPS:
+        return AsyncioRuntime(dimmunix)
     return InstrumentationRuntime(dimmunix)
 
 
@@ -77,7 +88,10 @@ def _collect_app_stacks(app_name: str, threads: int, cycles: int) -> List[CallSt
     """
     config = DimmunixConfig(**_FAST)
     dimmunix = Dimmunix(config=config)  # monitor intentionally not started
-    runtime = InstrumentationRuntime(dimmunix)
+    if app_name in _ASYNC_APPS:
+        runtime = AsyncioRuntime(dimmunix)
+    else:
+        runtime = InstrumentationRuntime(dimmunix)
     _run_app(app_name, runtime, threads=max(2, threads // 2),
              cycles=max(2, cycles // 2))
     stacks = set()
@@ -120,27 +134,38 @@ def _synthesize_app_history(stacks: List[CallStack], count: int,
     return history
 
 
-def _run_app(app_name: str, runtime: InstrumentationRuntime, threads: int,
+#: Applications driven by an event loop rather than by real threads.
+_ASYNC_APPS = frozenset({"aiobroker"})
+
+
+def _run_app(app_name: str, runtime, threads: int,
              cycles: int) -> WorkloadResult:
     if app_name == "broker":
         return run_broker_workload(runtime, threads=threads, cycles=cycles)
     if app_name == "jdbc":
         return run_jdbc_workload(runtime, threads=threads, transactions=cycles)
+    if app_name == "aiobroker":
+        return run_aiobroker_workload(runtime, tasks=threads, cycles=cycles)
     raise ValueError(f"unknown application {app_name!r}")
 
 
 def run_figure4(history_sizes: Sequence[int] = (32, 64, 128), threads: int = 6,
                 cycles: int = 8, repeats: int = 2,
-                applications: Sequence[str] = ("broker", "jdbc")
+                applications: Sequence[str] = ("broker", "jdbc", "aiobroker")
                 ) -> List[Figure4Row]:
-    """Measure end-to-end overhead as the history grows."""
+    """Measure end-to-end overhead as the history grows.
+
+    ``applications`` selects the matrix rows: the threaded broker and
+    JDBC stand-ins plus the asyncio broker (``"aiobroker"``), whose
+    "threads" parameter counts concurrent tasks on one event loop.
+    """
     rows: List[Figure4Row] = []
     for app_name in applications:
         stacks = _collect_app_stacks(app_name, threads, cycles)
         # Baseline: the same lock wrappers, but the engine does nothing.
         baseline_samples = []
         for _ in range(repeats):
-            runtime = _runtime(engine_mode="instrumentation_only")
+            runtime = _runtime(app_name, engine_mode="instrumentation_only")
             try:
                 baseline_samples.append(
                     _run_app(app_name, runtime, threads, cycles).throughput)
@@ -153,7 +178,8 @@ def run_figure4(history_sizes: Sequence[int] = (32, 64, 128), threads: int = 6,
             samples = []
             yields = 0
             for _ in range(repeats):
-                runtime = _runtime(history=history, engine_mode="full")
+                runtime = _runtime(app_name, history=history,
+                                   engine_mode="full")
                 try:
                     samples.append(
                         _run_app(app_name, runtime, threads, cycles).throughput)

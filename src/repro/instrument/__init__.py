@@ -12,8 +12,18 @@ from .runtime import (ThreadRegistry, YieldManager, InstrumentationRuntime,
                       reset_default_dimmunix)
 from .locks import DimmunixLock, DimmunixRLock, DimmunixCondition, Lock, RLock, Condition
 from .patching import immunize, install, uninstall, patched
+from .aio import (AioCondition, AioLock, AioSemaphore, AsyncioParker,
+                  AsyncioRuntime, TaskRegistry, asyncio_installed,
+                  get_default_aio_runtime, immunize_asyncio, install_asyncio,
+                  patched_asyncio, reset_default_aio_runtime,
+                  set_default_aio_runtime, uninstall_asyncio)
 
 __all__ = [
+    "AioCondition",
+    "AioLock",
+    "AioSemaphore",
+    "AsyncioParker",
+    "AsyncioRuntime",
     "Condition",
     "DimmunixCondition",
     "DimmunixLock",
@@ -21,13 +31,22 @@ __all__ = [
     "InstrumentationRuntime",
     "Lock",
     "RLock",
+    "TaskRegistry",
     "ThreadRegistry",
     "YieldManager",
+    "asyncio_installed",
+    "get_default_aio_runtime",
     "get_default_dimmunix",
     "immunize",
+    "immunize_asyncio",
     "install",
+    "install_asyncio",
     "patched",
+    "patched_asyncio",
+    "reset_default_aio_runtime",
     "reset_default_dimmunix",
+    "set_default_aio_runtime",
     "set_default_dimmunix",
     "uninstall",
+    "uninstall_asyncio",
 ]

@@ -1,0 +1,927 @@
+"""Deadlock immunity for ``asyncio`` programs: the event-loop runtime.
+
+Dimmunix's immunity mechanism is defined over resource-wait cycles, not
+OS threads — an ``async with lock`` inversion deadlocks an event loop
+exactly the way a ``with lock`` inversion deadlocks a thread pool.  This
+module is the third runtime adapter: it drives the very same
+:class:`~repro.core.avoidance.AvoidanceEngine` and
+:class:`~repro.core.monitor.MonitorCore` through the
+:class:`~repro.core.runtime_api.RuntimeCore` protocol, but the unit of
+execution is an asyncio *task*:
+
+* :class:`TaskRegistry` assigns stable small integer ids to tasks (the
+  engine's per-"thread" slots, striped cache, and signature index are
+  reused unchanged — they only ever see integers),
+* :class:`AsyncioParker` implements the
+  :class:`~repro.core.runtime_api.ThreadParker` protocol on loop-bound
+  futures: a YIELD decision suspends only the requesting task, the rest
+  of the loop keeps running, and wakes may arrive from the same loop
+  (lock releases) or from the monitor thread (starvation breaking) —
+  cross-thread wakes are delivered with ``call_soon_threadsafe``,
+* :class:`AioLock` / :class:`AioCondition` / :class:`AioSemaphore` are
+  drop-in replacements for ``asyncio.Lock`` / ``Condition`` /
+  ``Semaphore``, and :func:`immunize_asyncio` monkey-patches the
+  ``asyncio`` factories so existing code gains immunity unmodified.
+
+The deadlock story mirrors the thread runtime end to end: requests are
+recorded before the task blocks on the native primitive, so a cyclic
+``await lock.acquire()`` stall is visible to the monitor's RAG, its
+signature is archived, and subsequent runs *yield* (park) the task whose
+next step would re-instantiate the pattern.  See
+``examples/asyncio_quickstart.py`` for the run-twice demonstration and
+:mod:`repro.sim.aio` for exploring all task interleavings of an async
+scenario under the model checker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import sys
+import threading
+from collections import deque
+from typing import Coroutine, Deque, Dict, Optional, Set, Tuple
+
+from ..core.callstack import CallStack
+from ..core.config import DimmunixConfig
+from ..core.dimmunix import Dimmunix
+from ..core.avoidance import Decision
+from ..core.errors import InstrumentationError
+from ..core.runtime_api import RuntimeCore, ThreadParker
+
+#: Original asyncio factories, captured at import time so Dimmunix's own
+#: plumbing (and the patched factories' native fallback) can always reach
+#: the uninstrumented primitives.
+_original_lock = asyncio.Lock
+_original_condition = asyncio.Condition
+_original_semaphore = asyncio.Semaphore
+
+
+class TaskRegistry:
+    """Assigns stable small integer ids to live asyncio tasks.
+
+    Ids are allocated on first use by any task — including tasks of
+    *different* event loops in the same process — and recycled state is
+    dropped through the task's done callback, so servers spawning
+    short-lived tasks do not accumulate per-task engine state.
+    """
+
+    def __init__(self, on_task_done=None):
+        self._ids: Dict[int, int] = {}
+        self._names: Dict[int, str] = {}
+        self._counter = itertools.count(1)
+        self._mutex = threading.Lock()
+        self._on_task_done = on_task_done
+
+    def current_task_id(self) -> int:
+        """The stable id of the running task (allocated on first use)."""
+        try:
+            task = asyncio.current_task()
+        except RuntimeError:  # no running event loop
+            task = None
+        if task is None:
+            raise InstrumentationError(
+                "Dimmunix asyncio primitives must be used from within a task")
+        key = id(task)
+        with self._mutex:
+            ident = self._ids.get(key)
+            if ident is not None:
+                return ident
+            ident = next(self._counter)
+            self._ids[key] = ident
+            self._names[ident] = task.get_name()
+        task.add_done_callback(self._task_done)
+        return ident
+
+    def name_of(self, task_id: int) -> Optional[str]:
+        """The asyncio task name recorded for ``task_id`` (while it lives)."""
+        return self._names.get(task_id)
+
+    def known_tasks(self) -> Dict[int, str]:
+        """Mapping of the ids of live tasks to their task names."""
+        with self._mutex:
+            return dict(self._names)
+
+    def _task_done(self, task) -> None:
+        with self._mutex:
+            ident = self._ids.pop(id(task), None)
+            if ident is not None:
+                self._names.pop(ident, None)
+        if ident is not None and self._on_task_done is not None:
+            self._on_task_done(ident)
+
+
+class AsyncioParker(ThreadParker):
+    """Parks and wakes asyncio tasks that received a YIELD decision.
+
+    Implements the :class:`~repro.core.runtime_api.ThreadParker` protocol
+    on per-task futures.  :meth:`prepare` creates a *fresh* future bound
+    to the task's running loop before the request is issued, closing the
+    lost-wakeup window; the waker registered with the Dimmunix facade
+    resolves that future, hopping onto the owning loop with
+    ``call_soon_threadsafe`` when invoked from another thread (the
+    monitor breaks starvation from its own background thread).
+    """
+
+    def __init__(self, dimmunix: Dimmunix):
+        self._dimmunix = dimmunix
+        self._mutex = threading.Lock()
+        #: task id -> (owning loop, wake future of the current round)
+        self._futures: Dict[int, Tuple[asyncio.AbstractEventLoop,
+                                       "asyncio.Future[bool]"]] = {}
+        self._registered: Set[int] = set()
+
+    def prepare(self, task_id: int) -> None:
+        """Arm a fresh wake future for ``task_id`` (call *before* request)."""
+        loop = asyncio.get_running_loop()
+        with self._mutex:
+            self._futures[task_id] = (loop, loop.create_future())
+            register = task_id not in self._registered
+            if register:
+                self._registered.add(task_id)
+        if register:
+            self._dimmunix.register_waker(
+                task_id, lambda tid=task_id: self._wake(tid))
+
+    def park(self, thread_id: int, timeout: Optional[float]) -> bool:
+        """Blocking park is meaningless for tasks; always use :meth:`park_async`."""
+        raise InstrumentationError(
+            "AsyncioParker parks tasks, not threads; use park_async()")
+
+    async def park_async(self, task_id: int,
+                         timeout: Optional[float]) -> bool:
+        """Suspend the calling task until woken or until ``timeout`` expires.
+
+        Only the task sleeps — the event loop stays live, so other tasks
+        (including the one whose release will dissolve the yield cause)
+        keep making progress.  Cancellation propagates to the caller,
+        which must roll back the pending request.
+        """
+        with self._mutex:
+            entry = self._futures.get(task_id)
+        if entry is None:  # no prepare (defensive): treat as woken
+            return True
+        _loop, future = entry
+        if timeout is None:
+            await future
+            return True
+        try:
+            await asyncio.wait_for(future, timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def forget(self, task_id: int) -> None:
+        """Drop parking state of a finished task."""
+        with self._mutex:
+            self._futures.pop(task_id, None)
+            self._registered.discard(task_id)
+        self._dimmunix.unregister_waker(task_id)
+
+    # -- waker ------------------------------------------------------------------------
+
+    def _wake(self, task_id: int) -> None:
+        with self._mutex:
+            entry = self._futures.get(task_id)
+        if entry is None:
+            return
+        loop, future = entry
+
+        def _resolve() -> None:
+            if not future.done():
+                future.set_result(True)
+
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is loop:
+            _resolve()
+        else:
+            try:
+                loop.call_soon_threadsafe(_resolve)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+
+
+class AsyncioRuntime:
+    """Bundles a Dimmunix instance with task identity and the runtime core.
+
+    The asyncio analogue of
+    :class:`~repro.instrument.runtime.InstrumentationRuntime`: one
+    :class:`AsyncioRuntime` serves any number of event loops in the
+    process (task ids are process-global, wake futures are loop-bound).
+    """
+
+    def __init__(self, dimmunix: Dimmunix,
+                 loop: Optional[asyncio.AbstractEventLoop] = None):
+        self.dimmunix = dimmunix
+        self.parker = AsyncioParker(dimmunix)
+        #: The unified engine-driving layer; aio primitives go through this.
+        self.core = RuntimeCore(dimmunix, parker=self.parker)
+        # Finished tasks drop their engine slots, wake futures, and wakers
+        # automatically through the task's done callback.
+        self.tasks = TaskRegistry(on_task_done=self.core.forget_thread)
+        #: Optional loop this runtime primarily serves.  Wake delivery is
+        #: per-task and already loop-aware, so this is informational (it
+        #: is recorded by :func:`immunize_asyncio` for diagnostics).
+        self.loop = loop
+        self._lock_ids = itertools.count(1)
+        self._lock_id_mutex = threading.Lock()
+
+    # -- id allocation -----------------------------------------------------------------
+
+    def current_task_id(self) -> int:
+        """Stable id of the running task."""
+        return self.tasks.current_task_id()
+
+    def new_lock_id(self) -> int:
+        """Allocate an id for a newly created aio primitive."""
+        with self._lock_id_mutex:
+            return next(self._lock_ids)
+
+    # -- stack capture ------------------------------------------------------------------
+
+    def capture_stack(self) -> CallStack:
+        """Capture the running task's coroutine stack, bounded by config depth.
+
+        While a task runs, its coroutine frames (and those of the
+        coroutines it awaits) are live on the interpreter stack, so the
+        same frame capture as the thread runtime applies; Dimmunix's own
+        frames are dropped by ``skip_internal``.
+        """
+        stack = CallStack.capture(skip=1,
+                                  limit=self.dimmunix.config.max_stack_depth)
+        if not stack:
+            try:
+                task = asyncio.current_task()
+            except RuntimeError:
+                task = None
+            label = task.get_name() if task is not None else "aiotask"
+            stack = CallStack.from_labels([f"<toplevel-{label}>:0"])
+        return stack
+
+    # -- engine passthroughs ---------------------------------------------------------------
+
+    @property
+    def engine(self):
+        """The avoidance engine of the attached Dimmunix instance."""
+        return self.dimmunix.engine
+
+    @property
+    def config(self):
+        """The configuration of the attached Dimmunix instance."""
+        return self.dimmunix.config
+
+
+# ---------------------------------------------------------------------------
+# Drop-in primitives
+# ---------------------------------------------------------------------------
+
+class _PermitQueue:
+    """The waiter half of ``asyncio.Lock``/``Semaphore`` on bare futures.
+
+    Dimmunix cannot simply ``await asyncio.wait_for(native.acquire(), t)``:
+    on Python ≤ 3.11 ``wait_for`` wraps the coroutine in a *new task*,
+    which would corrupt task identity (engine events recorded under a
+    throwaway wrapper task).  This queue mirrors CPython's
+    ``asyncio.Semaphore`` waiter logic — FIFO futures, grant-time permit
+    accounting, cancellation hand-over — but waits with ``wait_for`` on a
+    plain future only, which never creates a task, so the whole
+    acquisition runs in the caller's task.  One permit makes it a lock;
+    N permits make it a counting semaphore.
+    """
+
+    def __init__(self, value: int = 1) -> None:
+        self._value = value
+        self._waiters: Deque["asyncio.Future[bool]"] = deque()
+
+    def locked(self) -> bool:
+        """Whether no permits are currently available."""
+        return self._value == 0
+
+    async def acquire(self, timeout: Optional[float]) -> bool:
+        """Wait for a permit; False on timeout, FIFO fair."""
+        if self._value > 0 and not any(not w.done() for w in self._waiters):
+            self._value -= 1
+            return True
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._waiters.append(future)
+        granted = False
+        try:
+            try:
+                if timeout is None:
+                    await future
+                    granted = True
+                else:
+                    try:
+                        await asyncio.wait_for(future, timeout)
+                        granted = True
+                    except asyncio.TimeoutError:
+                        granted = False
+            finally:
+                if future in self._waiters:
+                    self._waiters.remove(future)
+        except asyncio.CancelledError:
+            # Mirror asyncio: if the grant raced our cancellation, put
+            # the permit back and pass it on so the hand-over is not lost.
+            if future.done() and not future.cancelled():
+                self._value += 1
+                self.wake_next()
+            raise
+        if granted:
+            return True
+        # Timed out: a release may have freed a permit that our (now
+        # cancelled) future could not consume — hand it over.
+        self.wake_next()
+        return False
+
+    def release(self) -> None:
+        """Return a permit and grant it to the first live waiter."""
+        self._value += 1
+        self.wake_next()
+
+    def wake_next(self) -> None:
+        """Grant an available permit to the first waiter still waiting."""
+        if self._value <= 0:
+            return
+        for future in self._waiters:
+            if not future.done():
+                self._value -= 1
+                future.set_result(True)
+                return
+
+
+async def _avoidance_gate(core, task_id: int, lock_id: int, stack: CallStack,
+                          deadline: Optional[float],
+                          loop: asyncio.AbstractEventLoop) -> bool:
+    """Run the request/park avoidance loop until GO; False on deadline.
+
+    The shared front half of every aio acquisition: request a GO/YIELD
+    decision, park the task on YIELD and retry when woken, abort the
+    yield when the configured yield bound expires (section 5.7).  Task
+    cancellation rolls the pending request back before propagating.
+    """
+    while True:
+        core.prepare_wait(task_id)
+        outcome = core.request(task_id, lock_id, stack)
+        if outcome.decision is Decision.GO:
+            return True
+        wait_for = core.config.yield_timeout
+        if deadline is not None:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                core.cancel(task_id, lock_id)
+                return False
+            wait_for = remaining if wait_for is None else min(wait_for,
+                                                              remaining)
+        try:
+            woken = await core.park_async(task_id, wait_for)
+        except asyncio.CancelledError:
+            core.cancel(task_id, lock_id)
+            raise
+        if not woken and core.config.yield_timeout is not None:
+            core.abort_yield(task_id)
+
+
+class AioLock:
+    """A drop-in ``asyncio.Lock`` protected by deadlock immunity.
+
+    Every acquisition runs the avoidance protocol: capture the coroutine
+    stack, ``request`` a GO/YIELD decision, park the *task* on YIELD and
+    retry when woken, then join the lock's FIFO wait queue — the request
+    is recorded before the native wait, so cyclic stalls are visible to
+    the monitor.  Releases notify the engine first (the paper's required
+    partial ordering) and then hand the lock over.
+    """
+
+    def __init__(self, runtime: Optional[AsyncioRuntime] = None,
+                 name: Optional[str] = None):
+        self._runtime = runtime if runtime is not None else get_default_aio_runtime()
+        self._permits = _PermitQueue(1)
+        self._lock_id = self._runtime.new_lock_id()
+        self._name = name or f"aiolock-{self._lock_id}"
+        self._owner: Optional[int] = None
+
+    # -- public lock protocol -----------------------------------------------------------
+
+    def acquire(self, timeout: Optional[float] = None) -> "Coroutine":
+        """Acquire the lock, running the Dimmunix avoidance protocol first.
+
+        ``timeout`` bounds the whole acquisition (avoidance parking plus
+        native wait) and the returned coroutine yields False on expiry —
+        the recovery valve the miniature apps and the quickstart use
+        instead of an external restart.  Task cancellation rolls the
+        pending request back before propagating.
+
+        This is deliberately a plain method returning a coroutine: the
+        calling task's identity and stack are captured *here*, in the
+        caller, so the standard ``await asyncio.wait_for(lock.acquire(),
+        t)`` idiom works even on Pythons whose ``wait_for`` runs the
+        coroutine in a throwaway wrapper task (≤ 3.11) — engine events
+        always carry the logical caller's identity, never the wrapper's.
+        """
+        runtime = self._runtime
+        try:
+            task_id: Optional[int] = runtime.current_task_id()
+        except InstrumentationError:
+            task_id = None  # created outside a task; resolved at await time
+        return self._acquire(task_id, runtime.capture_stack(), timeout)
+
+    async def _acquire(self, task_id: Optional[int], stack: CallStack,
+                       timeout: Optional[float]) -> bool:
+        runtime = self._runtime
+        core = runtime.core
+        if task_id is None:
+            task_id = runtime.current_task_id()
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+
+        if not await _avoidance_gate(core, task_id, self._lock_id, stack,
+                                     deadline, loop):
+            return False
+        native_timeout = None
+        if deadline is not None:
+            native_timeout = max(0.0, deadline - loop.time())
+        try:
+            got = await self._permits.acquire(native_timeout)
+        except asyncio.CancelledError:
+            core.cancel(task_id, self._lock_id)
+            raise
+        if not got:
+            core.cancel(task_id, self._lock_id)
+            return False
+        self._owner = task_id
+        core.acquired(task_id, self._lock_id, stack)
+        return True
+
+    def release(self) -> None:
+        """Release the lock and wake any tasks whose yield causes dissolved.
+
+        Like ``asyncio.Lock``, any task may release a held lock; the
+        engine release is recorded under the identity that acquired, so
+        the hold bookkeeping stays consistent.  Releasing an unheld lock
+        raises.
+        """
+        owner = self._owner
+        if owner is None or not self._permits.locked():
+            raise InstrumentationError(f"{self._name} is not acquired")
+        self._owner = None
+        self._runtime.core.release(owner, self._lock_id)
+        self._permits.release()
+
+    def locked(self) -> bool:
+        """Whether the lock is currently held."""
+        return self._permits.locked()
+
+    # -- context manager ------------------------------------------------------------------
+
+    async def __aenter__(self) -> None:
+        await self.acquire()
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+    # -- introspection --------------------------------------------------------------------------
+
+    @property
+    def lock_id(self) -> int:
+        """The engine-level identifier of this lock."""
+        return self._lock_id
+
+    @property
+    def name(self) -> str:
+        """Human readable name (used in diagnostics)."""
+        return self._name
+
+    @property
+    def owner(self) -> Optional[int]:
+        """The Dimmunix task id of the current owner, if any."""
+        return self._owner
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "locked" if self.locked() else "unlocked"
+        return f"<{type(self).__name__} {self._name} ({state})>"
+
+
+class AioSemaphore:
+    """A drop-in ``asyncio.Semaphore``; binary semaphores get avoidance.
+
+    A semaphore created with ``value == 1`` is a mutex in disguise, and
+    its acquisitions run the full avoidance protocol on the semaphore's
+    lock id — exact coverage, same as :class:`AioLock`.  Counting
+    semaphores (``value > 1``) are passed through the native waiter
+    logic without engine events: the engine's resource model is
+    single-holder, so modelling a multi-permit resource as one lock
+    would corrupt the hold bookkeeping (multi-holder RAG support is a
+    ROADMAP open item).  Releases are expected from the task that
+    acquired (the ``async with`` idiom); a release by a task holding no
+    recorded permit only returns the permit, without an engine event.
+    """
+
+    def __init__(self, value: int = 1,
+                 runtime: Optional[AsyncioRuntime] = None,
+                 name: Optional[str] = None):
+        if value < 0:
+            raise ValueError("Semaphore initial value must be >= 0")
+        self._runtime = runtime if runtime is not None else get_default_aio_runtime()
+        self._permits = _PermitQueue(value)
+        self._lock_id = self._runtime.new_lock_id()
+        self._name = name or f"aiosem-{self._lock_id}"
+        #: Binary semaphores are exact mutexes; only they drive the engine.
+        self._engine_tracked = value == 1
+        #: task id -> number of outstanding permits held by that task.
+        self._holders: Dict[int, int] = {}
+
+    def acquire(self, timeout: Optional[float] = None) -> "Coroutine":
+        """Acquire one permit; binary semaphores run the avoidance protocol.
+
+        Like :meth:`AioLock.acquire`, identity and stack are captured in
+        the caller so ``asyncio.wait_for(semaphore.acquire(), t)`` works
+        on wrapper-task Pythons (≤ 3.11).
+        """
+        runtime = self._runtime
+        try:
+            task_id: Optional[int] = runtime.current_task_id()
+        except InstrumentationError:
+            task_id = None
+        return self._acquire(task_id, runtime.capture_stack(), timeout)
+
+    async def _acquire(self, task_id: Optional[int], stack: CallStack,
+                       timeout: Optional[float]) -> bool:
+        runtime = self._runtime
+        core = runtime.core
+        if task_id is None:
+            task_id = runtime.current_task_id()
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+
+        if self._engine_tracked:
+            if not await _avoidance_gate(core, task_id, self._lock_id, stack,
+                                         deadline, loop):
+                return False
+
+        native_timeout = None
+        if deadline is not None:
+            native_timeout = max(0.0, deadline - loop.time())
+        try:
+            got = await self._permits.acquire(native_timeout)
+        except asyncio.CancelledError:
+            if self._engine_tracked:
+                core.cancel(task_id, self._lock_id)
+            raise
+        if not got:
+            if self._engine_tracked:
+                core.cancel(task_id, self._lock_id)
+            return False
+        if self._engine_tracked:
+            self._holders[task_id] = self._holders.get(task_id, 0) + 1
+            core.acquired(task_id, self._lock_id, stack)
+        return True
+
+    def release(self) -> None:
+        """Release one permit (from any task, like ``asyncio.Semaphore``).
+
+        For engine-tracked (binary) semaphores the engine release is
+        recorded under the task that holds the recorded permit — for a
+        binary semaphore there is at most one — preferring the calling
+        task when it is that holder.  This mirrors
+        :meth:`AioLock.release`: paired acquire/release usage is exact;
+        an unpaired release transfers the hold (the engine sees the
+        resource freed), trading hold-accuracy for graceful degradation
+        instead of corrupting the single-holder bookkeeping.
+        """
+        if self._engine_tracked and self._holders:
+            try:
+                task_id = self._runtime.current_task_id()
+            except InstrumentationError:
+                task_id = None
+            owner = (task_id if task_id in self._holders
+                     else next(iter(self._holders)))
+            count = self._holders[owner]
+            if count == 1:
+                del self._holders[owner]
+            else:
+                self._holders[owner] = count - 1
+            self._runtime.core.release(owner, self._lock_id)
+        self._permits.release()
+
+    def locked(self) -> bool:
+        """Whether no permits are currently available."""
+        return self._permits.locked()
+
+    async def __aenter__(self) -> None:
+        await self.acquire()
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+    @property
+    def lock_id(self) -> int:
+        """The engine-level identifier of this semaphore."""
+        return self._lock_id
+
+    @property
+    def name(self) -> str:
+        """Human readable name (used in diagnostics)."""
+        return self._name
+
+
+class AioCondition:
+    """A drop-in ``asyncio.Condition`` backed by an :class:`AioLock`.
+
+    Waits release the instrumented lock and reacquire it through the
+    avoidance protocol, so notification-driven lock reacquisitions get
+    the same immunity coverage as plain acquisitions (the paper's
+    treatment of condition-variable-associated locks).
+    """
+
+    def __init__(self, lock: Optional[AioLock] = None,
+                 runtime: Optional[AsyncioRuntime] = None):
+        if lock is None:
+            lock = AioLock(runtime=runtime)
+        elif not isinstance(lock, AioLock):
+            raise InstrumentationError(
+                "AioCondition requires an AioLock (got "
+                f"{type(lock).__name__}); wrap native locks before use")
+        self._lock = lock
+        self._runtime = lock._runtime
+        self._waiters: Deque["asyncio.Future[bool]"] = deque()
+
+    # -- lock passthroughs ---------------------------------------------------------------
+
+    async def acquire(self, timeout: Optional[float] = None) -> bool:
+        """Acquire the underlying lock (see :meth:`AioLock.acquire`)."""
+        return await self._lock.acquire(timeout)
+
+    def release(self) -> None:
+        """Release the underlying lock."""
+        self._lock.release()
+
+    def locked(self) -> bool:
+        """Whether the underlying lock is held."""
+        return self._lock.locked()
+
+    async def __aenter__(self) -> None:
+        await self.acquire()
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+    # -- condition protocol ---------------------------------------------------------------
+
+    async def wait(self) -> bool:
+        """Release the lock, sleep until notified, reacquire the lock.
+
+        Mirrors ``asyncio.Condition.wait`` including its cancellation
+        contract: the lock is *always* reacquired before the wait
+        returns or re-raises, so callers can rely on holding it.  The
+        reacquisition reuses the identity that held the lock, so a
+        ``wait_for``-wrapped wait keeps the logical owner.
+        """
+        owner = self._lock.owner
+        if owner is None or not self._lock.locked():
+            raise RuntimeError("cannot wait on un-acquired lock")
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self.release()
+        try:
+            self._waiters.append(future)
+            try:
+                await future
+                return True
+            finally:
+                self._waiters.remove(future)
+        finally:
+            cancelled = None
+            while True:
+                try:
+                    await self._lock._acquire(
+                        owner, self._runtime.capture_stack(), None)
+                    break
+                except asyncio.CancelledError as exc:
+                    cancelled = exc
+            if cancelled is not None:
+                raise cancelled
+
+    async def wait_for(self, predicate) -> bool:
+        """Wait until ``predicate()`` is true (re-evaluated on every notify)."""
+        result = predicate()
+        while not result:
+            await self.wait()
+            result = predicate()
+        return result
+
+    def notify(self, n: int = 1) -> None:
+        """Wake up to ``n`` waiting tasks (the lock must be held)."""
+        if not self.locked():
+            raise RuntimeError("cannot notify on un-acquired lock")
+        woken = 0
+        for future in self._waiters:
+            if woken >= n:
+                break
+            if not future.done():
+                woken += 1
+                future.set_result(True)
+
+    def notify_all(self) -> None:
+        """Wake every waiting task (the lock must be held)."""
+        self.notify(len(self._waiters))
+
+
+# ---------------------------------------------------------------------------
+# Factory helpers mirroring the ``asyncio`` API
+# ---------------------------------------------------------------------------
+
+def Lock(runtime: Optional[AsyncioRuntime] = None,
+         name: Optional[str] = None) -> AioLock:
+    """Create a Dimmunix-protected aio mutex (drop-in for ``asyncio.Lock``)."""
+    return AioLock(runtime=runtime, name=name)
+
+
+def Condition(lock: Optional[AioLock] = None,
+              runtime: Optional[AsyncioRuntime] = None) -> AioCondition:
+    """Create a condition variable whose lock is protected by Dimmunix."""
+    return AioCondition(lock=lock, runtime=runtime)
+
+
+def Semaphore(value: int = 1, runtime: Optional[AsyncioRuntime] = None,
+              name: Optional[str] = None) -> AioSemaphore:
+    """Create a Dimmunix-protected semaphore (drop-in for ``asyncio.Semaphore``)."""
+    return AioSemaphore(value, runtime=runtime, name=name)
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default instance
+# ---------------------------------------------------------------------------
+
+_default_runtime: Optional[AsyncioRuntime] = None
+_default_mutex = threading.Lock()
+
+
+def set_default_aio_runtime(dimmunix: Dimmunix) -> AsyncioRuntime:
+    """Install ``dimmunix`` as the process-wide asyncio default runtime."""
+    global _default_runtime
+    with _default_mutex:
+        _default_runtime = AsyncioRuntime(dimmunix)
+        return _default_runtime
+
+
+def get_default_aio_runtime(create: bool = True) -> AsyncioRuntime:
+    """Return the default asyncio runtime, creating one if needed."""
+    global _default_runtime
+    if _default_runtime is None:
+        if not create:
+            raise InstrumentationError(
+                "no default asyncio Dimmunix runtime configured")
+        with _default_mutex:
+            if _default_runtime is None:
+                _default_runtime = AsyncioRuntime(Dimmunix())
+    return _default_runtime
+
+
+def reset_default_aio_runtime() -> None:
+    """Drop the default asyncio runtime (mainly for tests)."""
+    global _default_runtime
+    with _default_mutex:
+        _default_runtime = None
+
+
+# ---------------------------------------------------------------------------
+# Monkey-patching of the ``asyncio`` factories
+# ---------------------------------------------------------------------------
+
+_installed_runtime: Optional[AsyncioRuntime] = None
+
+#: Path fragments identifying callers that must always receive *native*
+#: primitives even while the patch is installed: the asyncio machinery
+#: itself, the ``threading`` module, and this library.
+_NATIVE_CALLERS = ("asyncio/", "asyncio\\", "threading.py",
+                   "repro/core", "repro/instrument", "repro/util",
+                   "repro\\core", "repro\\instrument", "repro\\util")
+
+
+def _caller_needs_native_lock() -> bool:
+    """True when the primitive is created by asyncio internals or Dimmunix."""
+    try:
+        frame = sys._getframe(2)
+    except ValueError:  # pragma: no cover - extremely shallow stacks
+        return False
+    filename = frame.f_code.co_filename.replace("\\", "/")
+    return any(fragment.replace("\\", "/") in filename
+               for fragment in _NATIVE_CALLERS)
+
+
+def install_asyncio(dimmunix: Optional[Dimmunix] = None,
+                    config: Optional[DimmunixConfig] = None) -> AsyncioRuntime:
+    """Patch ``asyncio.Lock``/``Condition``/``Semaphore`` to Dimmunix types.
+
+    Returns the asyncio runtime bound to the (possibly newly created)
+    Dimmunix instance.  Calling :func:`install_asyncio` twice without an
+    intervening :func:`uninstall_asyncio` raises, to avoid silently
+    stacking patches.
+    """
+    global _installed_runtime
+    if _installed_runtime is not None:
+        raise InstrumentationError(
+            "asyncio is already instrumented; call uninstall_asyncio() first")
+    if dimmunix is None:
+        dimmunix = Dimmunix(config=config)
+    runtime = set_default_aio_runtime(dimmunix)
+
+    def _lock_factory(*args, **kwargs):
+        if _caller_needs_native_lock():
+            return _original_lock(*args, **kwargs)
+        return AioLock(runtime=runtime)
+
+    def _condition_factory(lock=None, *args, **kwargs):
+        # A condition over a pre-existing *native* lock (created before
+        # install) cannot be instrumented; degrade to native behaviour
+        # rather than breaking previously working code.
+        if _caller_needs_native_lock() or (lock is not None
+                                           and not isinstance(lock, AioLock)):
+            return _original_condition(lock, *args, **kwargs)
+        return AioCondition(lock=lock, runtime=runtime)
+
+    def _semaphore_factory(value=1, *args, **kwargs):
+        if _caller_needs_native_lock():
+            return _original_semaphore(value, *args, **kwargs)
+        return AioSemaphore(value, runtime=runtime)
+
+    asyncio.Lock = _lock_factory  # type: ignore[assignment]
+    asyncio.Condition = _condition_factory  # type: ignore[assignment]
+    asyncio.Semaphore = _semaphore_factory  # type: ignore[assignment]
+    asyncio.locks.Lock = _lock_factory  # type: ignore[assignment]
+    asyncio.locks.Condition = _condition_factory  # type: ignore[assignment]
+    asyncio.locks.Semaphore = _semaphore_factory  # type: ignore[assignment]
+    _installed_runtime = runtime
+    return runtime
+
+
+def uninstall_asyncio() -> None:
+    """Restore the original ``asyncio`` synchronization factories."""
+    global _installed_runtime
+    asyncio.Lock = _original_lock  # type: ignore[assignment]
+    asyncio.Condition = _original_condition  # type: ignore[assignment]
+    asyncio.Semaphore = _original_semaphore  # type: ignore[assignment]
+    asyncio.locks.Lock = _original_lock  # type: ignore[assignment]
+    asyncio.locks.Condition = _original_condition  # type: ignore[assignment]
+    asyncio.locks.Semaphore = _original_semaphore  # type: ignore[assignment]
+    _installed_runtime = None
+
+
+def asyncio_installed() -> bool:
+    """True while :func:`install_asyncio` is in effect."""
+    return _installed_runtime is not None
+
+
+@contextlib.contextmanager
+def patched_asyncio(dimmunix: Optional[Dimmunix] = None,
+                    config: Optional[DimmunixConfig] = None):
+    """Context manager combining :func:`install_asyncio`/:func:`uninstall_asyncio`.
+
+    The Dimmunix monitor is started on entry and stopped on exit::
+
+        with patched_asyncio(config=DimmunixConfig(history_path="app.history")):
+            asyncio.run(serve())
+    """
+    runtime = install_asyncio(dimmunix=dimmunix, config=config)
+    runtime.dimmunix.start()
+    try:
+        yield runtime
+    finally:
+        runtime.dimmunix.stop()
+        uninstall_asyncio()
+
+
+def immunize_asyncio(config: Optional[DimmunixConfig] = None,
+                     history_path: Optional[str] = None,
+                     loop: Optional[asyncio.AbstractEventLoop] = None
+                     ) -> AsyncioRuntime:
+    """One-call setup: create, start, and install an asyncio Dimmunix.
+
+    The "just make my event loop immune" entry point::
+
+        import repro
+
+        repro.immunize_asyncio(history_path="myapp.history")
+        asyncio.run(main())
+
+    ``loop`` optionally records the loop this runtime primarily serves
+    (informational — wake futures are bound to each parked task's own
+    running loop, so any number of loops is supported either way).
+    """
+    if config is None:
+        config = DimmunixConfig(history_path=history_path)
+    elif history_path is not None:
+        config = config.with_overrides(history_path=history_path)
+    dimmunix = Dimmunix(config=config)
+    runtime = install_asyncio(dimmunix=dimmunix)
+    runtime.loop = loop
+    dimmunix.start()
+    return runtime

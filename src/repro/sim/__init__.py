@@ -21,6 +21,10 @@ whole bounded schedule space instead of one lucky seed.
 """
 
 from .actions import Acquire, Compute, Log, Release, TryAcquire, call_site
+from .aio import (AioSimLock, alog, asleep, async_program,
+                  aio_lock_order_program, aio_philosopher_program,
+                  build_aio_philosophers, build_aio_two_lock_inversion,
+                  new_aio_lock, perform)
 from .backends import (DimmunixBackend, NullBackend, SchedulerBackend)
 from .explore import (DeadlockFinding, ExplorationResult, Explorer,
                       ImmunityChecker, ImmunityReport, SCENARIOS,
@@ -35,6 +39,7 @@ from .programs import (lock_order_program, philosopher_program,
 
 __all__ = [
     "Acquire",
+    "AioSimLock",
     "Compute",
     "DeadlockFinding",
     "DimmunixBackend",
@@ -57,10 +62,19 @@ __all__ = [
     "SimScheduler",
     "SimThread",
     "TryAcquire",
+    "aio_lock_order_program",
+    "aio_philosopher_program",
+    "alog",
+    "asleep",
+    "async_program",
+    "build_aio_philosophers",
+    "build_aio_two_lock_inversion",
     "build_philosophers",
     "build_two_lock_inversion",
     "call_site",
     "lock_order_program",
+    "new_aio_lock",
+    "perform",
     "philosopher_program",
     "random_workload_program",
     "two_phase_program",

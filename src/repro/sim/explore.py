@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.errors import ReplayDivergenceError
+from .aio import build_aio_philosophers, build_aio_two_lock_inversion
 from .backends import NullBackend, SchedulerBackend
 from .programs import lock_order_program, philosopher_program
 from .result import SimResult
@@ -232,6 +233,7 @@ class ExplorationResult:
 
     @property
     def deadlock_count(self) -> int:
+        """Number of deadlocking runs found (not deduplicated)."""
         return len(self.deadlocks)
 
     @property
@@ -242,6 +244,7 @@ class ExplorationResult:
         return self.steps / self.elapsed
 
     def summary(self) -> Dict:
+        """Flat dictionary of all counters (for printing and reports)."""
         return {
             "mode": self.mode,
             "runs": self.runs,
@@ -500,6 +503,7 @@ class ImmunityReport:
                 and self.immune.deadlock_count == 0)
 
     def as_dict(self) -> Dict:
+        """Flat dictionary of the report (for printing and the harness)."""
         return {
             "scenario": self.scenario,
             "vulnerable_runs": self.vulnerable.runs,
@@ -569,6 +573,15 @@ class ImmunityChecker:
                                history=history)
 
     def check(self) -> ImmunityReport:
+        """Run the three phases (vulnerable → learn → immune) and report.
+
+        Every exploration run receives its own scheduler and — in the
+        immune phase — its own *forked* backend
+        (:meth:`SchedulerBackend.fork`), so learned signatures and
+        mutated engine state never leak between interleavings; the
+        seeded history is the only state shared across runs, by
+        construction.
+        """
         vulnerable_explorer = self._explorer(lambda: self.scenario(NullBackend()))
         vulnerable = vulnerable_explorer.explore()
         if not vulnerable.deadlocks:
@@ -674,7 +687,13 @@ def build_philosophers(backend: SchedulerBackend, seats: int = 3,
 
 
 #: Scenario registry used by replay fixtures and the harness matrix.
+#: Includes both threaded (generator-program) and asyncio
+#: (coroutine-program) scenarios — the explorer treats them identically,
+#: since coroutines drive the scheduler through the same ``send`` protocol.
 SCENARIOS: Dict[str, Callable[[SchedulerBackend], SimScheduler]] = {
     "two-lock-inversion": build_two_lock_inversion,
     "philosophers-3": lambda backend: build_philosophers(backend, seats=3),
+    "aio-two-lock-inversion": build_aio_two_lock_inversion,
+    "aio-philosophers-3":
+        lambda backend: build_aio_philosophers(backend, seats=3),
 }

@@ -66,6 +66,7 @@ class RandomPolicy(SchedulePolicy):
         self.rng = random.Random(seed)
 
     def choose(self, candidates: List, scheduler):
+        """Pick uniformly at random; same seed + same run ⇒ same picks."""
         return self.rng.choice(candidates)
 
 
@@ -75,6 +76,7 @@ class FirstReadyPolicy(SchedulePolicy):
     name = "first-ready"
 
     def choose(self, candidates: List, scheduler):
+        """Pick the first candidate (the list is sorted by slot)."""
         return candidates[0]
 
 
@@ -92,9 +94,11 @@ class ScheduleTrace:
         self.meta: Dict[str, Any] = dict(meta or {})
 
     def __len__(self) -> int:
+        """Number of recorded choice points."""
         return len(self.choices)
 
     def __eq__(self, other) -> bool:
+        """Traces are equal when their choices match; ``meta`` is ignored."""
         return (isinstance(other, ScheduleTrace)
                 and self.choices == other.choices)
 
@@ -104,6 +108,7 @@ class ScheduleTrace:
     # -- serialization -------------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
+        """The version-1 payload (see ``docs/trace-format.md``)."""
         return {
             "format_version": TRACE_FORMAT_VERSION,
             "choices": list(self.choices),
@@ -112,6 +117,7 @@ class ScheduleTrace:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ScheduleTrace":
+        """Validate and load a payload; rejects unknown format versions."""
         if not isinstance(payload, dict) or "choices" not in payload:
             raise SimulationError("schedule trace payload lacks a 'choices' list")
         version = payload.get("format_version", TRACE_FORMAT_VERSION)
@@ -129,12 +135,14 @@ class ScheduleTrace:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
 
     def save(self, path: str) -> str:
+        """Write the stable encoding to ``path``; returns ``path``."""
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.dumps())
         return path
 
     @classmethod
     def load(cls, path: str) -> "ScheduleTrace":
+        """Load and validate a trace previously written by :meth:`save`."""
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_dict(json.load(handle))
 
@@ -160,6 +168,7 @@ class ReplayPolicy(SchedulePolicy):
         self._prev_slot: Optional[int] = None
 
     def choose(self, candidates: List, scheduler):
+        """Return the recorded thread, or the tolerant fallback (see class)."""
         by_slot = {scheduler.slot_of(c.thread_id): c for c in candidates}
         position = self.position
         self.position += 1
@@ -182,6 +191,7 @@ class ReplayPolicy(SchedulePolicy):
         return by_slot[min(by_slot)]
 
     def observe(self, scheduler, thread, action) -> None:
+        """Track the previously running thread for the tolerant fallback."""
         self._prev_slot = scheduler.slot_of(thread.thread_id)
 
 

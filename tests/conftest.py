@@ -9,6 +9,7 @@ from repro.core.config import DimmunixConfig
 from repro.core.dimmunix import Dimmunix
 from repro.core.history import History
 from repro.core.signature import Signature
+from repro.instrument import aio as instrument_aio
 from repro.instrument import patching, runtime as instrument_runtime
 
 
@@ -41,11 +42,15 @@ def started_dimmunix(config, history):
 
 @pytest.fixture(autouse=True)
 def _clean_instrumentation():
-    """Ensure tests never leak a patched ``threading`` module or default runtime."""
+    """Ensure tests never leak patched ``threading``/``asyncio`` modules
+    or default runtimes."""
     yield
     if patching.installed():
         patching.uninstall()
     instrument_runtime.reset_default_dimmunix()
+    if instrument_aio.asyncio_installed():
+        instrument_aio.uninstall_asyncio()
+    instrument_aio.reset_default_aio_runtime()
 
 
 def stack(*labels: str) -> CallStack:

@@ -271,3 +271,107 @@ class TestTaskQueue:
         assert all(task.cancelled for task in tasks)
         with pytest.raises(RuntimeError):
             queue.schedule()
+
+
+class TestAioBroker:
+    """The asyncio broker app (deadlock-free paths + the exploit pair)."""
+
+    @pytest.fixture
+    def aio_runtime(self, config, history):
+        from repro.instrument.aio import AsyncioRuntime
+        return AsyncioRuntime(Dimmunix(config=config, history=history))
+
+    def test_produce_dispatch_ack_cycle(self, aio_runtime):
+        import asyncio
+        from repro.apps import AioBroker
+
+        broker = AioBroker(runtime=aio_runtime)
+        acks = asyncio.run(broker.produce_consume_cycle("orders", messages=5))
+        assert acks == 5
+        queue = broker.queues["orders"]
+        assert queue.dequeued == 5
+        assert queue.in_flight == 0
+
+    def test_drop_event_requeues_prefetched(self, aio_runtime):
+        import asyncio
+        from repro.apps import AioBroker
+
+        async def scenario():
+            broker = AioBroker(runtime=aio_runtime)
+            queue = await broker.create_queue("q")
+            subscription = await broker.subscribe(queue, "c")
+            await queue.enqueue({"id": 1})
+            await queue.dispatch_one()
+            assert len(subscription.prefetched) == 1
+            recovered = await queue.drop_event(subscription)
+            assert recovered == 1
+            assert len(queue.messages) == 1
+            assert subscription not in queue.subscriptions
+
+        asyncio.run(scenario())
+
+    def test_session_consumer_registration(self, aio_runtime):
+        import asyncio
+        from repro.apps import AioBroker
+
+        async def scenario():
+            broker = AioBroker(runtime=aio_runtime)
+            session = broker.create_session()
+            await session.create_consumer("c1")
+            assert await broker.dispatch_to_sessions({"m": 1}) == 1
+            assert session.consumers == ["c1"]
+
+        asyncio.run(scenario())
+
+    def test_bug336_pair_deadlocks_and_learns(self, aio_runtime):
+        """The create_consumer/dispatch inversion wedges two tasks; the
+        bounded timeout surfaces AppLockTimeout and the monitor archives
+        the cycle's signature."""
+        import asyncio
+        from repro.apps import AioBroker, AppLockTimeout, aio_interleave_pause
+
+        dimmunix = aio_runtime.dimmunix
+        dimmunix.start()
+        try:
+            async def scenario():
+                broker = AioBroker(runtime=aio_runtime, acquire_timeout=0.8)
+                session = broker.create_session()
+                # Bootstrap consumer so dispatch has a session to lock.
+                await session.create_consumer("bootstrap")
+                reached = [asyncio.Event(), asyncio.Event()]
+                timeouts = []
+
+                async def register():
+                    try:
+                        await session.create_consumer(
+                            "c", _pause=aio_interleave_pause(reached[0],
+                                                             reached[1], 0.3))
+                    except AppLockTimeout:
+                        timeouts.append("register")
+
+                async def dispatch():
+                    try:
+                        await broker.dispatch_to_sessions(
+                            {"m": 1}, _pause=aio_interleave_pause(reached[1],
+                                                                  reached[0],
+                                                                  0.3))
+                    except AppLockTimeout:
+                        timeouts.append("dispatch")
+
+                await asyncio.gather(register(), dispatch())
+                return timeouts
+
+            timeouts = asyncio.run(scenario())
+            assert timeouts  # at least one side timed out in the deadlock
+            assert len(dimmunix.history) >= 1
+        finally:
+            dimmunix.stop()
+
+    def test_aiobroker_workload_runs_clean(self, aio_runtime):
+        from repro.harness import run_aiobroker_workload
+
+        result = run_aiobroker_workload(aio_runtime, tasks=2, cycles=2,
+                                        messages_per_cycle=3)
+        assert result.errors == 0
+        assert result.operations > 0
+        assert result.throughput > 0

@@ -1,0 +1,158 @@
+"""Tests of the async-program bridge onto the simulator and explorer.
+
+Coroutine programs must be first-class citizens of the model checker:
+deterministic execution, exploration of all bounded task interleavings,
+record/replay/shrink of counterexamples, and the immunity claim holding
+for the canonical asyncio scenarios.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.config import DimmunixConfig
+from repro.sim import (DimmunixBackend, Explorer, ImmunityChecker,
+                       NullBackend, ReplayPolicy, ScheduleTrace, SimScheduler,
+                       alog, asleep, async_program,
+                       build_aio_philosophers, build_aio_two_lock_inversion,
+                       call_site, new_aio_lock)
+from repro.sim.explore import SCENARIOS
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                       "aio-two-lock-inversion.trace.json")
+
+
+class TestCoroutineBridge:
+    def test_async_program_runs_to_completion(self):
+        scheduler = SimScheduler(backend=NullBackend())
+        lock = new_aio_lock(scheduler, "L")
+        counter = {"entered": 0}
+
+        async def worker(tag):
+            await asleep(0.001)
+            async with lock:
+                counter["entered"] += 1
+                await asleep(0.001)
+            await alog(f"{tag} done")
+
+        for tag in ("a", "b", "c"):
+            scheduler.add_thread(async_program(worker, tag), name=tag)
+        result = scheduler.run()
+        assert result.completed
+        assert counter["entered"] == 3
+        assert result.lock_ops == 3
+        assert any("done" in line for line in result.log)
+
+    def test_try_acquire_result_reaches_the_coroutine(self):
+        scheduler = SimScheduler(backend=NullBackend())
+        lock = new_aio_lock(scheduler, "L")
+        outcomes = {}
+
+        async def holder():
+            await lock.acquire(call_site("h:1", "main:0"))
+            await asleep(0.01)
+            await lock.release()
+
+        async def prober():
+            await asleep(0.001)  # while the holder is inside
+            outcomes["first"] = await lock.try_acquire(call_site("p:1", "main:0"))
+            await asleep(0.1)   # after the holder released
+            outcomes["second"] = await lock.try_acquire(call_site("p:2", "main:0"))
+            if outcomes["second"]:
+                await lock.release()
+
+        scheduler.add_thread(async_program(holder), name="holder")
+        scheduler.add_thread(async_program(prober), name="prober")
+        result = scheduler.run()
+        assert result.completed
+        assert outcomes == {"first": False, "second": True}
+
+    def test_nested_async_with_on_sim_locks(self):
+        scheduler = SimScheduler(backend=NullBackend())
+        outer = new_aio_lock(scheduler, "outer")
+        inner = new_aio_lock(scheduler, "inner")
+
+        async def worker():
+            async with outer:
+                async with inner:
+                    await asleep(0.001)
+
+        scheduler.add_thread(async_program(worker), name="w")
+        assert scheduler.run().completed
+
+    def test_deterministic_replay_of_async_schedule(self):
+        explorer = Explorer(lambda: build_aio_two_lock_inversion(NullBackend()),
+                            name="aio-two-lock-inversion")
+        found = explorer.explore()
+        trace = found.deadlocks[0].trace
+        first = explorer.replay(trace)
+        second = explorer.replay(trace)
+        assert first.deadlocked and second.deadlocked
+        assert list(first.schedule) == list(second.schedule) == trace.choices
+
+
+class TestAsyncExploration:
+    def test_explorer_finds_async_deadlock_exhaustively(self):
+        explorer = Explorer(lambda: build_aio_two_lock_inversion(NullBackend()),
+                            name="aio-two-lock-inversion")
+        result = explorer.explore()
+        assert result.exhausted
+        assert result.deadlock_count >= 1
+        assert result.unique_deadlocks == 1
+        assert result.completed >= 1  # some task interleavings complete
+
+    def test_async_philosophers_deadlock_found(self):
+        explorer = Explorer(lambda: build_aio_philosophers(NullBackend(),
+                                                           seats=3),
+                            name="aio-philosophers-3")
+        result = explorer.explore()
+        assert result.exhausted
+        assert result.deadlock_count >= 1
+
+    def test_immunity_claim_holds_for_async_two_lock(self):
+        report = ImmunityChecker(build_aio_two_lock_inversion,
+                                 name="aio-two-lock-inversion").check()
+        assert not report.vacuous
+        assert report.learned_signatures == 1
+        assert report.holds
+
+    def test_immunity_claim_holds_for_async_philosophers(self):
+        report = ImmunityChecker(
+            lambda backend: build_aio_philosophers(backend, seats=3),
+            name="aio-philosophers-3").check()
+        assert report.holds
+
+    def test_async_scenarios_registered(self):
+        assert "aio-two-lock-inversion" in SCENARIOS
+        assert "aio-philosophers-3" in SCENARIOS
+
+
+class TestAsyncReplayFixture:
+    """The minimized async deadlock trace is a first-class replay fixture.
+
+    (``test_replay_fixtures.py`` already sweeps every fixture file; these
+    assertions pin the async fixture explicitly so a registry or bridge
+    regression cannot silently drop it from the sweep.)
+    """
+
+    def test_fixture_exists_and_replays(self):
+        trace = ScheduleTrace.load(FIXTURE)
+        assert trace.meta["scenario"] == "aio-two-lock-inversion"
+        scheduler = SCENARIOS[trace.meta["scenario"]](NullBackend())
+        scheduler.policy = ReplayPolicy(trace, strict=True)
+        result = scheduler.run()
+        assert result.deadlocked
+
+    def test_fixture_seeds_async_immunity(self):
+        trace = ScheduleTrace.load(FIXTURE)
+        learner = DimmunixBackend(config=DimmunixConfig.for_testing())
+        scheduler = SCENARIOS[trace.meta["scenario"]](learner)
+        scheduler.policy = ReplayPolicy(trace, strict=True)
+        assert scheduler.run().deadlocked
+        assert len(learner.history) == 1
+
+        immune = Explorer(
+            lambda: SCENARIOS[trace.meta["scenario"]](learner.fork()),
+            name=trace.meta["scenario"]).explore()
+        assert immune.exhausted
+        assert immune.deadlock_count == 0
