@@ -21,7 +21,7 @@ from __future__ import annotations
 import asyncio
 import time
 
-from repro.core.callstack import CallStack
+from repro.core.callstack import CallStack, set_capture_cache_enabled
 from repro.core.config import DimmunixConfig
 from repro.core.dimmunix import Dimmunix
 from repro.core.history import History
@@ -80,9 +80,47 @@ async def _hammer_native_locks(tasks: int, ops_per_task: int) -> float:
     return time.perf_counter() - started
 
 
+def bench_stack_capture(samples: int = 20_000) -> dict:
+    """Per-capture cost, uncached vs the per-call-site cache.
+
+    The ROADMAP flagged per-acquire stack capture as the dominant
+    (~70µs/op) cost of the aio fast path; both runtimes now route capture
+    through :meth:`CallStack.capture_cached`.  This measures the same
+    call path both ways so the before/after is visible in the benchmark
+    output.
+    """
+
+    def one_capture():
+        return CallStack.capture_cached(skip=0, limit=10)
+
+    def loop() -> float:
+        one_capture()  # warm the cache entry / code-object caches
+        started = time.perf_counter()
+        for _ in range(samples):
+            one_capture()
+        return (time.perf_counter() - started) / samples * 1e6
+
+    previous = set_capture_cache_enabled(False)
+    try:
+        uncached_us = loop()
+        set_capture_cache_enabled(True)
+        cached_us = loop()
+    finally:
+        set_capture_cache_enabled(previous)
+    return {
+        "uncached_us": uncached_us,
+        "cached_us": cached_us,
+        "speedup_x": uncached_us / cached_us if cached_us else float("inf"),
+    }
+
+
 def run_grid(task_counts=TASK_COUNTS, history_sizes=HISTORY_SIZES,
              ops_per_task=OPS_PER_TASK):
-    """Run the full grid; returns a list of result dictionaries."""
+    """Run the full grid; returns a list of result dictionaries.
+
+    The last row is the stack-capture before/after measurement (see
+    :func:`bench_stack_capture`), tagged ``history_size="capture"``.
+    """
     rows = []
     for tasks in task_counts:
         native_elapsed = asyncio.run(_hammer_native_locks(tasks, ops_per_task))
@@ -107,12 +145,19 @@ def run_grid(task_counts=TASK_COUNTS, history_sizes=HISTORY_SIZES,
                 "ops_per_sec": ops,
                 "overhead_x": native_ops / ops if ops else float("inf"),
             })
+    rows.append({"history_size": "capture", **bench_stack_capture()})
     return rows
 
 
 def format_rows(rows) -> str:
     lines = ["tasks  history  ops/sec     overhead", "-" * 40]
     for row in rows:
+        if row.get("history_size") == "capture":
+            lines.append(
+                f"stack capture/op: {row['uncached_us']:.1f}us uncached "
+                f"-> {row['cached_us']:.1f}us cached "
+                f"({row['speedup_x']:.1f}x, per-call-site cache)")
+            continue
         lines.append(f"{row['tasks']:>5}  {str(row['history_size']):>7}  "
                      f"{row['ops_per_sec']:>10.0f}  {row['overhead_x']:>7.2f}x")
     return "\n".join(lines)
@@ -125,8 +170,18 @@ def bench_asyncio_overhead():
     return rows
 
 
+def test_stack_capture_cache_speedup(once):
+    capture = once(bench_stack_capture)
+    assert capture["cached_us"] > 0
+    # The memoized path must actually be cheaper than rebuilding frames.
+    assert capture["cached_us"] < capture["uncached_us"]
+
+
 def test_asyncio_overhead(once):
     rows = once(bench_asyncio_overhead)
+    capture_rows = [r for r in rows if r.get("history_size") == "capture"]
+    assert len(capture_rows) == 1
+    rows = [r for r in rows if r.get("history_size") != "capture"]
     assert len(rows) == len(TASK_COUNTS) * (len(HISTORY_SIZES) + 1)
     for row in rows:
         assert row["ops_per_sec"] > 0

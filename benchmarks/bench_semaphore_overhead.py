@@ -1,0 +1,150 @@
+"""Semaphore overhead — engine-tracked permits vs native semaphores.
+
+Counting semaphores used to bypass avoidance entirely (the engine's
+resource model was single-holder); they are now engine-tracked multi-
+permit resources in both runtimes.  This benchmark measures what that
+tracking costs on the uncontended fast path: every worker hammers
+acquire/release on its own semaphore, so every request takes the GO path
+with no signature-bucket hit — the common case in production.
+
+Reported grids:
+
+* threads × {native ``threading.Semaphore``, ``DimmunixSemaphore``}
+* tasks   × {native ``asyncio.Semaphore``,  ``AioSemaphore``}
+
+Run directly for the table, or under pytest-benchmark::
+
+    PYTHONPATH=src python benchmarks/bench_semaphore_overhead.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_semaphore_overhead.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+from repro.core.config import DimmunixConfig
+from repro.core.dimmunix import Dimmunix
+from repro.core.history import History
+from repro.instrument.aio import AioSemaphore, AsyncioRuntime
+from repro.instrument.locks import DimmunixSemaphore
+from repro.instrument.runtime import InstrumentationRuntime
+
+THREAD_COUNTS = (1, 4)
+TASK_COUNTS = (1, 4)
+OPS_PER_WORKER = 2000
+PERMITS = 4
+
+
+def _make_thread_runtime() -> InstrumentationRuntime:
+    dimmunix = Dimmunix(config=DimmunixConfig.for_testing(monitor_interval=0.05),
+                        history=History(path=None, autosave=False))
+    dimmunix.start()  # the monitor drains the event queue, as in production
+    return InstrumentationRuntime(dimmunix)
+
+
+def _hammer_thread_sems(workers: int, make_sem) -> float:
+    sems = [make_sem(index) for index in range(workers)]
+    barrier = threading.Barrier(workers + 1)
+
+    def worker(index: int) -> None:
+        sem = sems[index]
+        barrier.wait()
+        for _ in range(OPS_PER_WORKER):
+            sem.acquire()
+            sem.release()
+
+    threads = [threading.Thread(target=worker, args=(index,))
+               for index in range(workers)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - started
+
+
+async def _hammer_aio_sems(tasks: int, make_sem) -> float:
+    sems = [make_sem(index) for index in range(tasks)]
+
+    async def worker(index: int) -> None:
+        sem = sems[index]
+        for _ in range(OPS_PER_WORKER):
+            async with sem:
+                pass
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker(index) for index in range(tasks)))
+    return time.perf_counter() - started
+
+
+def run_grid():
+    """Run both grids; returns a list of result dictionaries."""
+    rows = []
+    for workers in THREAD_COUNTS:
+        native = _hammer_thread_sems(
+            workers, lambda i: threading.Semaphore(PERMITS))
+        native_ops = workers * OPS_PER_WORKER / native
+        runtime = _make_thread_runtime()
+        try:
+            tracked = _hammer_thread_sems(
+                workers,
+                lambda i: DimmunixSemaphore(PERMITS, runtime=runtime))
+        finally:
+            runtime.dimmunix.stop()
+        tracked_ops = workers * OPS_PER_WORKER / tracked
+        rows.append({"runtime": "thread", "workers": workers,
+                     "native_ops": native_ops, "tracked_ops": tracked_ops,
+                     "overhead_x": native_ops / tracked_ops})
+    for tasks in TASK_COUNTS:
+        native = asyncio.run(_hammer_aio_sems(
+            tasks, lambda i: asyncio.Semaphore(PERMITS)))
+        native_ops = tasks * OPS_PER_WORKER / native
+        dimmunix = Dimmunix(
+            config=DimmunixConfig.for_testing(monitor_interval=0.05),
+            history=History(path=None, autosave=False))
+        dimmunix.start()
+        aio_runtime = AsyncioRuntime(dimmunix)
+        try:
+            tracked = asyncio.run(_hammer_aio_sems(
+                tasks, lambda i: AioSemaphore(PERMITS, runtime=aio_runtime)))
+        finally:
+            dimmunix.stop()
+        tracked_ops = tasks * OPS_PER_WORKER / tracked
+        rows.append({"runtime": "asyncio", "workers": tasks,
+                     "native_ops": native_ops, "tracked_ops": tracked_ops,
+                     "overhead_x": native_ops / tracked_ops})
+    return rows
+
+
+def format_rows(rows) -> str:
+    lines = ["runtime  workers  native ops/s  tracked ops/s  overhead",
+             "-" * 56]
+    for row in rows:
+        lines.append(f"{row['runtime']:>7}  {row['workers']:>7}  "
+                     f"{row['native_ops']:>12.0f}  {row['tracked_ops']:>13.0f}  "
+                     f"{row['overhead_x']:>7.2f}x")
+    return "\n".join(lines)
+
+
+def bench_semaphore_overhead():
+    rows = run_grid()
+    print()
+    print(format_rows(rows))
+    return rows
+
+
+def test_semaphore_overhead(once):
+    rows = once(bench_semaphore_overhead)
+    assert len(rows) == len(THREAD_COUNTS) + len(TASK_COUNTS)
+    for row in rows:
+        assert row["tracked_ops"] > 0
+        # Engine tracking costs, but must not collapse throughput: keep
+        # the uncontended fast path within 200x of native in CI-grade VMs.
+        assert row["overhead_x"] < 200, row
+
+
+if __name__ == "__main__":
+    print(format_rows(run_grid()))

@@ -27,34 +27,42 @@ Quickstart::
 """
 
 from .core import (CallStack, Decision, DetectedCycle, Dimmunix, DimmunixConfig,
-                   DimmunixError, EngineStats, Frame, History, RestartRequired,
-                   Signature, STRONG_IMMUNITY, WEAK_IMMUNITY)
-from .instrument import (AioCondition, AioLock, AioSemaphore, AsyncioRuntime,
+                   DimmunixError, EngineStats, EXCLUSIVE, Frame, History,
+                   RestartRequired, SHARED, Signature, STRONG_IMMUNITY,
+                   WEAK_IMMUNITY)
+from .instrument import (AioCondition, AioLock, AioRWLock, AioSemaphore,
+                         AsyncioRuntime, DimmunixBoundedSemaphore,
                          DimmunixCondition, DimmunixLock, DimmunixRLock,
-                         immunize, immunize_asyncio, install, install_asyncio,
-                         patched, patched_asyncio, uninstall,
-                         uninstall_asyncio)
+                         DimmunixRWLock, DimmunixSemaphore, immunize,
+                         immunize_asyncio, install, install_asyncio, patched,
+                         patched_asyncio, uninstall, uninstall_asyncio)
 
 __version__ = "0.1.0"
 
 __all__ = [
     "AioCondition",
     "AioLock",
+    "AioRWLock",
     "AioSemaphore",
     "AsyncioRuntime",
     "CallStack",
     "Decision",
     "DetectedCycle",
     "Dimmunix",
+    "DimmunixBoundedSemaphore",
     "DimmunixCondition",
     "DimmunixConfig",
     "DimmunixError",
     "DimmunixLock",
     "DimmunixRLock",
+    "DimmunixRWLock",
+    "DimmunixSemaphore",
+    "EXCLUSIVE",
     "EngineStats",
     "Frame",
     "History",
     "RestartRequired",
+    "SHARED",
     "STRONG_IMMUNITY",
     "Signature",
     "WEAK_IMMUNITY",

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..core.callstack import CallStack, Frame
+from ..core.signature import EXCLUSIVE
 from ..sim.backends import SchedulerBackend
 from ..sim.result import StallRecord
 
@@ -99,7 +100,8 @@ class GateLockBackend(SchedulerBackend):
 
     # -- lock protocol ------------------------------------------------------------------------
 
-    def request(self, thread_id: int, lock_id: int, stack: CallStack) -> bool:
+    def request(self, thread_id: int, lock_id: int, stack: CallStack,
+                mode: str = EXCLUSIVE, capacity: int = 1) -> bool:
         site = _site_of(stack)
         needed = [gate for gate in self._gates if gate.covers(site)]
         if not needed:
@@ -124,7 +126,8 @@ class GateLockBackend(SchedulerBackend):
                 gate.waiters.remove(thread_id)
         return True
 
-    def acquired(self, thread_id: int, lock_id: int, stack: CallStack) -> None:
+    def acquired(self, thread_id: int, lock_id: int, stack: CallStack,
+                 mode: str = EXCLUSIVE, capacity: int = 1) -> None:
         # Gates were taken at request time; nothing further to record.
         return
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set
 
 from ..core.callstack import CallStack
+from ..core.signature import EXCLUSIVE
 from ..sim.backends import SchedulerBackend
 from ..sim.result import StallRecord
 
@@ -66,7 +67,8 @@ class GhostLockBackend(SchedulerBackend):
 
     # -- lock protocol --------------------------------------------------------------------------
 
-    def request(self, thread_id: int, lock_id: int, stack: CallStack) -> bool:
+    def request(self, thread_id: int, lock_id: int, stack: CallStack,
+                mode: str = EXCLUSIVE, capacity: int = 1) -> bool:
         needed = [ghost for ghost in self._ghosts if ghost.covers(lock_id)]
         if not needed:
             return True
@@ -82,7 +84,8 @@ class GhostLockBackend(SchedulerBackend):
                 ghost.waiters.remove(thread_id)
         return True
 
-    def acquired(self, thread_id: int, lock_id: int, stack: CallStack) -> None:
+    def acquired(self, thread_id: int, lock_id: int, stack: CallStack,
+                 mode: str = EXCLUSIVE, capacity: int = 1) -> None:
         self._held.setdefault(thread_id, set()).add(lock_id)
 
     def release(self, thread_id: int, lock_id: int) -> List[int]:

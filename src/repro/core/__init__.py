@@ -24,10 +24,10 @@ from .events import (Event, EventType, acquired_event, allow_event, cancel_event
 from .history import History
 from .monitor import MonitorCore, MonitorThread
 from .porting import CodeMapping, PortingReport, port_history, port_signature
-from .rag import LockState, ResourceAllocationGraph, ThreadState
+from .rag import LockState, ResourceAllocationGraph, ResourceState, ThreadState
 from .runtime_api import RuntimeCore, ThreadParker
 from .sigindex import SignatureIndex
-from .signature import DEADLOCK, STARVATION, Signature
+from .signature import DEADLOCK, EXCLUSIVE, SHARED, STARVATION, Signature
 from .stats import EngineStats
 
 __all__ = [
@@ -45,6 +45,7 @@ __all__ = [
     "DimmunixConfig",
     "DimmunixError",
     "EMPTY_STACK",
+    "EXCLUSIVE",
     "EngineStats",
     "Event",
     "EventType",
@@ -64,8 +65,10 @@ __all__ = [
     "RAGError",
     "RequestOutcome",
     "ResourceAllocationGraph",
+    "ResourceState",
     "RestartRequired",
     "RuntimeCore",
+    "SHARED",
     "STARVATION",
     "STRONG_IMMUNITY",
     "Signature",

@@ -43,7 +43,7 @@ from .events import (acquired_event, allow_event, cancel_event, release_event,
                      request_event, yield_event)
 from .history import History
 from .sigindex import SignatureIndex
-from .signature import Signature
+from .signature import EXCLUSIVE, SHARED, Signature
 from .stats import EngineStats
 from ..util.clock import Clock, WallClock
 from ..util.eventqueue import EventQueue
@@ -142,41 +142,76 @@ class AvoidanceEngine:
         #: Fingerprint of the most recently avoided signature (section 5.7
         #: "disable the last avoided signature" semantics).
         self._last_avoided_fp: Optional[str] = None
+        #: Lazily learned per-resource capacities (permits); resources not
+        #: in the map are plain one-permit mutexes.
+        self._capacities: Dict[int, int] = {}
+        #: Resources that may legitimately have several concurrent holders
+        #: (capacity above one, or any SHARED acquisition seen).  These
+        #: are exempt from the reentrancy bypass and from the exact-cover
+        #: "distinct locks" constraint: several bindings on one semaphore
+        #: are distinct permits, not one lock counted twice.
+        self._multiholder: Set[int] = set()
 
     def _slot(self, thread_id: int) -> _ThreadSlot:
         return self._slots.get(thread_id)
 
+    def _learn_spec(self, lock_id: int, mode: str, capacity: int) -> None:
+        """Record a resource's permit semantics (lazily, from call sites)."""
+        if capacity > 1:
+            if self._capacities.get(lock_id, 1) < capacity:
+                self._capacities[lock_id] = capacity
+            self._multiholder.add(lock_id)
+        if mode == SHARED:
+            self._multiholder.add(lock_id)
+
+    def capacity_of(self, lock_id: int) -> int:
+        """The learned permit count of a resource (1 unless told otherwise)."""
+        return self._capacities.get(lock_id, 1)
+
+    def is_multiholder(self, lock_id: int) -> bool:
+        """True for resources that may have several concurrent holders."""
+        return lock_id in self._multiholder
+
     # ------------------------------------------------------------------ request --
 
-    def request(self, thread_id: int, lock_id: int, stack: CallStack) -> RequestOutcome:
+    def request(self, thread_id: int, lock_id: int, stack: CallStack,
+                mode: str = EXCLUSIVE, capacity: int = 1) -> RequestOutcome:
         """Decide whether ``thread_id`` may block waiting for ``lock_id``.
 
-        Returns a :class:`RequestOutcome`; on YIELD the caller must park the
-        thread and call :meth:`request` again once it is woken (or once the
-        yield timeout expires, after calling :meth:`abort_yield`).
+        ``mode`` is the acquisition mode (exclusive permit vs shared
+        reader) and ``capacity`` the resource's permit count; both default
+        to plain mutex semantics.  Returns a :class:`RequestOutcome`; on
+        YIELD the caller must park the thread and call :meth:`request`
+        again once it is woken (or once the yield timeout expires, after
+        calling :meth:`abort_yield`).
         """
         if self.mode == MODE_INSTRUMENTATION_ONLY:
             return RequestOutcome(Decision.GO)
         now = self.clock.now()
         self.stats.bump("requests")
-        self.events.put(request_event(thread_id, lock_id, stack, timestamp=now))
+        self._learn_spec(lock_id, mode, capacity)
+        self.events.put(request_event(thread_id, lock_id, stack, timestamp=now,
+                                      mode=mode, capacity=capacity))
         slot = self._slot(thread_id)
 
         if self._should_bypass(slot, thread_id, lock_id, stack):
-            return self._grant(slot, thread_id, lock_id, stack, now)
+            return self._grant(slot, thread_id, lock_id, stack, now,
+                               mode=mode, capacity=capacity)
 
         # Fast path: no signature has a stack whose depth-d suffix equals
         # this request's suffix, so no instance can involve this binding —
         # grant without any engine-wide synchronization.
         candidates = self.index.candidates(stack)
         if not candidates:
-            return self._grant(slot, thread_id, lock_id, stack, now)
+            return self._grant(slot, thread_id, lock_id, stack, now,
+                               mode=mode, capacity=capacity)
 
         with self._match_mutex:
             while True:
                 match = self._match_candidates(candidates, thread_id, lock_id, stack)
                 if match is None:
-                    return self._grant(slot, thread_id, lock_id, stack, now)
+                    return self._grant(slot, thread_id, lock_id, stack, now,
+                                       mode=mode, capacity=capacity)
                 signature, instance = match
                 causes = tuple(binding for binding in instance
                                if binding[0] != thread_id)
@@ -196,7 +231,8 @@ class AvoidanceEngine:
                 signature.record_avoidance()
                 self.stats.bump("yield_decisions")
                 self.events.put(yield_event(thread_id, lock_id, stack, causes,
-                                            timestamp=now))
+                                            timestamp=now, mode=mode,
+                                            capacity=capacity))
                 if self.calibrator is not None:
                     deeper = self._depths_matching(signature, thread_id, lock_id,
                                                    stack)
@@ -214,8 +250,12 @@ class AvoidanceEngine:
             slot.forced_go = False
             self.stats.bump("forced_go")
             return True
-        if self.cache.hold_count(thread_id, lock_id) > 0:
-            # Reentrant re-acquisition can never deadlock on its own.
+        if lock_id not in self._multiholder \
+                and self.cache.hold_count(thread_id, lock_id) > 0:
+            # Reentrant re-acquisition of a plain mutex can never deadlock
+            # on its own.  Multi-holder resources do NOT get this bypass:
+            # taking a second semaphore permit, or upgrading a read hold
+            # to a write hold, can absolutely complete a cycle.
             return True
         if len(self.history) == 0:
             return True
@@ -227,12 +267,14 @@ class AvoidanceEngine:
         return False
 
     def _grant(self, slot: _ThreadSlot, thread_id: int, lock_id: int,
-               stack: CallStack, now: float) -> RequestOutcome:
+               stack: CallStack, now: float, mode: str = EXCLUSIVE,
+               capacity: int = 1) -> RequestOutcome:
         self.cache.add_allow(thread_id, lock_id, stack)
         self.cache.clear_yield_cause(thread_id)
         slot.yield_state = None
         self.stats.bump("go_decisions")
-        self.events.put(allow_event(thread_id, lock_id, stack, timestamp=now))
+        self.events.put(allow_event(thread_id, lock_id, stack, timestamp=now,
+                                    mode=mode, capacity=capacity))
         return RequestOutcome(Decision.GO)
 
     # ------------------------------------------------------------- history match --
@@ -263,19 +305,23 @@ class AvoidanceEngine:
 
         The tentative binding (thread, lock, stack) must cover one of the
         signature's stacks; the remaining stacks must be covered by current
-        bindings from the Allowed sets, all with distinct threads and
-        distinct locks.
+        bindings from the Allowed sets, all with distinct threads.  Locks
+        must be distinct too — except multi-holder resources (semaphores,
+        rwlocks), where several bindings on one resource are distinct
+        permits of the same pool, exactly the shape of a permit-exhaustion
+        cycle.
         """
         candidate_indices = [index for index, sig_stack in enumerate(signature.stacks)
                              if sig_stack.matches(stack, depth)]
         if not candidate_indices:
             return None
         indices = list(range(len(signature.stacks)))
+        used_locks = set() if lock_id in self._multiholder else {lock_id}
         for chosen in candidate_indices:
             remaining = [index for index in indices if index != chosen]
             assignment = self._cover(signature, remaining, depth,
                                      used_threads={thread_id},
-                                     used_locks={lock_id})
+                                     used_locks=used_locks)
             if assignment is not None:
                 return [(thread_id, lock_id, stack)] + assignment
         return None
@@ -288,9 +334,11 @@ class AvoidanceEngine:
         candidates = self.cache.candidates_matching(
             signature.stacks[index], depth, used_threads, used_locks)
         for thread_id, lock_id, stack in candidates:
+            next_locks = (used_locks if lock_id in self._multiholder
+                          else used_locks | {lock_id})
             rest = self._cover(signature, remaining[1:], depth,
                                used_threads | {thread_id},
-                               used_locks | {lock_id})
+                               next_locks)
             if rest is not None:
                 return [(thread_id, lock_id, stack)] + rest
         return None
@@ -312,19 +360,23 @@ class AvoidanceEngine:
     # --------------------------------------------------------------------- acquired --
 
     def acquired(self, thread_id: int, lock_id: int,
-                 stack: Optional[CallStack] = None) -> None:
+                 stack: Optional[CallStack] = None, mode: str = EXCLUSIVE,
+                 capacity: int = 1) -> None:
         """Record that the thread actually obtained the lock."""
         if self.mode == MODE_INSTRUMENTATION_ONLY:
             return
         now = self.clock.now()
+        self._learn_spec(lock_id, mode, capacity)
         if stack is None:
             waiting = self.cache.waiting_of(thread_id)
             stack = waiting[1] if waiting is not None else CallStack(())
         held_before = tuple(self.cache.locks_held_by(thread_id))
-        self.cache.add_hold(thread_id, lock_id, stack)
+        self.cache.add_hold(thread_id, lock_id, stack, mode=mode,
+                            capacity=capacity)
         self._slot(thread_id).yield_state = None
         self.stats.bump("acquisitions")
-        self.events.put(acquired_event(thread_id, lock_id, stack, timestamp=now))
+        self.events.put(acquired_event(thread_id, lock_id, stack, timestamp=now,
+                                       mode=mode, capacity=capacity))
         if self.calibrator is not None:
             self.calibrator.on_lock_acquired(thread_id, lock_id, held_before, stack)
 
@@ -342,7 +394,10 @@ class AvoidanceEngine:
                                       timestamp=now))
         if self.calibrator is not None:
             self.calibrator.on_lock_released(thread_id, lock_id)
-        if not fully:
+        if not fully and lock_id not in self._multiholder:
+            # A reentrant partial release of a mutex frees nothing.  A
+            # multi-holder resource, however, frees a permit on *every*
+            # release, so its wake scan runs regardless.
             return []
         return self.cache.threads_to_wake(thread_id, lock_id, stack)
 

@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .callstack import CallStack
 from .errors import AvoidanceError
+from .signature import EXCLUSIVE, SHARED
 from ..util.slots import SlotRegistry
 
 #: A (thread_id, lock_id, stack) binding, as used in signature instances.
@@ -41,14 +42,30 @@ DEFAULT_STRIPES = 16
 
 @dataclass
 class HolderRecord:
-    """Ownership record of one lock (supports reentrant acquisition)."""
+    """Ownership record of one resource (multi-holder, reentrant).
 
-    thread_id: int
-    stacks: List[CallStack] = field(default_factory=list)
+    Plain mutexes have exactly one entry in ``stacks``' key set; counting
+    semaphores one entry per permit-holding thread; rwlocks one entry per
+    reader (plus the writer).  ``multiholder`` latches once the resource
+    has been used with a capacity above one or in SHARED mode — only then
+    are concurrent holders legal, so mutex double-acquire bugs still
+    raise.
+    """
+
+    #: thread id -> LIFO acquisition stacks of that thread's hold edges.
+    stacks: Dict[int, List[CallStack]] = field(default_factory=dict)
+    multiholder: bool = False
 
     @property
     def count(self) -> int:
-        return len(self.stacks)
+        return sum(len(stacks) for stacks in self.stacks.values())
+
+    @property
+    def thread_id(self) -> Optional[int]:
+        """The sole holder when exactly one thread holds, else ``None``."""
+        if len(self.stacks) == 1:
+            return next(iter(self.stacks))
+        return None
 
 
 class _Stripe:
@@ -137,8 +154,14 @@ class AvoidanceCache:
 
     # -- hold edges ------------------------------------------------------------------------
 
-    def add_hold(self, thread_id: int, lock_id: int, stack: CallStack) -> int:
-        """Record an acquisition; returns the new reentrancy count."""
+    def add_hold(self, thread_id: int, lock_id: int, stack: CallStack,
+                 mode: str = EXCLUSIVE, capacity: int = 1) -> int:
+        """Record an acquisition; returns the new reentrancy count.
+
+        ``mode``/``capacity`` describe the resource semantics: concurrent
+        holders are legal for resources with more than one permit or any
+        SHARED usage; a second holder on a plain mutex still raises.
+        """
         slot = self._slot(thread_id)
         waiting = slot.waiting
         if waiting is not None and waiting[0] == lock_id:
@@ -155,14 +178,17 @@ class AvoidanceCache:
         with stripe.mutex:
             record = stripe.holders.get(lock_id)
             if record is None:
-                record = HolderRecord(thread_id=thread_id)
+                record = HolderRecord()
                 stripe.holders[lock_id] = record
-            elif record.thread_id != thread_id:
+            if capacity > 1 or mode == SHARED:
+                record.multiholder = True
+            if (not record.multiholder and record.stacks
+                    and thread_id not in record.stacks):
                 raise AvoidanceError(
                     f"lock {lock_id} acquired by thread {thread_id} while held "
-                    f"by thread {record.thread_id}")
-            record.stacks.append(stack)
-            count = record.count
+                    f"by thread {next(iter(record.stacks))}")
+            record.stacks.setdefault(thread_id, []).append(stack)
+            count = len(record.stacks[thread_id])
         slot.holds.setdefault(lock_id, []).append(stack)
         return count
 
@@ -170,19 +196,24 @@ class AvoidanceCache:
         """Record a release.
 
         Returns ``(fully_released, stack)`` where ``stack`` is the
-        acquisition stack of the hold edge that was removed; ``fully_released``
-        is True when the lock became available to other threads.
+        acquisition stack of the hold edge that was removed;
+        ``fully_released`` is True when *this thread* dropped its last hold
+        edge on the resource (for a mutex that is exactly "the lock became
+        available"; for multi-holder resources other holders may remain).
         """
         stripe = self._lock_stripe(lock_id)
         with stripe.mutex:
             record = stripe.holders.get(lock_id)
-            if record is None or record.thread_id != thread_id or not record.stacks:
+            stacks = record.stacks.get(thread_id) if record is not None else None
+            if not stacks:
                 raise AvoidanceError(
                     f"thread {thread_id} released lock {lock_id} it does not hold")
-            stack = record.stacks.pop()
-            fully = not record.stacks
+            stack = stacks.pop()
+            fully = not stacks
             if fully:
-                del stripe.holders[lock_id]
+                del record.stacks[thread_id]
+                if not record.stacks:
+                    del stripe.holders[lock_id]
         slot = self._slot(thread_id)
         stacks = slot.holds.get(lock_id)
         if stacks:
@@ -194,9 +225,16 @@ class AvoidanceCache:
         return fully, stack
 
     def holder_of(self, lock_id: int) -> Optional[int]:
-        """The thread currently holding ``lock_id``, or ``None``."""
+        """The sole thread holding ``lock_id``, or ``None`` (free or shared)."""
         record = self._lock_stripe(lock_id).holders.get(lock_id)
         return record.thread_id if record is not None else None
+
+    def holders_of(self, lock_id: int) -> List[int]:
+        """All threads currently holding ``lock_id``."""
+        stripe = self._lock_stripe(lock_id)
+        with stripe.mutex:
+            record = stripe.holders.get(lock_id)
+            return list(record.stacks) if record is not None else []
 
     def hold_count(self, thread_id: int, lock_id: int) -> int:
         """How many times ``thread_id`` currently holds ``lock_id``."""
@@ -224,7 +262,7 @@ class AvoidanceCache:
         against concurrent releases/cancels (the striped design has no
         global mutex serializing request against release).
         """
-        if self.holder_of(lock_id) == thread_id:
+        if self.hold_count(thread_id, lock_id) > 0:
             return True
         waiting = self.waiting_of(thread_id)
         return waiting is not None and waiting[0] == lock_id
@@ -328,8 +366,10 @@ class AvoidanceCache:
             stripe = self._lock_stripe(lock_id)
             with stripe.mutex:
                 record = stripe.holders.get(lock_id)
-                if record is not None and record.thread_id == thread_id:
-                    del stripe.holders[lock_id]
+                if record is not None and thread_id in record.stacks:
+                    del record.stacks[thread_id]
+                    if not record.stacks:
+                        del stripe.holders[lock_id]
             for stack in stacks:
                 self._discard_allowed(stack, thread_id, lock_id)
 
@@ -362,12 +402,14 @@ class AvoidanceCache:
 
     def snapshot(self) -> Dict:
         """A JSON-friendly snapshot (debugging and reports)."""
-        holders: Dict[int, Tuple[int, int]] = {}
+        holders: Dict[int, Tuple[Tuple[int, ...], int]] = {}
         distinct_stacks = 0
         for stripe in self._stripes:
             with stripe.mutex:
                 for lock, rec in stripe.holders.items():
-                    holders[lock] = (rec.thread_id, rec.count)
+                    sole = rec.thread_id
+                    holders[lock] = (sole if sole is not None
+                                     else tuple(rec.stacks), rec.count)
                 distinct_stacks += len(stripe.allowed)
         waiting = {}
         yielding = {}

@@ -3,21 +3,24 @@
 The monitor treats both conditions with the same machinery (paper 5.2):
 
 * A *deadlock cycle* is a cycle made of hold and allow edges — threads
-  blocked waiting for locks held by other threads in the cycle.  Because
-  a thread waits for at most one lock and a mutex has exactly one owner,
-  the wait-for projection onto threads is a functional graph and cycles
-  are found with a colored DFS that follows each thread's single
-  successor.
+  blocked waiting for resources held by other threads in the cycle.  With
+  single-holder mutexes every blocked thread has exactly one successor
+  (the owner) and the wait-for projection is a functional graph; with
+  capacity-aware resources a blocked requester waits on *all* the holders
+  that block it (every permit holder for an exhausted semaphore, every
+  reader for a blocked writer), so the detector walks a multi-successor
+  graph with a colored DFS and reports each distinct cycle once.
 * An *induced starvation* exists when threads parked by avoidance
   decisions (yield edges) can no longer make progress because every
   escape route leads back into the waiting group.  We compute this with a
   can-progress fixpoint that is equivalent to the paper's yield-cycle
-  definition: a thread can progress iff it is not waiting, or the holder
-  of the lock it waits for can progress, or at least one of its yield
-  causes can progress.
+  definition: a thread can progress iff it is not waiting, or at least
+  one holder blocking the resource it waits for can progress, or at least
+  one of its yield causes can progress.
 
 Both detectors return :class:`DetectedCycle` records carrying the stack
-multiset from which the monitor builds a :class:`~repro.core.signature.Signature`.
+(and acquisition-mode) multiset from which the monitor builds a
+:class:`~repro.core.signature.Signature`.
 """
 
 from __future__ import annotations
@@ -27,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .callstack import CallStack
 from .rag import ResourceAllocationGraph, ThreadState
-from .signature import DEADLOCK, STARVATION, Signature
+from .signature import DEADLOCK, EXCLUSIVE, STARVATION, Signature
 
 
 @dataclass
@@ -41,11 +44,15 @@ class DetectedCycle:
     locks: Tuple[int, ...]
     #: The call stacks labelling the hold (and yield) edges of the cycle.
     stacks: Tuple[CallStack, ...] = field(default_factory=tuple)
+    #: Acquisition modes of the hold edges, parallel to ``stacks``
+    #: (empty means all-exclusive, the single-holder legacy shape).
+    modes: Tuple[str, ...] = ()
 
     def to_signature(self, matching_depth: int, created_at: float = 0.0) -> Signature:
         """Build the persistent signature of this cycle."""
         return Signature(self.stacks, kind=self.kind,
-                         matching_depth=matching_depth, created_at=created_at)
+                         matching_depth=matching_depth, created_at=created_at,
+                         modes=self.modes or None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"DetectedCycle({self.kind}, threads={self.threads}, "
@@ -53,78 +60,118 @@ class DetectedCycle:
 
 
 # ---------------------------------------------------------------------------
-# Deadlock cycles
+# Waits-for edges
 # ---------------------------------------------------------------------------
 
-def _blocked_successor(rag: ResourceAllocationGraph,
-                       state: ThreadState) -> Optional[Tuple[int, int, CallStack]]:
-    """The (holder, lock, holder_stack) a *blocked* thread waits on, if any.
+def _blocked_successors(rag: ResourceAllocationGraph, state: ThreadState
+                        ) -> List[Tuple[int, int, CallStack, str]]:
+    """The ``(holder, lock, holder_stack, holder_mode)`` edges a *blocked*
+    thread waits on (deduplicated per holder, sorted for determinism).
 
     Only allow edges count: a thread whose request was answered with YIELD
-    is parked by Dimmunix, not blocked on the lock, and is handled by the
-    starvation detector instead.
+    is parked by Dimmunix, not blocked on the resource, and is handled by
+    the starvation detector instead.
     """
     if state.allow is None:
-        return None
+        return []
     lock_id = state.allow[0]
-    holder = rag.holder_of(lock_id)
-    if holder is None or holder == state.thread_id:
-        return None
-    stack = rag.hold_stack(lock_id)
-    if stack is None:
-        return None
-    return holder, lock_id, stack
+    resource = rag.lock(lock_id)
+    edges: List[Tuple[int, int, CallStack, str]] = []
+    seen: Set[int] = set()
+    for holder, stack, mode in resource.blocking_holders(state.thread_id,
+                                                         state.allow_mode):
+        if holder in seen or stack is None:
+            continue
+        seen.add(holder)
+        edges.append((holder, lock_id, stack, mode))
+    edges.sort(key=lambda edge: edge[0])
+    return edges
 
+
+def _blocking_holder_ids(rag: ResourceAllocationGraph,
+                         state: ThreadState) -> List[int]:
+    """Holder ids blocking the thread's waiting edge (allow *or* request)."""
+    lock_id = state.waiting_lock
+    if lock_id is None:
+        return []
+    resource = rag.lock(lock_id)
+    holders: List[int] = []
+    for holder, _stack, _mode in resource.blocking_holders(
+            state.thread_id, state.waiting_mode):
+        if holder not in holders:
+            holders.append(holder)
+    return holders
+
+
+# ---------------------------------------------------------------------------
+# Deadlock cycles
+# ---------------------------------------------------------------------------
 
 def find_deadlock_cycles(rag: ResourceAllocationGraph,
                          roots: Optional[Sequence[int]] = None) -> List[DetectedCycle]:
     """Find deadlock cycles reachable from ``roots`` (default: all threads).
 
-    Uses the classic three-color DFS.  Because each blocked thread has at
-    most one successor, every cycle is discovered by walking successor
-    chains and noticing a grey node.
+    Uses the classic three-color DFS over the waits-for graph.  For
+    single-holder mutexes every node has at most one successor and this
+    reduces to walking successor chains; permit resources fan out to all
+    blocking holders, and every distinct cycle (by rotation-invariant
+    thread key) is reported once.
     """
     if roots is None:
         roots = sorted(rag.thread_ids())
     color: Dict[int, int] = {}  # 0/absent = white, 1 = grey, 2 = black
     cycles: List[DetectedCycle] = []
     seen_cycles: Set[Tuple[int, ...]] = set()
+    successors: Dict[int, List[Tuple[int, int, CallStack, str]]] = {}
+
+    def succ(thread_id: int) -> List[Tuple[int, int, CallStack, str]]:
+        cached = successors.get(thread_id)
+        if cached is None:
+            cached = _blocked_successors(rag, rag.thread(thread_id))
+            successors[thread_id] = cached
+        return cached
 
     for root in roots:
         if color.get(root, 0) != 0:
             continue
-        path: List[int] = []
-        path_edges: List[Tuple[int, CallStack]] = []  # lock, holder stack per hop
-        node = root
-        while True:
-            state_color = color.get(node, 0)
-            if state_color == 1:
-                # Found a cycle: the portion of the path from `node` onward.
-                start = path.index(node)
+        color[root] = 1
+        path: List[int] = [root]
+        #: path_edges[i] labels the hop path[i] -> path[i+1].
+        path_edges: List[Tuple[int, CallStack, str]] = []
+        frames: List[Tuple[int, int]] = [(root, 0)]
+        while frames:
+            node, index = frames[-1]
+            out = succ(node)
+            if index >= len(out):
+                frames.pop()
+                color[node] = 2
+                path.pop()
+                if path_edges:
+                    path_edges.pop()
+                continue
+            frames[-1] = (node, index + 1)
+            nxt, lock_id, stack, mode = out[index]
+            nxt_color = color.get(nxt, 0)
+            if nxt_color == 1:
+                start = path.index(nxt)
                 cycle_threads = tuple(path[start:])
-                cycle_edges = path_edges[start:]
+                cycle_edges = path_edges[start:] + [(lock_id, stack, mode)]
                 key = _canonical(cycle_threads)
                 if key not in seen_cycles:
                     seen_cycles.add(key)
                     cycles.append(DetectedCycle(
                         kind=DEADLOCK,
                         threads=cycle_threads,
-                        locks=tuple(lock for lock, _ in cycle_edges),
-                        stacks=tuple(stack for _, stack in cycle_edges),
+                        locks=tuple(lock for lock, _s, _m in cycle_edges),
+                        stacks=tuple(stack for _l, stack, _m in cycle_edges),
+                        modes=tuple(mode for _l, _s, mode in cycle_edges),
                     ))
-                break
-            if state_color == 2:
-                break
-            color[node] = 1
-            path.append(node)
-            successor = _blocked_successor(rag, rag.thread(node))
-            if successor is None:
-                break
-            next_thread, lock_id, stack = successor
-            path_edges.append((lock_id, stack))
-            node = next_thread
-        for visited in path:
-            color[visited] = 2
+            elif nxt_color == 0:
+                color[nxt] = 1
+                path.append(nxt)
+                path_edges.append((lock_id, stack, mode))
+                frames.append((nxt, 0))
+            # black: a finished subtree, nothing new behind it.
     return cycles
 
 
@@ -149,6 +196,8 @@ def find_starvation(rag: ResourceAllocationGraph) -> List[DetectedCycle]:
     :func:`find_deadlock_cycles`.
     """
     states = {state.thread_id: state for state in rag.threads()}
+    blockers = {tid: _blocking_holder_ids(rag, state)
+                for tid, state in states.items()}
     can_progress: Set[int] = set()
 
     # Base case: threads that are neither blocked nor yielding.
@@ -171,8 +220,9 @@ def find_starvation(rag: ResourceAllocationGraph) -> List[DetectedCycle]:
                     can_progress.add(tid)
                     changed = True
             elif state.waiting_lock is not None:
-                holder = rag.holder_of(state.waiting_lock)
-                if holder is None or holder == tid or holder in can_progress:
+                holders = blockers[tid]
+                if not holders or any(holder in can_progress
+                                      for holder in holders):
                     can_progress.add(tid)
                     changed = True
             else:  # pragma: no cover - covered by the base case
@@ -183,26 +233,28 @@ def find_starvation(rag: ResourceAllocationGraph) -> List[DetectedCycle]:
     if not starved:
         return []
 
-    groups = _starved_groups(rag, states, starved)
+    groups = _starved_groups(states, blockers, starved)
     results: List[DetectedCycle] = []
     for group in groups:
         if not any(states[tid].is_yielding for tid in group):
             # Pure deadlock: reported by find_deadlock_cycles instead.
             continue
         stacks: List[CallStack] = []
+        modes: List[str] = []
         locks: Set[int] = set()
         for tid in group:
             state = states[tid]
             for _cause_thread, cause_lock, cause_stack in state.yields:
                 stacks.append(cause_stack)
+                modes.append(EXCLUSIVE)
                 locks.add(cause_lock)
             if state.allow is not None:
                 lock_id = state.allow[0]
-                holder = rag.holder_of(lock_id)
-                if holder in group:
-                    stack = rag.hold_stack(lock_id)
-                    if stack is not None:
+                for holder, _hold_lock, stack, mode in _blocked_successors(
+                        rag, state):
+                    if holder in group and stack is not None:
                         stacks.append(stack)
+                        modes.append(mode)
                         locks.add(lock_id)
         if not stacks:
             continue
@@ -211,12 +263,13 @@ def find_starvation(rag: ResourceAllocationGraph) -> List[DetectedCycle]:
             threads=tuple(sorted(group)),
             locks=tuple(sorted(locks)),
             stacks=tuple(stacks),
+            modes=tuple(modes),
         ))
     return results
 
 
-def _starved_groups(rag: ResourceAllocationGraph,
-                    states: Dict[int, ThreadState],
+def _starved_groups(states: Dict[int, ThreadState],
+                    blockers: Dict[int, List[int]],
                     starved: Set[int]) -> List[Set[int]]:
     """Partition the starved threads into weakly connected groups."""
     adjacency: Dict[int, Set[int]] = {tid: set() for tid in starved}
@@ -226,9 +279,8 @@ def _starved_groups(rag: ResourceAllocationGraph,
         for cause_thread, _lock, _stack in state.yields:
             if cause_thread in starved:
                 neighbours.add(cause_thread)
-        if state.waiting_lock is not None:
-            holder = rag.holder_of(state.waiting_lock)
-            if holder is not None and holder in starved:
+        for holder in blockers[tid]:
+            if holder in starved:
                 neighbours.add(holder)
         for other in neighbours:
             adjacency[tid].add(other)

@@ -15,6 +15,7 @@ from enum import Enum
 from typing import Optional, Tuple
 
 from .callstack import CallStack, EMPTY_STACK
+from .signature import EXCLUSIVE
 
 
 class EventType(Enum):
@@ -65,6 +66,15 @@ class Event:
         guarantees discussed in section 5.2.
     timestamp:
         Engine clock value at emission time (wall clock or virtual time).
+    mode:
+        Acquisition mode of the operation: ``EXCLUSIVE`` (mutex, semaphore
+        permit) or ``SHARED`` (rwlock reader).  Carried by request/allow/
+        yield/acquired events so the monitor's RAG can build
+        waits-for-any-permit edges.
+    capacity:
+        Number of exclusive permits of the resource involved (1 for plain
+        locks, N for counting semaphores).  The RAG learns a resource's
+        capacity lazily from this field.
     """
 
     type: EventType
@@ -74,6 +84,8 @@ class Event:
     causes: Tuple[Tuple[int, int, CallStack], ...] = ()
     seq: int = field(default_factory=lambda: next(_SEQUENCE))
     timestamp: float = 0.0
+    mode: str = EXCLUSIVE
+    capacity: int = 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Event({self.type.value}, thread={self.thread_id}, "
@@ -81,29 +93,36 @@ class Event:
 
 
 def request_event(thread_id: int, lock_id: int, stack: CallStack,
-                  timestamp: float = 0.0) -> Event:
+                  timestamp: float = 0.0, mode: str = EXCLUSIVE,
+                  capacity: int = 1) -> Event:
     """Convenience constructor for a REQUEST event."""
-    return Event(EventType.REQUEST, thread_id, lock_id, stack, timestamp=timestamp)
+    return Event(EventType.REQUEST, thread_id, lock_id, stack,
+                 timestamp=timestamp, mode=mode, capacity=capacity)
 
 
 def allow_event(thread_id: int, lock_id: int, stack: CallStack,
-                timestamp: float = 0.0) -> Event:
+                timestamp: float = 0.0, mode: str = EXCLUSIVE,
+                capacity: int = 1) -> Event:
     """Convenience constructor for an ALLOW event."""
-    return Event(EventType.ALLOW, thread_id, lock_id, stack, timestamp=timestamp)
+    return Event(EventType.ALLOW, thread_id, lock_id, stack,
+                 timestamp=timestamp, mode=mode, capacity=capacity)
 
 
 def yield_event(thread_id: int, lock_id: int, stack: CallStack,
                 causes: Tuple[Tuple[int, int, CallStack], ...],
-                timestamp: float = 0.0) -> Event:
+                timestamp: float = 0.0, mode: str = EXCLUSIVE,
+                capacity: int = 1) -> Event:
     """Convenience constructor for a YIELD event."""
     return Event(EventType.YIELD, thread_id, lock_id, stack, causes=causes,
-                 timestamp=timestamp)
+                 timestamp=timestamp, mode=mode, capacity=capacity)
 
 
 def acquired_event(thread_id: int, lock_id: int, stack: CallStack,
-                   timestamp: float = 0.0) -> Event:
+                   timestamp: float = 0.0, mode: str = EXCLUSIVE,
+                   capacity: int = 1) -> Event:
     """Convenience constructor for an ACQUIRED event."""
-    return Event(EventType.ACQUIRED, thread_id, lock_id, stack, timestamp=timestamp)
+    return Event(EventType.ACQUIRED, thread_id, lock_id, stack,
+                 timestamp=timestamp, mode=mode, capacity=capacity)
 
 
 def release_event(thread_id: int, lock_id: int, stack: CallStack = EMPTY_STACK,

@@ -20,10 +20,15 @@ import threading
 import weakref
 from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
-from .errors import HistoryError, HistoryFormatError
+from .errors import HistoryError, HistoryFormatError, SignatureError
 from .signature import Signature
 
-_FORMAT_VERSION = 1
+#: Current on-disk format.  Version 2 added the per-stack acquisition
+#: ``modes`` introduced by the multi-holder resource model (semaphores,
+#: rwlocks); version 1 files — no ``modes`` key — load as all-exclusive
+#: and keep their fingerprints, so old histories still match.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 class History:
@@ -267,15 +272,23 @@ class History:
         if not isinstance(payload, dict) or "signatures" not in payload:
             raise HistoryFormatError("history payload lacks a 'signatures' list")
         version = payload.get("format_version", _FORMAT_VERSION)
-        if version != _FORMAT_VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise HistoryFormatError(f"unsupported history format version {version}")
         records = payload["signatures"]
         if not isinstance(records, list):
             raise HistoryFormatError("'signatures' must be a list")
         merged = []
         with self._lock:
-            for record in records:
-                signature = Signature.from_dict(record)
+            for index, record in enumerate(records):
+                try:
+                    signature = Signature.from_dict(record)
+                except SignatureError as exc:
+                    # Surface malformed / future-kind records as a format
+                    # problem with their position, instead of leaking a raw
+                    # SignatureError to tools like histctl.
+                    raise HistoryFormatError(
+                        f"signature record {index} is not loadable: {exc}"
+                    ) from exc
                 if signature.fingerprint not in self._signatures:
                     self._signatures[signature.fingerprint] = signature
                     self._bump_version()

@@ -100,6 +100,7 @@ def port_signature(signature: Signature, mapping: CodeMapping,
         avoidance_count=signature.avoidance_count,
         occurrence_count=signature.occurrence_count,
         created_at=signature.created_at,
+        modes=signature.modes,
     )
     return ported
 

@@ -1,18 +1,26 @@
 """The resource allocation graph (RAG) maintained by the monitor.
 
 The RAG captures a program's synchronization state with two kinds of
-vertices (threads and locks) and four kinds of edges:
+vertices (threads and resources) and four kinds of edges:
 
-* ``request`` — thread T wants lock L but has not been allowed to wait
-  for it (this is the state of a yielding thread);
-* ``allow``   — T has been allowed by Dimmunix to block waiting for L;
-* ``hold``    — L is held by T; the edge is labeled with the call stack T
-  had when it acquired L; held reentrantly means multiple hold edges
-  (the RAG is a multiset of edges);
+* ``request`` — thread T wants resource R but has not been allowed to
+  wait for it (this is the state of a yielding thread);
+* ``allow``   — T has been allowed by Dimmunix to block waiting for R;
+* ``hold``    — R is held by T; the edge is labeled with the call stack T
+  had when it acquired R and with the acquisition mode (exclusive permit
+  vs shared reader); held reentrantly means multiple hold edges (the RAG
+  is a multiset of edges);
 * ``yield``   — T is parked because of threads that hold or are allowed
-  to wait for locks that, together with T's pending request, would
+  to wait for resources that, together with T's pending request, would
   instantiate a signature; each yield edge is labeled with the causing
   thread's hold stack.
+
+Resources are capacity aware: a plain mutex is a one-permit resource, a
+counting semaphore an N-permit one, and a reader-writer lock a one-permit
+resource whose SHARED holders coexist.  A blocked requester therefore
+waits on *all* the holders that block it ("waits-for-any-permit"), not on
+a single owner — the cycle detectors in :mod:`repro.core.cycles` consume
+that multi-successor view.
 
 The RAG is updated lazily from the event stream produced by the avoidance
 code (section 5.1/5.2); it is read by the cycle-detection routines in
@@ -27,6 +35,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from .callstack import CallStack
 from .errors import RAGError
 from .events import Event, EventType
+from .signature import EXCLUSIVE, SHARED
 
 
 @dataclass
@@ -38,6 +47,9 @@ class ThreadState:
     request: Optional[Tuple[int, CallStack]] = None
     #: Lock the thread is allowed to block waiting for.
     allow: Optional[Tuple[int, CallStack]] = None
+    #: Acquisition mode of the pending request / allow edge.
+    request_mode: str = EXCLUSIVE
+    allow_mode: str = EXCLUSIVE
     #: Yield edges: (cause_thread, cause_lock, cause_stack) tuples.
     yields: Set[Tuple[int, int, CallStack]] = field(default_factory=set)
     #: Locks currently held (lock_id -> list of acquisition stacks, reentrant).
@@ -53,6 +65,13 @@ class ThreadState:
         return None
 
     @property
+    def waiting_mode(self) -> str:
+        """Acquisition mode of the edge behind :attr:`waiting_lock`."""
+        if self.allow is not None:
+            return self.allow_mode
+        return self.request_mode
+
+    @property
     def is_yielding(self) -> bool:
         """True when the thread is parked by an avoidance decision."""
         return bool(self.yields)
@@ -64,21 +83,106 @@ class ThreadState:
 
 
 @dataclass
-class LockState:
-    """Per-lock view of the RAG."""
+class ResourceState:
+    """Per-resource view of the RAG (capacity-aware, multi-holder).
+
+    ``edges`` is the hold-edge multiset in acquisition order: one
+    ``(thread_id, stack, mode)`` entry per (possibly reentrant) hold.  A
+    release removes the most recent edge of the releasing thread, which
+    mirrors the LIFO hold bookkeeping of the avoidance cache.
+    """
 
     lock_id: int
-    #: The current owner thread, or None when free.
-    owner: Optional[int] = None
-    #: Acquisition stacks of the owner, one per (reentrant) hold edge.
-    hold_stacks: List[CallStack] = field(default_factory=list)
-    #: Threads with an allow edge on this lock.
+    #: Number of exclusive permits (1 = mutex / rwlock, N = semaphore).
+    capacity: int = 1
+    #: True once a SHARED acquisition has been observed (rwlock reader).
+    shared_capable: bool = False
+    #: Hold edges in acquisition order: (thread, stack, mode).
+    edges: List[Tuple[int, CallStack, str]] = field(default_factory=list)
+    #: Threads with an allow edge on this resource.
     waiters: Set[int] = field(default_factory=set)
+
+    # -- legacy single-holder view -------------------------------------------------------
+
+    @property
+    def owner(self) -> Optional[int]:
+        """The sole holder thread when exactly one thread holds, else None.
+
+        Plain mutexes always have at most one holder, so this matches the
+        historical ``LockState.owner`` semantics exactly.
+        """
+        holders = self.holder_ids()
+        return holders[0] if len(holders) == 1 else None
 
     @property
     def held(self) -> bool:
-        """True when some thread holds the lock."""
-        return self.owner is not None
+        """True when some thread holds the resource."""
+        return bool(self.edges)
+
+    @property
+    def hold_stacks(self) -> List[CallStack]:
+        """All hold-edge stacks, in acquisition order."""
+        return [stack for _tid, stack, _mode in self.edges]
+
+    # -- multi-holder queries --------------------------------------------------------------
+
+    def holder_ids(self) -> List[int]:
+        """Distinct holder thread ids, in first-acquisition order."""
+        seen: List[int] = []
+        for thread_id, _stack, _mode in self.edges:
+            if thread_id not in seen:
+                seen.append(thread_id)
+        return seen
+
+    def hold_stack_of(self, thread_id: int) -> Optional[CallStack]:
+        """The most recent acquisition stack of ``thread_id`` on this resource."""
+        for tid, stack, _mode in reversed(self.edges):
+            if tid == thread_id:
+                return stack
+        return None
+
+    def exclusive_edge_count(self) -> int:
+        """Number of EXCLUSIVE hold edges (permits in use)."""
+        return sum(1 for _tid, _stack, mode in self.edges if mode == EXCLUSIVE)
+
+    def blocking_holders(self, thread_id: int,
+                         mode: str) -> List[Tuple[int, CallStack, str]]:
+        """The holders a ``mode`` request by ``thread_id`` waits on.
+
+        Returns ``(holder, stack, holder_mode)`` triples — empty when the
+        request would be grantable right now (so no wait edge exists):
+
+        * SHARED requests wait on other threads' EXCLUSIVE holds only;
+        * EXCLUSIVE requests wait on every other holder while another
+          thread holds SHARED, and on the other EXCLUSIVE holders while
+          the permit count is exhausted.
+        """
+        if not self.edges:
+            return []
+        others: List[Tuple[int, CallStack, str]] = []
+        other_shared = False
+        for tid, _stack, edge_mode in self.edges:
+            if tid == thread_id:
+                continue
+            stack = self.hold_stack_of(tid)
+            entry = (tid, stack, edge_mode)
+            if entry not in others:
+                others.append(entry)
+            if edge_mode == SHARED:
+                other_shared = True
+        if mode == SHARED:
+            return [(tid, stack, m) for tid, stack, m in others
+                    if m == EXCLUSIVE]
+        if other_shared:
+            return others
+        if self.exclusive_edge_count() >= self.capacity:
+            return [(tid, stack, m) for tid, stack, m in others
+                    if m == EXCLUSIVE]
+        return []
+
+
+#: Backwards-compatible alias: the single-holder name the RAG grew out of.
+LockState = ResourceState
 
 
 class ResourceAllocationGraph:
@@ -86,7 +190,7 @@ class ResourceAllocationGraph:
 
     def __init__(self, strict: bool = False):
         self._threads: Dict[int, ThreadState] = {}
-        self._locks: Dict[int, LockState] = {}
+        self._locks: Dict[int, ResourceState] = {}
         #: Threads touched by the most recently applied batch of events;
         #: cycle detection only needs to start from these (section 5.2).
         self._dirty_threads: Set[int] = set()
@@ -103,20 +207,23 @@ class ResourceAllocationGraph:
             self._threads[thread_id] = state
         return state
 
-    def lock(self, lock_id: int) -> LockState:
+    def lock(self, lock_id: int) -> ResourceState:
         """The state of ``lock_id``, creating an empty record if needed."""
         state = self._locks.get(lock_id)
         if state is None:
-            state = LockState(lock_id=lock_id)
+            state = ResourceState(lock_id=lock_id)
             self._locks[lock_id] = state
         return state
+
+    #: Alias emphasizing the generalized vocabulary.
+    resource = lock
 
     def threads(self) -> List[ThreadState]:
         """All known thread states."""
         return list(self._threads.values())
 
-    def locks(self) -> List[LockState]:
-        """All known lock states."""
+    def locks(self) -> List[ResourceState]:
+        """All known resource states."""
         return list(self._locks.values())
 
     def thread_ids(self) -> Set[int]:
@@ -138,16 +245,28 @@ class ResourceAllocationGraph:
         return self._events_applied
 
     def holder_of(self, lock_id: int) -> Optional[int]:
-        """The thread currently holding ``lock_id`` (None if free/unknown)."""
+        """The sole thread holding ``lock_id`` (None if free/shared/unknown)."""
         state = self._locks.get(lock_id)
         return state.owner if state is not None else None
 
-    def hold_stack(self, lock_id: int) -> Optional[CallStack]:
-        """The most recent acquisition stack of the lock's owner."""
+    def holders_of(self, lock_id: int) -> List[int]:
+        """All threads currently holding ``lock_id`` (empty if free/unknown)."""
         state = self._locks.get(lock_id)
-        if state is None or not state.hold_stacks:
+        return state.holder_ids() if state is not None else []
+
+    def hold_stack(self, lock_id: int,
+                   thread_id: Optional[int] = None) -> Optional[CallStack]:
+        """The most recent acquisition stack on ``lock_id``.
+
+        With ``thread_id`` given, the most recent stack of that specific
+        holder; otherwise the most recently added hold edge's stack.
+        """
+        state = self._locks.get(lock_id)
+        if state is None or not state.edges:
             return None
-        return state.hold_stacks[-1]
+        if thread_id is not None:
+            return state.hold_stack_of(thread_id)
+        return state.edges[-1][1]
 
     # -- event application ------------------------------------------------------------------
 
@@ -168,18 +287,30 @@ class ResourceAllocationGraph:
             count += 1
         return count
 
+    def _learn_spec(self, event: Event) -> ResourceState:
+        """Update (and return) the resource record from an event's spec fields."""
+        resource = self.lock(event.lock_id)
+        if event.capacity > resource.capacity:
+            resource.capacity = event.capacity
+        if event.mode == SHARED:
+            resource.shared_capable = True
+        return resource
+
     # -- individual handlers -------------------------------------------------------------------
 
     def _on_request(self, event: Event) -> None:
         thread = self.thread(event.thread_id)
         thread.request = (event.lock_id, event.stack)
+        thread.request_mode = event.mode
+        self._learn_spec(event)
 
     def _on_allow(self, event: Event) -> None:
         thread = self.thread(event.thread_id)
         thread.request = None
         thread.allow = (event.lock_id, event.stack)
+        thread.allow_mode = event.mode
         thread.yields.clear()
-        self.lock(event.lock_id).waiters.add(event.thread_id)
+        self._learn_spec(event).waiters.add(event.thread_id)
 
     def _on_yield(self, event: Event) -> None:
         thread = self.thread(event.thread_id)
@@ -188,18 +319,25 @@ class ResourceAllocationGraph:
             self.lock(event.lock_id).waiters.discard(event.thread_id)
             thread.allow = None
         thread.request = (event.lock_id, event.stack)
+        thread.request_mode = event.mode
         thread.yields = set(event.causes)
+        self._learn_spec(event)
 
     def _on_acquired(self, event: Event) -> None:
         thread = self.thread(event.thread_id)
-        lock = self.lock(event.lock_id)
+        resource = self._learn_spec(event)
         if thread.allow is not None and thread.allow[0] == event.lock_id:
             thread.allow = None
         if thread.request is not None and thread.request[0] == event.lock_id:
             thread.request = None
-        lock.waiters.discard(event.thread_id)
+        resource.waiters.discard(event.thread_id)
         thread.yields.clear()
-        if lock.owner is not None and lock.owner != event.thread_id:
+        single_holder = (resource.capacity == 1
+                         and not resource.shared_capable
+                         and event.mode == EXCLUSIVE)
+        if single_holder and resource.edges \
+                and any(tid != event.thread_id
+                        for tid, _s, _m in resource.edges):
             # A release event from the previous owner has not been processed
             # yet.  The partial-ordering argument of section 5.2 guarantees
             # the release precedes this acquired in the queue, so reaching
@@ -207,19 +345,19 @@ class ResourceAllocationGraph:
             if self._strict:
                 raise RAGError(
                     f"lock {event.lock_id} acquired by {event.thread_id} while "
-                    f"owned by {lock.owner}")
+                    f"owned by {resource.holder_ids()}")
             # Be forgiving outside strict mode: drop the stale hold edges.
-            previous = self._threads.get(lock.owner)
-            if previous is not None:
-                previous.holds.pop(event.lock_id, None)
-            lock.hold_stacks.clear()
-        lock.owner = event.thread_id
-        lock.hold_stacks.append(event.stack)
+            for tid in resource.holder_ids():
+                previous = self._threads.get(tid)
+                if previous is not None:
+                    previous.holds.pop(event.lock_id, None)
+            resource.edges.clear()
+        resource.edges.append((event.thread_id, event.stack, event.mode))
         thread.holds.setdefault(event.lock_id, []).append(event.stack)
 
     def _on_release(self, event: Event) -> None:
         thread = self.thread(event.thread_id)
-        lock = self.lock(event.lock_id)
+        resource = self.lock(event.lock_id)
         stacks = thread.holds.get(event.lock_id)
         if not stacks:
             if self._strict:
@@ -230,10 +368,10 @@ class ResourceAllocationGraph:
         stacks.pop()
         if not stacks:
             del thread.holds[event.lock_id]
-        if lock.hold_stacks:
-            lock.hold_stacks.pop()
-        if not lock.hold_stacks:
-            lock.owner = None
+        for index in range(len(resource.edges) - 1, -1, -1):
+            if resource.edges[index][0] == event.thread_id:
+                del resource.edges[index]
+                break
 
     def _on_cancel(self, event: Event) -> None:
         thread = self.thread(event.thread_id)
@@ -267,7 +405,13 @@ class ResourceAllocationGraph:
                 for tid, state in self._threads.items()
             },
             "locks": {
-                lid: {"owner": state.owner, "waiters": sorted(state.waiters)}
+                lid: {
+                    "owner": state.owner,
+                    "holders": state.holder_ids(),
+                    "capacity": state.capacity,
+                    "shared": state.shared_capable,
+                    "waiters": sorted(state.waiters),
+                }
                 for lid, state in self._locks.items()
             },
         }

@@ -33,7 +33,7 @@ from typing import Callable, List, Optional, TYPE_CHECKING
 
 from .avoidance import RequestOutcome
 from .callstack import CallStack
-from .signature import Signature
+from .signature import EXCLUSIVE, Signature
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .dimmunix import Dimmunix
@@ -130,15 +130,23 @@ class RuntimeCore:
 
     # -- the six-operation protocol -------------------------------------------------------
 
-    def request(self, thread_id: int, lock_id: int,
-                stack: CallStack) -> RequestOutcome:
-        """Ask for a GO/YIELD decision before blocking on ``lock_id``."""
-        return self.dimmunix.engine.request(thread_id, lock_id, stack)
+    def request(self, thread_id: int, lock_id: int, stack: CallStack,
+                mode: str = EXCLUSIVE, capacity: int = 1) -> RequestOutcome:
+        """Ask for a GO/YIELD decision before blocking on ``lock_id``.
+
+        ``mode``/``capacity`` carry the resource semantics: exclusive
+        permits (mutexes, semaphore permits) vs shared reader holds, and
+        the resource's permit count.  Defaults are plain mutex semantics.
+        """
+        return self.dimmunix.engine.request(thread_id, lock_id, stack,
+                                            mode=mode, capacity=capacity)
 
     def acquired(self, thread_id: int, lock_id: int,
-                 stack: Optional[CallStack] = None) -> None:
+                 stack: Optional[CallStack] = None, mode: str = EXCLUSIVE,
+                 capacity: int = 1) -> None:
         """Record that the thread actually obtained the lock."""
-        self.dimmunix.engine.acquired(thread_id, lock_id, stack)
+        self.dimmunix.engine.acquired(thread_id, lock_id, stack,
+                                      mode=mode, capacity=capacity)
 
     def release(self, thread_id: int, lock_id: int) -> List[int]:
         """Record a release and wake every thread whose yield cause dissolved.

@@ -10,27 +10,38 @@ avoidance engine by wrapping — or monkey-patching — the standard
 from .runtime import (ThreadRegistry, YieldManager, InstrumentationRuntime,
                       get_default_dimmunix, set_default_dimmunix,
                       reset_default_dimmunix)
-from .locks import DimmunixLock, DimmunixRLock, DimmunixCondition, Lock, RLock, Condition
+from .locks import (BoundedSemaphore, Condition, DimmunixBoundedSemaphore,
+                    DimmunixCondition, DimmunixLock, DimmunixRLock,
+                    DimmunixRWLock, DimmunixSemaphore, Lock, RLock, RWLock,
+                    Semaphore)
 from .patching import immunize, install, uninstall, patched
-from .aio import (AioCondition, AioLock, AioSemaphore, AsyncioParker,
-                  AsyncioRuntime, TaskRegistry, asyncio_installed,
-                  get_default_aio_runtime, immunize_asyncio, install_asyncio,
-                  patched_asyncio, reset_default_aio_runtime,
-                  set_default_aio_runtime, uninstall_asyncio)
+from .aio import (AioCondition, AioLock, AioRWLock, AioSemaphore,
+                  AsyncioParker, AsyncioRuntime, TaskRegistry,
+                  asyncio_installed, get_default_aio_runtime,
+                  immunize_asyncio, install_asyncio, patched_asyncio,
+                  reset_default_aio_runtime, set_default_aio_runtime,
+                  uninstall_asyncio)
 
 __all__ = [
     "AioCondition",
     "AioLock",
+    "AioRWLock",
     "AioSemaphore",
     "AsyncioParker",
     "AsyncioRuntime",
+    "BoundedSemaphore",
     "Condition",
+    "DimmunixBoundedSemaphore",
     "DimmunixCondition",
     "DimmunixLock",
     "DimmunixRLock",
+    "DimmunixRWLock",
+    "DimmunixSemaphore",
     "InstrumentationRuntime",
     "Lock",
     "RLock",
+    "RWLock",
+    "Semaphore",
     "TaskRegistry",
     "ThreadRegistry",
     "YieldManager",

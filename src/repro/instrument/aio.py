@@ -49,6 +49,7 @@ from ..core.dimmunix import Dimmunix
 from ..core.avoidance import Decision
 from ..core.errors import InstrumentationError
 from ..core.runtime_api import RuntimeCore, ThreadParker
+from ..core.signature import EXCLUSIVE, SHARED
 
 #: Original asyncio factories, captured at import time so Dimmunix's own
 #: plumbing (and the patched factories' native fallback) can always reach
@@ -249,10 +250,14 @@ class AsyncioRuntime:
         While a task runs, its coroutine frames (and those of the
         coroutines it awaits) are live on the interpreter stack, so the
         same frame capture as the thread runtime applies; Dimmunix's own
-        frames are dropped by ``skip_internal``.
+        frames are dropped as internal.  The capture goes through the
+        per-call-site cache (:meth:`CallStack.capture_cached`) — the
+        ROADMAP measured per-acquire capture as the dominant ~70µs/op
+        cost of the aio fast path, and repeated acquisitions from one
+        call path now reuse a single memoized stack.
         """
-        stack = CallStack.capture(skip=1,
-                                  limit=self.dimmunix.config.max_stack_depth)
+        stack = CallStack.capture_cached(
+            skip=1, limit=self.dimmunix.config.max_stack_depth)
         if not stack:
             try:
                 task = asyncio.current_task()
@@ -356,17 +361,21 @@ class _PermitQueue:
 
 async def _avoidance_gate(core, task_id: int, lock_id: int, stack: CallStack,
                           deadline: Optional[float],
-                          loop: asyncio.AbstractEventLoop) -> bool:
+                          loop: asyncio.AbstractEventLoop,
+                          mode: str = EXCLUSIVE, capacity: int = 1) -> bool:
     """Run the request/park avoidance loop until GO; False on deadline.
 
     The shared front half of every aio acquisition: request a GO/YIELD
     decision, park the task on YIELD and retry when woken, abort the
     yield when the configured yield bound expires (section 5.7).  Task
     cancellation rolls the pending request back before propagating.
+    ``mode``/``capacity`` carry the resource semantics (shared reader
+    holds, multi-permit semaphores) through to the engine.
     """
     while True:
         core.prepare_wait(task_id)
-        outcome = core.request(task_id, lock_id, stack)
+        outcome = core.request(task_id, lock_id, stack,
+                               mode=mode, capacity=capacity)
         if outcome.decision is Decision.GO:
             return True
         wait_for = core.config.yield_timeout
@@ -508,18 +517,19 @@ class AioLock:
 
 
 class AioSemaphore:
-    """A drop-in ``asyncio.Semaphore``; binary semaphores get avoidance.
+    """A drop-in ``asyncio.Semaphore`` with engine-tracked permits.
 
-    A semaphore created with ``value == 1`` is a mutex in disguise, and
-    its acquisitions run the full avoidance protocol on the semaphore's
-    lock id — exact coverage, same as :class:`AioLock`.  Counting
-    semaphores (``value > 1``) are passed through the native waiter
-    logic without engine events: the engine's resource model is
-    single-holder, so modelling a multi-permit resource as one lock
-    would corrupt the hold bookkeeping (multi-holder RAG support is a
-    ROADMAP open item).  Releases are expected from the task that
+    Since the engine's resource model became capacity aware, *every*
+    semaphore drives the avoidance protocol: a binary semaphore is an
+    exact mutex, and a counting semaphore (``value > 1``) is an N-permit
+    multi-holder resource — a requester blocked on an exhausted pool
+    waits on all current permit holders, so permit-exhaustion cycles are
+    detectable, archivable, and avoided on subsequent runs.  Semaphores
+    created with ``value == 0`` are pure signaling primitives and pass
+    through untracked.  Releases are expected from the task that
     acquired (the ``async with`` idiom); a release by a task holding no
-    recorded permit only returns the permit, without an engine event.
+    recorded permit only returns the permit, with the engine release
+    recorded under a task that does hold one.
     """
 
     def __init__(self, value: int = 1,
@@ -531,8 +541,9 @@ class AioSemaphore:
         self._permits = _PermitQueue(value)
         self._lock_id = self._runtime.new_lock_id()
         self._name = name or f"aiosem-{self._lock_id}"
-        #: Binary semaphores are exact mutexes; only they drive the engine.
-        self._engine_tracked = value == 1
+        self._capacity = value
+        #: Zero-permit semaphores are signaling primitives, not resources.
+        self._engine_tracked = value >= 1
         #: task id -> number of outstanding permits held by that task.
         self._holders: Dict[int, int] = {}
 
@@ -561,7 +572,8 @@ class AioSemaphore:
 
         if self._engine_tracked:
             if not await _avoidance_gate(core, task_id, self._lock_id, stack,
-                                         deadline, loop):
+                                         deadline, loop,
+                                         capacity=self._capacity):
                 return False
 
         native_timeout = None
@@ -579,20 +591,20 @@ class AioSemaphore:
             return False
         if self._engine_tracked:
             self._holders[task_id] = self._holders.get(task_id, 0) + 1
-            core.acquired(task_id, self._lock_id, stack)
+            core.acquired(task_id, self._lock_id, stack,
+                          capacity=self._capacity)
         return True
 
     def release(self) -> None:
         """Release one permit (from any task, like ``asyncio.Semaphore``).
 
-        For engine-tracked (binary) semaphores the engine release is
-        recorded under the task that holds the recorded permit — for a
-        binary semaphore there is at most one — preferring the calling
-        task when it is that holder.  This mirrors
-        :meth:`AioLock.release`: paired acquire/release usage is exact;
-        an unpaired release transfers the hold (the engine sees the
-        resource freed), trading hold-accuracy for graceful degradation
-        instead of corrupting the single-holder bookkeeping.
+        For engine-tracked semaphores the engine release is recorded
+        under a task that holds a recorded permit, preferring the calling
+        task when it is a holder.  This mirrors :meth:`AioLock.release`:
+        paired acquire/release usage is exact; an unpaired release
+        transfers one recorded hold (the engine sees a permit freed),
+        trading hold-accuracy for graceful degradation instead of
+        corrupting the permit bookkeeping.
         """
         if self._engine_tracked and self._holders:
             try:
@@ -629,6 +641,203 @@ class AioSemaphore:
     def name(self) -> str:
         """Human readable name (used in diagnostics)."""
         return self._name
+
+    @property
+    def capacity(self) -> int:
+        """The permit count this semaphore was created with."""
+        return self._capacity
+
+
+class AioRWLock:
+    """A reader-writer lock for asyncio tasks, protected by deadlock immunity.
+
+    Readers take SHARED holds on the engine-level resource; the writer
+    takes the EXCLUSIVE permit, so a blocked writer is modelled as
+    waiting on *every* current reader — upgrade inversions (two readers
+    both upgrading) and writer-vs-reader cycles become detectable,
+    archivable, and avoidable like any other deadlock pattern.
+
+    The native implementation is reader-preference and fully
+    cooperative: blocked acquisitions wait on plain loop futures in the
+    caller's task (never a wrapper task), releases wake every waiter and
+    each re-checks grantability.  Reads are reentrant per task; the
+    writer may reenter ``acquire_write``.
+    """
+
+    def __init__(self, runtime: Optional[AsyncioRuntime] = None,
+                 name: Optional[str] = None):
+        self._runtime = runtime if runtime is not None else get_default_aio_runtime()
+        self._lock_id = self._runtime.new_lock_id()
+        self._name = name or f"aiorw-{self._lock_id}"
+        #: task id -> reentrant read-hold count.
+        self._readers: Dict[int, int] = {}
+        self._writer: Optional[int] = None
+        self._writer_depth = 0
+        self._waiters: Deque["asyncio.Future[bool]"] = deque()
+
+    # -- grant rules -----------------------------------------------------------------------
+
+    def _grantable(self, task_id: int, mode: str) -> bool:
+        if mode == SHARED:
+            return self._writer is None or self._writer == task_id
+        if self._writer is not None and self._writer != task_id:
+            return False
+        return all(tid == task_id for tid in self._readers)
+
+    def _wake_waiters(self) -> None:
+        for future in self._waiters:
+            if not future.done():
+                future.set_result(True)
+
+    # -- acquisition -----------------------------------------------------------------------
+
+    def acquire_read(self, timeout: Optional[float] = None) -> "Coroutine":
+        """Take a SHARED hold; the coroutine yields False on timeout.
+
+        Like :meth:`AioLock.acquire`, identity and stack are captured in
+        the caller so ``asyncio.wait_for(rw.acquire_read(), t)`` keeps
+        the logical caller's identity on wrapper-task Pythons (≤ 3.11).
+        """
+        return self._acquire(SHARED, timeout)
+
+    def acquire_write(self, timeout: Optional[float] = None) -> "Coroutine":
+        """Take the EXCLUSIVE hold; the coroutine yields False on timeout.
+
+        A reader calling this while still holding its read lock is the
+        classic *upgrade*: natively it waits for every other reader to
+        leave, and two concurrent upgraders deadlock — the pattern the
+        engine learns once and avoids afterwards.
+        """
+        return self._acquire(EXCLUSIVE, timeout)
+
+    def _acquire(self, mode: str, timeout: Optional[float]) -> "Coroutine":
+        runtime = self._runtime
+        try:
+            task_id: Optional[int] = runtime.current_task_id()
+        except InstrumentationError:
+            task_id = None  # created outside a task; resolved at await time
+        return self._acquire_impl(task_id, runtime.capture_stack(), mode,
+                                  timeout)
+
+    async def _acquire_impl(self, task_id: Optional[int], stack: CallStack,
+                            mode: str, timeout: Optional[float]) -> bool:
+        runtime = self._runtime
+        core = runtime.core
+        if task_id is None:
+            task_id = runtime.current_task_id()
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+
+        if not await _avoidance_gate(core, task_id, self._lock_id, stack,
+                                     deadline, loop, mode=mode):
+            return False
+        while not self._grantable(task_id, mode):
+            if deadline is not None and loop.time() >= deadline:
+                core.cancel(task_id, self._lock_id)
+                return False
+            future = loop.create_future()
+            self._waiters.append(future)
+            try:
+                if deadline is None:
+                    await future
+                else:
+                    try:
+                        await asyncio.wait_for(
+                            future, max(0.0, deadline - loop.time()))
+                    except asyncio.TimeoutError:
+                        core.cancel(task_id, self._lock_id)
+                        return False
+            except asyncio.CancelledError:
+                core.cancel(task_id, self._lock_id)
+                raise
+            finally:
+                if future in self._waiters:
+                    self._waiters.remove(future)
+        if mode == SHARED:
+            self._readers[task_id] = self._readers.get(task_id, 0) + 1
+        else:
+            self._writer = task_id
+            self._writer_depth += 1
+        core.acquired(task_id, self._lock_id, stack, mode=mode)
+        return True
+
+    # -- release ---------------------------------------------------------------------------
+
+    def release_read(self) -> None:
+        """Drop one SHARED hold; wakes waiting writers when the last leaves."""
+        task_id = self._runtime.current_task_id()
+        count = self._readers.get(task_id, 0)
+        if count == 0:
+            raise InstrumentationError(
+                f"{self._name}: task {task_id} holds no read lock")
+        # Engine release first (the event precedes the availability).
+        self._runtime.core.release(task_id, self._lock_id)
+        if count == 1:
+            del self._readers[task_id]
+        else:
+            self._readers[task_id] = count - 1
+        self._wake_waiters()
+
+    def release_write(self) -> None:
+        """Drop the EXCLUSIVE hold; wakes waiting readers and writers."""
+        task_id = self._runtime.current_task_id()
+        if self._writer != task_id or self._writer_depth == 0:
+            raise InstrumentationError(
+                f"{self._name}: task {task_id} holds no write lock")
+        self._runtime.core.release(task_id, self._lock_id)
+        self._writer_depth -= 1
+        if self._writer_depth == 0:
+            self._writer = None
+        self._wake_waiters()
+
+    # -- context-manager helpers -----------------------------------------------------------
+
+    @contextlib.asynccontextmanager
+    async def read_lock(self, timeout: Optional[float] = None):
+        """``async with rw.read_lock():`` — bracketed SHARED hold."""
+        if not await self.acquire_read(timeout):
+            raise InstrumentationError(
+                f"{self._name}: read acquisition timed out")
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextlib.asynccontextmanager
+    async def write_lock(self, timeout: Optional[float] = None):
+        """``async with rw.write_lock():`` — bracketed EXCLUSIVE hold."""
+        if not await self.acquire_write(timeout):
+            raise InstrumentationError(
+                f"{self._name}: write acquisition timed out")
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    # -- introspection ---------------------------------------------------------------------
+
+    @property
+    def lock_id(self) -> int:
+        """The engine-level identifier of this rwlock."""
+        return self._lock_id
+
+    @property
+    def name(self) -> str:
+        """Human readable name (used in diagnostics)."""
+        return self._name
+
+    def reader_count(self) -> int:
+        """Number of distinct tasks currently holding read locks."""
+        return len(self._readers)
+
+    @property
+    def writer(self) -> Optional[int]:
+        """The Dimmunix task id of the current writer, if any."""
+        return self._writer
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<AioRWLock {self._name} readers={len(self._readers)} "
+                f"writer={self._writer}>")
 
 
 class AioCondition:
@@ -754,6 +963,12 @@ def Semaphore(value: int = 1, runtime: Optional[AsyncioRuntime] = None,
               name: Optional[str] = None) -> AioSemaphore:
     """Create a Dimmunix-protected semaphore (drop-in for ``asyncio.Semaphore``)."""
     return AioSemaphore(value, runtime=runtime, name=name)
+
+
+def RWLock(runtime: Optional[AsyncioRuntime] = None,
+           name: Optional[str] = None) -> AioRWLock:
+    """Create a reader-writer lock for asyncio tasks with deadlock immunity."""
+    return AioRWLock(runtime=runtime, name=name)
 
 
 # ---------------------------------------------------------------------------

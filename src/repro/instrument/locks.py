@@ -1,13 +1,18 @@
-"""Dimmunix-aware lock types for real ``threading`` programs.
+"""Dimmunix-aware synchronization types for real ``threading`` programs.
 
 :class:`DimmunixLock` and :class:`DimmunixRLock` are drop-in replacements
-for ``threading.Lock`` and ``threading.RLock``.  Every acquisition runs
-the avoidance protocol:
+for ``threading.Lock`` and ``threading.RLock``;
+:class:`DimmunixSemaphore` / :class:`DimmunixBoundedSemaphore` replace
+``threading.Semaphore`` / ``BoundedSemaphore`` with *engine-tracked
+permits* (a counting semaphore is an N-permit resource, so permit
+exhaustion cycles are avoidable); :class:`DimmunixRWLock` adds a
+reader-writer lock whose readers take SHARED holds and whose writer takes
+the EXCLUSIVE permit.  Every acquisition runs the avoidance protocol:
 
 1. capture the call stack,
 2. call ``request``; on YIELD park on the per-thread wake event and retry
    (aborting the yield when the configured yield timeout expires),
-3. on GO, block on the underlying native lock,
+3. on GO, block on the underlying native primitive,
 4. on success call ``acquired``; on trylock/timed-lock failure call
    ``cancel`` (the paper's pthreads extension).
 
@@ -18,13 +23,48 @@ yield causes dissolved.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
-from typing import Optional
+from typing import Dict, Optional
 
 from ..core.avoidance import Decision
 from ..core.errors import InstrumentationError
+from ..core.signature import EXCLUSIVE, SHARED
 from .runtime import InstrumentationRuntime, get_default_dimmunix
+
+
+def _avoidance_gate(core, thread_id: int, lock_id: int, stack,
+                    blocking: bool, deadline: Optional[float],
+                    mode: str = EXCLUSIVE, capacity: int = 1) -> bool:
+    """Run the request/park loop until GO; False on trylock/deadline failure.
+
+    The shared front half of every thread-runtime acquisition: request a
+    GO/YIELD decision, park the thread on YIELD and retry when woken,
+    abort the yield when the configured yield bound expires (section 5.7).
+    """
+    while True:
+        core.prepare_wait(thread_id)
+        outcome = core.request(thread_id, lock_id, stack,
+                               mode=mode, capacity=capacity)
+        if outcome.decision is Decision.GO:
+            return True
+        if not blocking:
+            # Trylock semantics: never park; roll the request back.
+            core.cancel(thread_id, lock_id)
+            return False
+        wait_for = core.config.yield_timeout
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                core.cancel(thread_id, lock_id)
+                return False
+            wait_for = remaining if wait_for is None else min(wait_for, remaining)
+        woken = core.park(thread_id, wait_for)
+        if not woken and core.config.yield_timeout is not None:
+            # Yield bound expired (section 5.7): abort the avoidance and
+            # let the thread proceed on its next request.
+            core.abort_yield(thread_id)
 
 
 class DimmunixLock:
@@ -65,27 +105,9 @@ class DimmunixLock:
         if timeout is not None and timeout >= 0:
             deadline = time.monotonic() + timeout
 
-        while True:
-            core.prepare_wait(thread_id)
-            outcome = core.request(thread_id, self._lock_id, stack)
-            if outcome.decision is Decision.GO:
-                break
-            if not blocking:
-                # Trylock semantics: never park; roll the request back.
-                core.cancel(thread_id, self._lock_id)
-                return False
-            wait_for = core.config.yield_timeout
-            if deadline is not None:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    core.cancel(thread_id, self._lock_id)
-                    return False
-                wait_for = remaining if wait_for is None else min(wait_for, remaining)
-            woken = core.park(thread_id, wait_for)
-            if not woken and core.config.yield_timeout is not None:
-                # Yield bound expired (section 5.7): abort the avoidance and
-                # let the thread proceed on its next request.
-                core.abort_yield(thread_id)
+        if not _avoidance_gate(core, thread_id, self._lock_id, stack,
+                               blocking, deadline):
+            return False
 
         native_timeout = -1.0
         if deadline is not None:
@@ -191,6 +213,347 @@ class DimmunixCondition(threading.Condition):
         super().__init__(lock)
 
 
+class DimmunixSemaphore:
+    """A drop-in ``threading.Semaphore`` with engine-tracked permits.
+
+    Every permit acquisition runs the avoidance protocol with the
+    semaphore's capacity, so the engine models the pool as a multi-holder
+    resource: a requester blocked on an exhausted pool waits on *all*
+    current permit holders, which is what makes permit-exhaustion cycles
+    detectable, their signatures archivable, and future runs immune.
+    Semaphores created with ``value == 0`` are pure signaling primitives
+    (no holder to wait on at creation time) and pass through untracked.
+
+    Releases may come from any thread, like ``threading.Semaphore``; the
+    engine release is recorded under a thread that actually holds a
+    recorded permit (preferring the caller), so hold bookkeeping stays
+    consistent under the paired acquire/release idiom and degrades
+    gracefully under hand-off usage.
+    """
+
+    def __init__(self, value: int = 1,
+                 runtime: Optional[InstrumentationRuntime] = None,
+                 name: Optional[str] = None):
+        if value < 0:
+            raise ValueError("semaphore initial value must be >= 0")
+        self._runtime = runtime if runtime is not None else get_default_dimmunix()
+        self._native = self._make_native(value)
+        self._capacity = value
+        self._engine_tracked = value >= 1
+        self._lock_id = self._runtime.new_lock_id()
+        self._name = name or f"sem-{self._lock_id}"
+        #: thread id -> number of permits held (engine-tracked only).
+        self._holders: Dict[int, int] = {}
+        self._holders_mutex = threading.Lock()
+
+    def _make_native(self, value: int):
+        return threading.Semaphore(value)
+
+    # -- public semaphore protocol ---------------------------------------------------------
+
+    def acquire(self, blocking: bool = True,
+                timeout: Optional[float] = None) -> bool:
+        """Acquire one permit, running the avoidance protocol first."""
+        if not blocking and timeout is not None:
+            raise ValueError("can't specify timeout for non-blocking acquire")
+        runtime = self._runtime
+        core = runtime.core
+        thread_id = runtime.current_thread_id()
+        stack = runtime.capture_stack()
+        deadline = time.monotonic() + timeout if timeout is not None else None
+
+        if self._engine_tracked:
+            if not _avoidance_gate(core, thread_id, self._lock_id, stack,
+                                   blocking, deadline,
+                                   capacity=self._capacity):
+                return False
+        if deadline is not None:
+            got = self._native.acquire(True, max(0.0, deadline - time.monotonic()))
+        else:
+            got = self._native.acquire(blocking)
+        if not got:
+            if self._engine_tracked:
+                core.cancel(thread_id, self._lock_id)
+            return False
+        if self._engine_tracked:
+            with self._holders_mutex:
+                self._holders[thread_id] = self._holders.get(thread_id, 0) + 1
+            core.acquired(thread_id, self._lock_id, stack,
+                          capacity=self._capacity)
+        return True
+
+    def release(self, n: int = 1) -> None:
+        """Return ``n`` permits and wake threads whose yield causes dissolved."""
+        if n < 1:
+            raise ValueError("n must be one or more")
+        for _ in range(n):
+            self._release_one()
+
+    def _release_one(self) -> None:
+        if self._engine_tracked:
+            owner = None
+            with self._holders_mutex:
+                if self._holders:
+                    try:
+                        caller = self._runtime.current_thread_id()
+                    except InstrumentationError:  # pragma: no cover - defensive
+                        caller = None
+                    owner = (caller if caller in self._holders
+                             else next(iter(self._holders)))
+                    count = self._holders[owner]
+                    if count == 1:
+                        del self._holders[owner]
+                    else:
+                        self._holders[owner] = count - 1
+            if owner is not None:
+                # Engine release first: the event must precede the permit
+                # becoming available (the paper's partial ordering).
+                self._runtime.core.release(owner, self._lock_id)
+        self._native.release()
+
+    # -- context manager -------------------------------------------------------------------
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+    # -- introspection ---------------------------------------------------------------------
+
+    @property
+    def lock_id(self) -> int:
+        """The engine-level identifier of this semaphore."""
+        return self._lock_id
+
+    @property
+    def name(self) -> str:
+        """Human readable name (used in diagnostics)."""
+        return self._name
+
+    @property
+    def capacity(self) -> int:
+        """The permit count this semaphore was created with."""
+        return self._capacity
+
+    def permits_held(self) -> int:
+        """Total recorded permits currently held (engine-tracked only)."""
+        with self._holders_mutex:
+            return sum(self._holders.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} {self._name} "
+                f"capacity={self._capacity} held={self.permits_held()}>")
+
+
+class DimmunixBoundedSemaphore(DimmunixSemaphore):
+    """A drop-in ``threading.BoundedSemaphore`` with engine-tracked permits.
+
+    Releasing more permits than were acquired raises ``ValueError``
+    *before* any engine bookkeeping happens, so an over-release cannot
+    corrupt the avoidance state.
+    """
+
+    def __init__(self, value: int = 1,
+                 runtime: Optional[InstrumentationRuntime] = None,
+                 name: Optional[str] = None):
+        super().__init__(value, runtime=runtime, name=name)
+        self._outstanding = 0
+        self._bound_mutex = threading.Lock()
+
+    def _make_native(self, value: int):
+        return threading.BoundedSemaphore(value) if value >= 1 \
+            else threading.Semaphore(value)
+
+    def acquire(self, blocking: bool = True,
+                timeout: Optional[float] = None) -> bool:
+        got = super().acquire(blocking, timeout)
+        if got:
+            with self._bound_mutex:
+                self._outstanding += 1
+        return got
+
+    def _release_one(self) -> None:
+        with self._bound_mutex:
+            if self._outstanding <= 0:
+                raise ValueError("semaphore released too many times")
+            self._outstanding -= 1
+        super()._release_one()
+
+
+class DimmunixRWLock:
+    """A reader-writer lock protected by deadlock immunity.
+
+    Readers take SHARED holds on the engine-level resource; the writer
+    takes the EXCLUSIVE permit.  The engine therefore sees a blocked
+    writer waiting on *every* current reader, which is what makes
+    upgrade inversions (two readers both upgrading to write) and
+    writer-vs-reader cycles detectable and, once archived, avoidable.
+
+    The native implementation is reader-preference: writers wait until
+    every reader (and any previous writer) has left; reads are reentrant
+    per thread, and the writer may reenter ``acquire_write``.
+    """
+
+    def __init__(self, runtime: Optional[InstrumentationRuntime] = None,
+                 name: Optional[str] = None):
+        self._runtime = runtime if runtime is not None else get_default_dimmunix()
+        self._lock_id = self._runtime.new_lock_id()
+        self._name = name or f"rwlock-{self._lock_id}"
+        self._cond = threading.Condition()
+        #: thread id -> reentrant read-hold count.
+        self._readers: Dict[int, int] = {}
+        self._writer: Optional[int] = None
+        self._writer_depth = 0
+
+    # -- internal native wait --------------------------------------------------------------
+
+    def _wait(self, deadline: Optional[float]) -> bool:
+        """One bounded wait on the condition; False when the deadline passed."""
+        if deadline is None:
+            self._cond.wait()
+            return True
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return False
+        self._cond.wait(remaining)
+        return deadline - time.monotonic() > 0
+
+    # -- read side -------------------------------------------------------------------------
+
+    def acquire_read(self, timeout: Optional[float] = None) -> bool:
+        """Take a SHARED hold; False on timeout."""
+        runtime = self._runtime
+        core = runtime.core
+        thread_id = runtime.current_thread_id()
+        stack = runtime.capture_stack()
+        deadline = time.monotonic() + timeout if timeout is not None else None
+
+        if not _avoidance_gate(core, thread_id, self._lock_id, stack,
+                               True, deadline, mode=SHARED):
+            return False
+        with self._cond:
+            while self._writer is not None and self._writer != thread_id:
+                if not self._wait(deadline):
+                    core.cancel(thread_id, self._lock_id)
+                    return False
+            self._readers[thread_id] = self._readers.get(thread_id, 0) + 1
+            core.acquired(thread_id, self._lock_id, stack, mode=SHARED)
+        return True
+
+    def release_read(self) -> None:
+        """Drop one SHARED hold and wake waiting writers when the last leaves."""
+        thread_id = self._runtime.current_thread_id()
+        with self._cond:
+            count = self._readers.get(thread_id, 0)
+            if count == 0:
+                raise InstrumentationError(
+                    f"{self._name}: thread {thread_id} holds no read lock")
+            # Engine release first (the event precedes the availability).
+            self._runtime.core.release(thread_id, self._lock_id)
+            if count == 1:
+                del self._readers[thread_id]
+            else:
+                self._readers[thread_id] = count - 1
+            self._cond.notify_all()
+
+    # -- write side ------------------------------------------------------------------------
+
+    def acquire_write(self, timeout: Optional[float] = None) -> bool:
+        """Take the EXCLUSIVE hold; False on timeout.
+
+        A reader calling this while still holding its read lock is the
+        classic *upgrade*: natively it waits for every other reader to
+        leave, and two concurrent upgraders deadlock — the pattern the
+        engine learns and avoids on subsequent runs.
+        """
+        runtime = self._runtime
+        core = runtime.core
+        thread_id = runtime.current_thread_id()
+        stack = runtime.capture_stack()
+        deadline = time.monotonic() + timeout if timeout is not None else None
+
+        if not _avoidance_gate(core, thread_id, self._lock_id, stack,
+                               True, deadline, mode=EXCLUSIVE):
+            return False
+        with self._cond:
+            while not self._write_grantable(thread_id):
+                if not self._wait(deadline):
+                    core.cancel(thread_id, self._lock_id)
+                    return False
+            self._writer = thread_id
+            self._writer_depth += 1
+            core.acquired(thread_id, self._lock_id, stack, mode=EXCLUSIVE)
+        return True
+
+    def _write_grantable(self, thread_id: int) -> bool:
+        if self._writer is not None and self._writer != thread_id:
+            return False
+        return all(tid == thread_id for tid in self._readers)
+
+    def release_write(self) -> None:
+        """Drop the EXCLUSIVE hold and wake waiting readers/writers."""
+        thread_id = self._runtime.current_thread_id()
+        with self._cond:
+            if self._writer != thread_id or self._writer_depth == 0:
+                raise InstrumentationError(
+                    f"{self._name}: thread {thread_id} holds no write lock")
+            self._runtime.core.release(thread_id, self._lock_id)
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+            self._cond.notify_all()
+
+    # -- context-manager helpers -----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def read_lock(self, timeout: Optional[float] = None):
+        """``with rwlock.read_lock():`` — bracketed SHARED hold."""
+        if not self.acquire_read(timeout):
+            raise InstrumentationError(f"{self._name}: read acquisition timed out")
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextlib.contextmanager
+    def write_lock(self, timeout: Optional[float] = None):
+        """``with rwlock.write_lock():`` — bracketed EXCLUSIVE hold."""
+        if not self.acquire_write(timeout):
+            raise InstrumentationError(f"{self._name}: write acquisition timed out")
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    # -- introspection ---------------------------------------------------------------------
+
+    @property
+    def lock_id(self) -> int:
+        """The engine-level identifier of this rwlock."""
+        return self._lock_id
+
+    @property
+    def name(self) -> str:
+        """Human readable name (used in diagnostics)."""
+        return self._name
+
+    def reader_count(self) -> int:
+        """Number of distinct threads currently holding read locks."""
+        with self._cond:
+            return len(self._readers)
+
+    @property
+    def writer(self) -> Optional[int]:
+        """The Dimmunix thread id of the current writer, if any."""
+        return self._writer
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<DimmunixRWLock {self._name} readers={len(self._readers)} "
+                f"writer={self._writer}>")
+
+
 # ---------------------------------------------------------------------------
 # Factory helpers mirroring the ``threading`` API
 # ---------------------------------------------------------------------------
@@ -211,3 +574,24 @@ def Condition(lock: Optional[DimmunixLock] = None,
               runtime: Optional[InstrumentationRuntime] = None) -> DimmunixCondition:
     """Create a condition variable whose lock is protected by Dimmunix."""
     return DimmunixCondition(lock=lock, runtime=runtime)
+
+
+def Semaphore(value: int = 1,
+              runtime: Optional[InstrumentationRuntime] = None,
+              name: Optional[str] = None) -> DimmunixSemaphore:
+    """Create an engine-tracked semaphore (drop-in for ``threading.Semaphore``)."""
+    return DimmunixSemaphore(value, runtime=runtime, name=name)
+
+
+def BoundedSemaphore(value: int = 1,
+                     runtime: Optional[InstrumentationRuntime] = None,
+                     name: Optional[str] = None) -> DimmunixBoundedSemaphore:
+    """Create an engine-tracked bounded semaphore (drop-in for
+    ``threading.BoundedSemaphore``)."""
+    return DimmunixBoundedSemaphore(value, runtime=runtime, name=name)
+
+
+def RWLock(runtime: Optional[InstrumentationRuntime] = None,
+           name: Optional[str] = None) -> DimmunixRWLock:
+    """Create a reader-writer lock protected by deadlock immunity."""
+    return DimmunixRWLock(runtime=runtime, name=name)

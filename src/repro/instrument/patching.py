@@ -22,11 +22,14 @@ from typing import Optional
 from ..core.config import DimmunixConfig
 from ..core.dimmunix import Dimmunix
 from ..core.errors import InstrumentationError
-from .locks import DimmunixLock, DimmunixRLock
+from .locks import (DimmunixBoundedSemaphore, DimmunixLock, DimmunixRLock,
+                    DimmunixSemaphore)
 from .runtime import InstrumentationRuntime, set_default_dimmunix
 
 _original_lock = threading.Lock
 _original_rlock = threading.RLock
+_original_semaphore = threading.Semaphore
+_original_bounded_semaphore = threading.BoundedSemaphore
 _installed_runtime: Optional[InstrumentationRuntime] = None
 
 #: Path fragments identifying callers that must always receive *native*
@@ -50,12 +53,14 @@ def _caller_needs_native_lock() -> bool:
 
 def install(dimmunix: Optional[Dimmunix] = None,
             config: Optional[DimmunixConfig] = None) -> InstrumentationRuntime:
-    """Patch ``threading.Lock``/``threading.RLock`` to produce Dimmunix locks.
+    """Patch the ``threading`` synchronization factories to Dimmunix types.
 
-    Returns the instrumentation runtime bound to the (possibly newly
-    created) Dimmunix instance.  Calling :func:`install` twice without an
-    intervening :func:`uninstall` raises, to avoid silently stacking
-    patches.
+    Replaces ``threading.Lock``, ``RLock``, ``Semaphore`` and
+    ``BoundedSemaphore`` (counting semaphores become engine-tracked
+    multi-permit resources).  Returns the instrumentation runtime bound
+    to the (possibly newly created) Dimmunix instance.  Calling
+    :func:`install` twice without an intervening :func:`uninstall`
+    raises, to avoid silently stacking patches.
     """
     global _installed_runtime
     if _installed_runtime is not None:
@@ -74,17 +79,31 @@ def install(dimmunix: Optional[Dimmunix] = None,
             return _original_rlock()
         return DimmunixRLock(runtime=runtime)
 
+    def _semaphore_factory(value=1, *args, **kwargs):
+        if _caller_needs_native_lock():
+            return _original_semaphore(value, *args, **kwargs)
+        return DimmunixSemaphore(value, runtime=runtime)
+
+    def _bounded_semaphore_factory(value=1, *args, **kwargs):
+        if _caller_needs_native_lock():
+            return _original_bounded_semaphore(value, *args, **kwargs)
+        return DimmunixBoundedSemaphore(value, runtime=runtime)
+
     threading.Lock = _lock_factory  # type: ignore[assignment]
     threading.RLock = _rlock_factory  # type: ignore[assignment]
+    threading.Semaphore = _semaphore_factory  # type: ignore[assignment]
+    threading.BoundedSemaphore = _bounded_semaphore_factory  # type: ignore[assignment]
     _installed_runtime = runtime
     return runtime
 
 
 def uninstall() -> None:
-    """Restore the original ``threading`` lock factories."""
+    """Restore the original ``threading`` synchronization factories."""
     global _installed_runtime
     threading.Lock = _original_lock  # type: ignore[assignment]
     threading.RLock = _original_rlock  # type: ignore[assignment]
+    threading.Semaphore = _original_semaphore  # type: ignore[assignment]
+    threading.BoundedSemaphore = _original_bounded_semaphore  # type: ignore[assignment]
     _installed_runtime = None
 
 

@@ -174,8 +174,15 @@ class InstrumentationRuntime:
     # -- stack capture ------------------------------------------------------------------
 
     def capture_stack(self) -> CallStack:
-        """Capture the calling thread's stack, bounded by the configured depth."""
-        stack = CallStack.capture(skip=1, limit=self.dimmunix.config.max_stack_depth)
+        """Capture the calling thread's stack, bounded by the configured depth.
+
+        Goes through the per-call-site capture cache
+        (:meth:`CallStack.capture_cached`): repeated acquisitions from the
+        same call path reuse one memoized stack instead of rebuilding and
+        rehashing it — the dominant cost of the acquisition fast path.
+        """
+        stack = CallStack.capture_cached(
+            skip=1, limit=self.dimmunix.config.max_stack_depth)
         if not stack:
             # Degenerate case (interactive shell, C callback): synthesize a
             # one-frame stack so signatures remain well formed.

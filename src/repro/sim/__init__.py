@@ -20,7 +20,8 @@ deadlock counterexamples, and checks the paper's immunity claim over the
 whole bounded schedule space instead of one lucky seed.
 """
 
-from .actions import Acquire, Compute, Log, Release, TryAcquire, call_site
+from .actions import (Acquire, AcquireRead, Compute, Log, Release,
+                      TryAcquire, call_site)
 from .aio import (AioSimLock, alog, asleep, async_program,
                   aio_lock_order_program, aio_philosopher_program,
                   build_aio_philosophers, build_aio_two_lock_inversion,
@@ -29,7 +30,7 @@ from .backends import (DimmunixBackend, NullBackend, SchedulerBackend)
 from .explore import (DeadlockFinding, ExplorationResult, Explorer,
                       ImmunityChecker, ImmunityReport, SCENARIOS,
                       build_philosophers, build_two_lock_inversion)
-from .locks import SimLock
+from .locks import SimLock, SimRWLock, SimSemaphore
 from .result import SimResult
 from .schedule import (FirstReadyPolicy, RandomPolicy, ReplayPolicy,
                        SchedulePolicy, ScheduleTrace)
@@ -39,6 +40,7 @@ from .programs import (lock_order_program, philosopher_program,
 
 __all__ = [
     "Acquire",
+    "AcquireRead",
     "AioSimLock",
     "Compute",
     "DeadlockFinding",
@@ -58,6 +60,8 @@ __all__ = [
     "SchedulerBackend",
     "ScheduleTrace",
     "SimLock",
+    "SimRWLock",
+    "SimSemaphore",
     "SimResult",
     "SimScheduler",
     "SimThread",

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
 from ..core.callstack import CallStack
+from ..core.signature import EXCLUSIVE, SHARED
 
 
 def call_site(*labels: str) -> CallStack:
@@ -37,13 +38,25 @@ def _as_stack(site: Union[CallStack, Sequence[str], None],
 
 @dataclass
 class Acquire:
-    """Acquire ``lock`` (blocking) at the given call site."""
+    """Acquire ``lock`` (blocking) at the given call site.
+
+    ``mode`` selects the acquisition semantics on capacity-aware
+    resources: :data:`~repro.core.signature.EXCLUSIVE` (mutex ownership,
+    one semaphore permit, rwlock writer) or
+    :data:`~repro.core.signature.SHARED` (rwlock reader).
+    """
 
     lock: "SimLock"  # noqa: F821 - forward reference, resolved at runtime
     site: Union[CallStack, Sequence[str], None] = None
+    mode: str = EXCLUSIVE
 
     def stack(self) -> CallStack:
         return _as_stack(self.site, f"acquire-{self.lock.name}:0")
+
+
+def AcquireRead(lock, site: Union[CallStack, Sequence[str], None] = None) -> Acquire:
+    """Shared (reader-side) acquisition of a :class:`~repro.sim.locks.SimRWLock`."""
+    return Acquire(lock, site, mode=SHARED)
 
 
 @dataclass
@@ -56,6 +69,7 @@ class TryAcquire:
 
     lock: "SimLock"  # noqa: F821
     site: Union[CallStack, Sequence[str], None] = None
+    mode: str = EXCLUSIVE
 
     def stack(self) -> CallStack:
         return _as_stack(self.site, f"tryacquire-{self.lock.name}:0")

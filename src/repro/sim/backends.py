@@ -21,12 +21,19 @@ from ..core.config import DimmunixConfig
 from ..core.dimmunix import Dimmunix
 from ..core.history import History
 from ..core.runtime_api import RuntimeCore
+from ..core.signature import EXCLUSIVE
 from ..util.clock import VirtualClock
 from .result import StallRecord
 
 
 class SchedulerBackend:
-    """Interface between the scheduler and an avoidance policy."""
+    """Interface between the scheduler and an avoidance policy.
+
+    ``request``/``acquired`` carry the resource semantics of the operation
+    (acquisition ``mode`` and the resource's permit ``capacity``) so
+    engine-backed backends can model semaphores and rwlocks; backends that
+    only understand mutexes may simply ignore both keywords.
+    """
 
     name = "abstract"
 
@@ -36,11 +43,13 @@ class SchedulerBackend:
     def on_thread_added(self, thread_id: int) -> None:
         """Called when a simulated thread is registered."""
 
-    def request(self, thread_id: int, lock_id: int, stack: CallStack) -> bool:
+    def request(self, thread_id: int, lock_id: int, stack: CallStack,
+                mode: str = EXCLUSIVE, capacity: int = 1) -> bool:
         """Return True for GO, False for YIELD."""
         raise NotImplementedError
 
-    def acquired(self, thread_id: int, lock_id: int, stack: CallStack) -> None:
+    def acquired(self, thread_id: int, lock_id: int, stack: CallStack,
+                 mode: str = EXCLUSIVE, capacity: int = 1) -> None:
         """Record a successful acquisition."""
 
     def release(self, thread_id: int, lock_id: int) -> List[int]:
@@ -86,7 +95,8 @@ class NullBackend(SchedulerBackend):
 
     name = "none"
 
-    def request(self, thread_id: int, lock_id: int, stack: CallStack) -> bool:
+    def request(self, thread_id: int, lock_id: int, stack: CallStack,
+                mode: str = EXCLUSIVE, capacity: int = 1) -> bool:
         return True
 
 
@@ -136,11 +146,15 @@ class DimmunixBackend(SchedulerBackend):
 
     # -- lock protocol ------------------------------------------------------------------
 
-    def request(self, thread_id: int, lock_id: int, stack: CallStack) -> bool:
-        return self.core.request(thread_id, lock_id, stack).is_go
+    def request(self, thread_id: int, lock_id: int, stack: CallStack,
+                mode: str = EXCLUSIVE, capacity: int = 1) -> bool:
+        return self.core.request(thread_id, lock_id, stack,
+                                 mode=mode, capacity=capacity).is_go
 
-    def acquired(self, thread_id: int, lock_id: int, stack: CallStack) -> None:
-        self.core.acquired(thread_id, lock_id, stack)
+    def acquired(self, thread_id: int, lock_id: int, stack: CallStack,
+                 mode: str = EXCLUSIVE, capacity: int = 1) -> None:
+        self.core.acquired(thread_id, lock_id, stack,
+                           mode=mode, capacity=capacity)
 
     def release(self, thread_id: int, lock_id: int) -> List[int]:
         return self.core.release(thread_id, lock_id)

@@ -43,7 +43,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..core.errors import ReplayDivergenceError
 from .aio import build_aio_philosophers, build_aio_two_lock_inversion
 from .backends import NullBackend, SchedulerBackend
-from .programs import lock_order_program, philosopher_program
+from .locks import SimRWLock, SimSemaphore
+from .programs import (lock_order_program, philosopher_program,
+                       rwlock_upgrade_program, sem_pool_program)
 from .result import SimResult
 from .schedule import (RandomPolicy, ReplayPolicy, SchedulePolicy,
                        ScheduleTrace, lock_footprint)
@@ -686,14 +688,51 @@ def build_philosophers(backend: SchedulerBackend, seats: int = 3,
     return scheduler
 
 
+def build_sem_exhaustion_cycle(backend: SchedulerBackend, permits: int = 2,
+                               workers: int = 2) -> SimScheduler:
+    """Permit exhaustion: ``workers`` workers each draining ``permits``
+    permits, one at a time, from a ``permits``-permit semaphore.
+
+    Every worker can grab one permit and block on its second — a deadlock
+    cycle through the pool's *holders*, invisible to a single-owner
+    resource model.
+    """
+    scheduler = SimScheduler(backend=backend)
+    pool = scheduler.register_lock(SimSemaphore(permits, name="pool"))
+    for worker in range(workers):
+        scheduler.add_thread(
+            sem_pool_program(pool, f"w{worker}", permits=permits),
+            name=f"worker-{worker}")
+    return scheduler
+
+
+def build_rwlock_upgrade_inversion(backend: SchedulerBackend,
+                                   upgraders: int = 2) -> SimScheduler:
+    """Two readers that both upgrade to a write hold while still reading.
+
+    Each upgrader's write acquisition waits on the other reader — the
+    rwlock upgrade inversion.
+    """
+    scheduler = SimScheduler(backend=backend)
+    rwlock = scheduler.register_lock(SimRWLock(name="rw"))
+    for index in range(upgraders):
+        scheduler.add_thread(rwlock_upgrade_program(rwlock, f"t{index}"),
+                             name=f"upgrader-{index}")
+    return scheduler
+
+
 #: Scenario registry used by replay fixtures and the harness matrix.
-#: Includes both threaded (generator-program) and asyncio
-#: (coroutine-program) scenarios — the explorer treats them identically,
-#: since coroutines drive the scheduler through the same ``send`` protocol.
+#: Includes threaded (generator-program), asyncio (coroutine-program),
+#: and multi-holder-resource scenarios — the explorer treats them
+#: identically, since coroutines drive the scheduler through the same
+#: ``send`` protocol and capacity-aware resources through the same
+#: backend protocol.
 SCENARIOS: Dict[str, Callable[[SchedulerBackend], SimScheduler]] = {
     "two-lock-inversion": build_two_lock_inversion,
     "philosophers-3": lambda backend: build_philosophers(backend, seats=3),
     "aio-two-lock-inversion": build_aio_two_lock_inversion,
     "aio-philosophers-3":
         lambda backend: build_aio_philosophers(backend, seats=3),
+    "sem-exhaustion-cycle": build_sem_exhaustion_cycle,
+    "rwlock-upgrade-inversion": build_rwlock_upgrade_inversion,
 }

@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Iterable, List, Optional, Sequence
 
+from ..core.signature import EXCLUSIVE, SHARED
 from .actions import Acquire, Compute, Log, Release, call_site
 from .locks import SimLock
 
@@ -81,6 +82,54 @@ def two_phase_program(locks: Sequence[SimLock], order: Sequence[int], label: str
             yield Compute(hold_time)
         for lock in reversed(taken):
             yield Release(lock)
+
+    return program
+
+
+def sem_pool_program(pool: SimLock, label: str, permits: int = 2,
+                     hold_time: float = 0.0) -> Callable[[], Iterable]:
+    """A worker draining ``permits`` permits from a shared pool, one by one.
+
+    Two workers each needing two permits from a two-permit
+    :class:`~repro.sim.locks.SimSemaphore` reproduce the classic
+    permit-exhaustion deadlock: each grabs one permit and blocks forever
+    on its second — a wait-for cycle through the pool's *holders* that a
+    single-owner resource model cannot even express.
+    """
+
+    def program():
+        for step in range(permits):
+            yield Acquire(pool, call_site(f"take:{step}", f"pool:{label}",
+                                          "main:0"))
+            if hold_time:
+                yield Compute(hold_time)
+        for _step in range(permits):
+            yield Release(pool)
+        yield Log(f"{label} drained and refilled the pool")
+
+    return program
+
+
+def rwlock_upgrade_program(rwlock: SimLock, label: str,
+                           read_time: float = 0.0) -> Callable[[], Iterable]:
+    """A reader that upgrades to a write hold while still holding its read.
+
+    Two concurrent upgraders deadlock: each one's write acquisition waits
+    for the *other* reader to leave, and neither ever does — the
+    writer-starves-reader inversion of the rwlock world.  Release order is
+    LIFO (write hold first, then the original read hold).
+    """
+
+    def program():
+        yield Acquire(rwlock, call_site("read:21", f"cachesync:{label}",
+                                        "main:0"), mode=SHARED)
+        if read_time:
+            yield Compute(read_time)
+        yield Acquire(rwlock, call_site("upgrade:22", f"cachesync:{label}",
+                                        "main:0"), mode=EXCLUSIVE)
+        yield Release(rwlock)  # the write hold
+        yield Release(rwlock)  # the original read hold
+        yield Log(f"{label} upgraded and published")
 
     return program
 

@@ -23,6 +23,7 @@ from enum import Enum
 from typing import Callable, Dict, Iterable, List, Optional
 
 from ..core.errors import SimDeadlockError, SimulationError
+from ..core.signature import EXCLUSIVE
 from ..util.clock import VirtualClock
 from .actions import Acquire, Compute, Log, Release, TryAcquire
 from .backends import NullBackend, SchedulerBackend
@@ -312,7 +313,9 @@ class SimScheduler:
     def _do_acquire(self, thread: SimThread, action: Acquire) -> None:
         lock = action.lock
         stack = action.stack()
-        go = self.backend.request(thread.thread_id, lock.lock_id, stack)
+        mode = action.mode
+        go = self.backend.request(thread.thread_id, lock.lock_id, stack,
+                                  mode=mode, capacity=lock.capacity)
         if not go:
             if thread.pending is None:
                 thread.yields += 1
@@ -320,11 +323,11 @@ class SimScheduler:
             thread.pending = action
             thread.state = ThreadState.YIELDING
             return
-        if lock.available or lock.held_by(thread.thread_id):
-            self._grant(thread, lock, stack)
+        if lock.can_grant(thread.thread_id, mode):
+            self._grant(thread, lock, stack, mode)
             thread.pending = None
             return
-        # GO but the lock is busy: block on the lock's FIFO queue.
+        # GO but the resource is busy: block on its FIFO queue.
         if thread.pending is None or thread.state is not ThreadState.BLOCKED:
             thread.blocks += 1
             self.result.blocks += 1
@@ -335,9 +338,11 @@ class SimScheduler:
     def _do_try_acquire(self, thread: SimThread, action: TryAcquire) -> None:
         lock = action.lock
         stack = action.stack()
-        go = self.backend.request(thread.thread_id, lock.lock_id, stack)
-        if go and (lock.available or lock.held_by(thread.thread_id)):
-            self._grant(thread, lock, stack)
+        mode = action.mode
+        go = self.backend.request(thread.thread_id, lock.lock_id, stack,
+                                  mode=mode, capacity=lock.capacity)
+        if go and lock.can_grant(thread.thread_id, mode):
+            self._grant(thread, lock, stack, mode)
             thread.last_result = True
         else:
             self.backend.cancel(thread.thread_id, lock.lock_id)
@@ -345,12 +350,14 @@ class SimScheduler:
             self.result.failed_trylocks += 1
         thread.pending = None
 
-    def _grant(self, thread: SimThread, lock: SimLock, stack) -> None:
-        lock.grant(thread.thread_id)
+    def _grant(self, thread: SimThread, lock: SimLock, stack,
+               mode: str = EXCLUSIVE) -> None:
+        lock.grant(thread.thread_id, mode)
         thread.held[lock.lock_id] = thread.held.get(lock.lock_id, 0) + 1
         thread.lock_ops += 1
         self.result.lock_ops += 1
-        self.backend.acquired(thread.thread_id, lock.lock_id, stack)
+        self.backend.acquired(thread.thread_id, lock.lock_id, stack,
+                              mode=mode, capacity=lock.capacity)
 
     def _do_release(self, thread: SimThread, action: Release) -> None:
         lock = action.lock
@@ -374,7 +381,14 @@ class SimScheduler:
             self.wake_thread(thread_id)
 
     def _hand_over(self, lock: SimLock) -> None:
-        """Grant a newly freed lock to the next blocked waiter, if any."""
+        """Grant freed capacity to blocked waiters, FIFO.
+
+        Mutexes hand over to at most one waiter per release; capacity-aware
+        resources keep granting from the queue front while grants remain
+        possible (e.g. several readers unblock when a writer leaves).  The
+        scan stops at the first waiter whose grant is not possible, which
+        preserves FIFO fairness.
+        """
         while True:
             waiter_id = lock.pop_waiter()
             if waiter_id is None:
@@ -385,12 +399,17 @@ class SimScheduler:
             action = waiter.pending
             if not isinstance(action, (Acquire, TryAcquire)) or action.lock is not lock:
                 continue
-            self._grant(waiter, lock, action.stack())
+            mode = action.mode
+            if not lock.can_grant(waiter_id, mode):
+                # Capacity exhausted again: put the waiter back at the
+                # front so FIFO order is preserved, and stop scanning.
+                lock.waiters.appendleft(waiter_id)
+                return
+            self._grant(waiter, lock, action.stack(), mode)
             waiter.pending = None
             waiter.state = ThreadState.READY
             waiter.ready_at = max(waiter.ready_at, self.clock.now())
             self._prefetch(waiter)
-            return
 
     def _declare_stall(self) -> None:
         stall = StallRecord(virtual_time=self.clock.now())

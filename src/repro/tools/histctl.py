@@ -12,43 +12,128 @@ histories when distributing immunity.  This small CLI covers them::
     python -m repro.tools.histctl remove app.history <fingerprint>
     python -m repro.tools.histctl export app.history signatures.json
     python -m repro.tools.histctl merge app.history vendor-signatures.json
+
+Read-only commands (``list``, ``show``) load the file *leniently*: a
+record whose kind (or any other field) this build does not understand —
+say, a history written by a newer release with additional resource
+kinds — is rendered from its raw JSON instead of aborting the whole
+listing.  Mutating commands still refuse to operate on files they cannot
+fully parse, because a partial load followed by a save would silently
+drop the unparsable records.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
+from ..core.errors import DimmunixError, SignatureError
 from ..core.history import History
+from ..core.signature import EXCLUSIVE, Signature
+
+
+@dataclass
+class RawRecord:
+    """A history record this build could not turn into a :class:`Signature`.
+
+    Rendered from the raw JSON so listings stay complete even for files
+    written by newer releases (unknown kinds, future fields).
+    """
+
+    kind: str = "?"
+    fingerprint: str = "?"
+    stacks: List = field(default_factory=list)
+    matching_depth: str = "?"
+    disabled: str = "?"
+    avoidance_count: str = "?"
+    error: str = ""
 
 
 def _load(path: str) -> History:
     return History(path=path)
 
 
+def _load_lenient(path: str) -> Tuple[List[Signature], List[RawRecord]]:
+    """Read a history file, keeping unparsable records as raw rows."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    records = payload.get("signatures", []) if isinstance(payload, dict) else []
+    if not isinstance(records, list):
+        records = []
+    signatures: List[Signature] = []
+    raw: List[RawRecord] = []
+    for record in records:
+        try:
+            signatures.append(Signature.from_dict(record))
+        except SignatureError as exc:
+            if not isinstance(record, dict):
+                record = {}
+            raw.append(RawRecord(
+                kind=str(record.get("kind", "?")),
+                fingerprint=str(record.get("fingerprint", "?")),
+                stacks=record.get("stacks") or [],
+                matching_depth=str(record.get("matching_depth", "?")),
+                disabled=str(record.get("disabled", "?")),
+                avoidance_count=str(record.get("avoidance_count", "?")),
+                error=str(exc)))
+    return signatures, raw
+
+
+def _modes_column(signature: Signature) -> str:
+    """Compact acquisition-mode summary, e.g. ``excl`` or ``2sh+1ex``."""
+    shared = sum(1 for mode in signature.modes if mode != EXCLUSIVE)
+    if shared == 0:
+        return "excl"
+    exclusive = len(signature.modes) - shared
+    if exclusive == 0:
+        return f"{shared}sh"
+    return f"{shared}sh+{exclusive}ex"
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
-    history = _load(args.history)
-    if len(history) == 0:
+    signatures, raw = _load_lenient(args.history)
+    if not signatures and not raw:
         print("(empty history)")
         return 0
-    print(f"{'fingerprint':<18} {'kind':<11} {'threads':>7} {'depth':>5} "
-          f"{'avoided':>8} {'disabled':>8}")
-    for signature in sorted(history, key=lambda s: s.fingerprint):
-        print(f"{signature.fingerprint:<18} {signature.kind:<11} "
+    print(f"{'fingerprint':<18} {'kind':<20} {'threads':>7} {'depth':>5} "
+          f"{'modes':>9} {'avoided':>8} {'disabled':>8}")
+    for signature in sorted(signatures, key=lambda s: s.fingerprint):
+        print(f"{signature.fingerprint:<18} {signature.kind:<20} "
               f"{signature.size:>7} {signature.matching_depth:>5} "
+              f"{_modes_column(signature):>9} "
               f"{signature.avoidance_count:>8} {str(signature.disabled):>8}")
+    for record in raw:
+        print(f"{record.fingerprint:<18} {record.kind:<20} "
+              f"{len(record.stacks):>7} {record.matching_depth:>5} "
+              f"{'?':>9} {record.avoidance_count:>8} {record.disabled:>8}")
+    if raw:
+        print(f"({len(raw)} record(s) of unrecognized kind; shown from raw "
+              "JSON — a newer histctl can render them fully)")
     return 0
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
-    history = _load(args.history)
-    signature = history.get(args.fingerprint)
-    if signature is None:
-        print(f"no signature with fingerprint {args.fingerprint}", file=sys.stderr)
-        return 1
-    print(signature.describe())
-    return 0
+    signatures, raw = _load_lenient(args.history)
+    for signature in signatures:
+        if signature.fingerprint == args.fingerprint:
+            print(signature.describe())
+            return 0
+    for record in raw:
+        if record.fingerprint == args.fingerprint:
+            print(f"{record.kind} signature {record.fingerprint} "
+                  f"(depth={record.matching_depth}, "
+                  f"threads={len(record.stacks)}) [unrecognized kind: "
+                  f"{record.error}]")
+            for index, stack in enumerate(record.stacks):
+                print(f"  stack {index}:")
+                for frame in (stack if isinstance(stack, list) else [stack]):
+                    print(f"    {frame}")
+            return 0
+    print(f"no signature with fingerprint {args.fingerprint}", file=sys.stderr)
+    return 1
 
 
 def _cmd_set_enabled(args: argparse.Namespace, enabled: bool) -> int:
@@ -136,7 +221,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (DimmunixError, OSError, json.JSONDecodeError) as exc:
+        # Mutating commands refuse partially-parsable files (a lossy
+        # load-then-save would drop records); report cleanly, no traceback.
+        print(f"histctl: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

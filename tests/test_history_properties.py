@@ -1,6 +1,6 @@
 """Property tests for History persistence (save/load/merge, corruption,
-concurrent autosave) — the edge cases the deadlock "immune memory"
-depends on surviving."""
+concurrent autosave, v1→v2 format migration) — the edge cases the
+deadlock "immune memory" depends on surviving."""
 
 from __future__ import annotations
 
@@ -15,7 +15,8 @@ from hypothesis import given, settings, strategies as st
 from repro.core.callstack import CallStack, Frame
 from repro.core.errors import HistoryError, HistoryFormatError
 from repro.core.history import History
-from repro.core.signature import DEADLOCK, STARVATION, Signature
+from repro.core.signature import (DEADLOCK, EXCLUSIVE, SHARED, STARVATION,
+                                  Signature)
 
 _name = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
 
@@ -30,6 +31,27 @@ signatures = st.builds(
     kind=st.sampled_from([DEADLOCK, STARVATION]),
     matching_depth=st.integers(min_value=1, max_value=8),
 )
+
+
+@st.composite
+def v2_signatures(draw):
+    """Signatures with explicit per-stack acquisition modes (v2 shape)."""
+    stack_list = draw(st.lists(stacks, min_size=1, max_size=4))
+    modes = draw(st.lists(st.sampled_from([EXCLUSIVE, SHARED]),
+                          min_size=len(stack_list), max_size=len(stack_list)))
+    return Signature(stack_list, kind=draw(st.sampled_from([DEADLOCK,
+                                                            STARVATION])),
+                     matching_depth=draw(st.integers(min_value=1, max_value=8)),
+                     modes=modes)
+
+
+def _as_v1_payload(history: History) -> dict:
+    """Downgrade a history's serialization to the v1 on-disk shape."""
+    payload = history.to_dict()
+    payload["format_version"] = 1
+    for record in payload["signatures"]:
+        record.pop("modes", None)
+    return payload
 
 
 def _fingerprints(history):
@@ -72,7 +94,7 @@ class TestSaveLoadRoundTrip:
             with open(path, "r", encoding="utf-8") as handle:
                 first = handle.read()
             payload = json.loads(first)
-            assert payload["format_version"] == 1
+            assert payload["format_version"] == 2
             assert len(payload["signatures"]) == len(history)
             history.save(path)
             with open(path, "r", encoding="utf-8") as handle:
@@ -107,6 +129,91 @@ class TestMergeProperties:
         history.merge(copies)
         for signature in history.signatures():
             assert signature.occurrence_count >= 2
+
+
+class TestFormatMigration:
+    """v1 histories (no modes, format_version 1) must keep loading and
+    keep their identities; v2 histories must round-trip modes exactly."""
+
+    @given(st.lists(signatures, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_v1_payload_loads_and_matches_v2_identities(self, sigs):
+        import tempfile
+        source = History(path=None, autosave=False)
+        for signature in sigs:
+            source.add(signature)
+        payload = _as_v1_payload(source)
+        with tempfile.TemporaryDirectory() as workdir:
+            path = os.path.join(workdir, "v1.history")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            restored = History(path=path, autosave=False)
+        # All-exclusive signatures serialized without modes (the v1 shape)
+        # reload to the same fingerprints — old immunity still matches.
+        assert _fingerprints(restored) == _fingerprints(source)
+        for signature in restored.signatures():
+            assert signature.modes == (EXCLUSIVE,) * signature.size
+
+    @given(st.lists(v2_signatures(), max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_v2_round_trip_preserves_modes(self, sigs):
+        import tempfile
+        source = History(path=None, autosave=False)
+        for signature in sigs:
+            source.add(signature)
+        with tempfile.TemporaryDirectory() as workdir:
+            path = os.path.join(workdir, "v2.history")
+            source.save(path)
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            assert payload["format_version"] == 2
+            restored = History(path=path, autosave=False)
+        assert _fingerprints(restored) == _fingerprints(source)
+        for signature in source.signatures():
+            twin = restored.get(signature.fingerprint)
+            assert twin is not None
+            assert twin.modes == signature.modes
+            assert twin == signature
+
+    @given(st.lists(signatures, max_size=5), st.lists(v2_signatures(), max_size=5))
+    @settings(max_examples=25, deadline=None)
+    def test_merge_across_mixed_version_files_is_union(self, old_sigs, new_sigs):
+        import tempfile
+        v1_history = History(path=None, autosave=False)
+        for signature in old_sigs:
+            v1_history.add(signature)
+        v2_history = History(path=None, autosave=False)
+        for signature in new_sigs:
+            v2_history.add(signature)
+        with tempfile.TemporaryDirectory() as workdir:
+            v1_path = os.path.join(workdir, "v1.history")
+            v2_path = os.path.join(workdir, "v2.history")
+            with open(v1_path, "w", encoding="utf-8") as handle:
+                json.dump(_as_v1_payload(v1_history), handle)
+            v2_history.save(v2_path)
+            merged = History(path=None, autosave=False)
+            merged.load(v1_path)
+            merged.load(v2_path)
+        expected = _fingerprints(v1_history) | _fingerprints(v2_history)
+        assert _fingerprints(merged) == expected
+        # Merging either file again is idempotent.
+        with tempfile.TemporaryDirectory() as workdir:
+            again = os.path.join(workdir, "again.history")
+            v2_history.save(again)
+            assert merged.merge(History.import_signatures(again)) == 0
+
+    @given(v2_signatures())
+    @settings(max_examples=25, deadline=None)
+    def test_shared_modes_never_survive_a_v1_downgrade_silently(self, signature):
+        """Stripping modes (a v1 writer) changes the fingerprint of any
+        shared-mode signature — downgrades cannot silently alias."""
+        record = signature.to_dict()
+        record.pop("modes")
+        downgraded = Signature.from_dict(record)
+        if signature.multiholder:
+            assert downgraded.fingerprint != signature.fingerprint
+        else:
+            assert downgraded.fingerprint == signature.fingerprint
 
 
 class TestCorruptAndPartialFiles:

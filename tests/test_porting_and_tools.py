@@ -126,6 +126,64 @@ class TestHistctl:
         assert histctl(["remove", path, fingerprint]) == 0
         assert len(History(path=path)) == 0
 
+    @pytest.fixture
+    def v2_file_with_unknown_kind(self, tmp_path):
+        """A v2 history mixing a loadable shared-mode record with one of a
+        kind this build does not know (written by a 'newer' release)."""
+        known = Signature([
+            CallStack([Frame("read", "cache.py", 21)]),
+            CallStack([Frame("read", "cache.py", 22)]),
+        ], matching_depth=2, modes=["shared", "shared"])
+        payload = {
+            "format_version": 2,
+            "signatures": [
+                known.to_dict(),
+                {"kind": "resource-exhaustion",
+                 "stacks": [["grab|pool.py|3"]],
+                 "modes": ["exclusive"],
+                 "matching_depth": 2,
+                 "fingerprint": "feedfacecafebeef"},
+            ],
+        }
+        path = str(tmp_path / "v2.history")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return path, known.fingerprint
+
+    def test_list_renders_unknown_kinds_gracefully(self, v2_file_with_unknown_kind,
+                                                   capsys):
+        path, known_fp = v2_file_with_unknown_kind
+        assert histctl(["list", path]) == 0
+        output = capsys.readouterr().out
+        assert known_fp in output
+        assert "resource-exhaustion" in output
+        assert "unrecognized" in output
+
+    def test_list_shows_shared_modes(self, v2_file_with_unknown_kind, capsys):
+        path, known_fp = v2_file_with_unknown_kind
+        assert histctl(["list", path]) == 0
+        output = capsys.readouterr().out
+        assert "2sh" in output  # the shared-mode column for the rwlock record
+
+    def test_show_renders_raw_record(self, v2_file_with_unknown_kind, capsys):
+        path, _ = v2_file_with_unknown_kind
+        assert histctl(["show", path, "feedfacecafebeef"]) == 0
+        output = capsys.readouterr().out
+        assert "resource-exhaustion" in output
+        assert "grab|pool.py|3" in output
+
+    def test_mutating_command_refuses_partial_files(self, v2_file_with_unknown_kind,
+                                                    capsys):
+        """disable would drop the unknown record on save; it must refuse
+        with a clean error, not a traceback."""
+        path, known_fp = v2_file_with_unknown_kind
+        assert histctl(["disable", path, known_fp]) == 1
+        err = capsys.readouterr().err
+        assert "histctl:" in err
+        # The file is untouched: both records still present.
+        with open(path, encoding="utf-8") as handle:
+            assert len(json.load(handle)["signatures"]) == 2
+
     def test_export_and_merge(self, history_file, tmp_path):
         path, fingerprint = history_file
         export_path = str(tmp_path / "sigs.json")
