@@ -43,3 +43,20 @@ def test_ablations(once):
     by_mode = {row.immunity: row for row in immunity}
     assert by_mode["strong"].restarts_requested >= 0
     assert by_mode["weak"].deadlocks_over_runs <= by_mode["weak"].runs
+
+
+if __name__ == "__main__":
+    import sys
+
+    from quickbench import bench_main
+
+    def _quick():
+        latency = run_detection_latency(intervals=(0.05,), trials=1)
+        allow = run_allow_edge_ablation()
+        immunity = run_immunity_mode_ablation(runs=2)
+        print(format_table(latency, "Ablation (quick): detection latency"))
+        print(format_table(allow, "Ablation (quick): allow-edge matching"))
+        print(format_table(immunity, "Ablation (quick): immunity modes"))
+        return {"latency": latency, "allow": allow, "immunity": immunity}
+
+    sys.exit(bench_main("ablation", full=bench_ablations, quick=_quick))

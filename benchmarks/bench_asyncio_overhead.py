@@ -193,4 +193,19 @@ def test_asyncio_overhead(once):
 
 
 if __name__ == "__main__":
-    print(format_rows(run_grid()))
+    import sys
+
+    from quickbench import bench_main
+
+    def _full():
+        rows = run_grid()
+        print(format_rows(rows))
+        return rows
+
+    def _quick():
+        rows = run_grid(task_counts=(4,), history_sizes=(0, 100),
+                        ops_per_task=300)
+        print(format_rows(rows))
+        return rows
+
+    sys.exit(bench_main("asyncio_overhead", full=_full, quick=_quick))

@@ -81,4 +81,18 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    from quickbench import bench_main
+
+    def _full():
+        rows = run_benchmark()
+        print(format_table(rows, title="Schedule exploration throughput"))
+        return rows
+
+    def _quick():
+        rows = run_benchmark(max_runs=150, random_runs=40)
+        print(format_table(rows, title="Schedule exploration (quick bounds)"))
+        return rows
+
+    sys.exit(bench_main("explore", full=_full, quick=_quick))

@@ -36,3 +36,16 @@ def test_figure4_overhead_is_modest(once):
         by_app.setdefault(row.application, []).append(row.overhead_percent)
     for application, overheads in by_app.items():
         assert max(overheads) - min(overheads) < 35.0, (application, overheads)
+
+
+if __name__ == "__main__":
+    import sys
+
+    from quickbench import bench_main
+
+    def _quick():
+        rows = run_figure4(history_sizes=(32,), threads=3, cycles=2, repeats=1)
+        print(format_table(rows, "Figure 4 (quick): overhead vs history size"))
+        return rows
+
+    sys.exit(bench_main("fig4_real_apps", full=bench_figure4, quick=_quick))

@@ -30,3 +30,17 @@ def test_figure5_scales_to_1024_threads(once):
         # baseline at every thread count (paper: <= 17.5% loss; allow noise).
         assert row.dimmunix_throughput > 0
         assert row.overhead_percent < 50.0, row.as_dict()
+
+
+if __name__ == "__main__":
+    import sys
+
+    from quickbench import bench_main
+
+    def _quick():
+        rows = run_figure5(thread_counts=(2, 8, 32), real_thread_limit=8,
+                           iterations=20)
+        print(format_table(rows, "Figure 5 (quick): throughput vs threads"))
+        return rows
+
+    sys.exit(bench_main("fig5_threads", full=bench_figure5, quick=_quick))

@@ -31,3 +31,21 @@ def test_figure6_overhead_absorbed_by_delays(once):
     assert vary_out[0].baseline_throughput > vary_out[-1].baseline_throughput
     # At the largest delta_out the two curves should be close (paper shape).
     assert vary_out[-1].overhead_percent < 30.0, vary_out[-1].as_dict()
+
+
+if __name__ == "__main__":
+    import sys
+
+    from quickbench import bench_main
+
+    def _quick():
+        series = run_figure6(threads=4, iterations=15,
+                             delta_in_values=(0.0, 1e-4),
+                             delta_out_values=(0.0, 1e-4))
+        print(format_table(series["vary_delta_in"],
+                           "Figure 6a (quick): vary delta_in"))
+        print(format_table(series["vary_delta_out"],
+                           "Figure 6b (quick): vary delta_out"))
+        return series
+
+    sys.exit(bench_main("fig6_delays", full=bench_figure6, quick=_quick))

@@ -29,3 +29,17 @@ def test_figure7_history_size_has_flat_cost(once):
     # vary by only a few percent; wall-clock noise warrants a wide band).
     for row in rows:
         assert row.dimmunix_throughput > 0.5 * mean, row.as_dict()
+
+
+if __name__ == "__main__":
+    import sys
+
+    from quickbench import bench_main
+
+    def _quick():
+        rows = run_figure7(history_sizes=(2, 32), depths=(4,), threads=4,
+                           iterations=15)
+        print(format_table(rows, "Figure 7 (quick): throughput vs history"))
+        return rows
+
+    sys.exit(bench_main("fig7_history", full=bench_figure7, quick=_quick))

@@ -27,3 +27,16 @@ def test_figure8_breakdown_is_cumulative(once):
         # stages are added (allowing wall-clock noise).
         assert row.full_throughput <= row.baseline_throughput * 1.25, row.as_dict()
         assert row.full_throughput > 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    from quickbench import bench_main
+
+    def _quick():
+        rows = run_figure8(thread_counts=(8,), iterations=15)
+        print(format_table(rows, "Figure 8 (quick): overhead breakdown"))
+        return rows
+
+    sys.exit(bench_main("fig8_breakdown", full=bench_figure8, quick=_quick))

@@ -38,3 +38,20 @@ def test_figure9_false_positive_shape(once):
     # than Dimmunix at full depth (the paper's order-of-magnitude gap).
     assert gate.overhead_percent >= by_depth[max(by_depth)].overhead_percent
     assert gate.denials > by_depth[max(by_depth)].false_positives
+
+
+if __name__ == "__main__":
+    import sys
+
+    from quickbench import bench_main
+
+    def _quick():
+        rows = run_figure9(threads=8, iterations=15, signatures=16)
+        gate = run_gate_lock_comparison(threads=8, iterations=15,
+                                        signatures=16)
+        print(format_table(rows, "Figure 9 (quick): false-positive overhead"))
+        print(format_table([gate], "Gate-lock baseline (quick)"))
+        return {"figure9": rows, "gate_lock": gate}
+
+    sys.exit(bench_main("fig9_false_positives", full=bench_figure9,
+                        quick=_quick))

@@ -121,4 +121,19 @@ def test_hotpath_scaling(once):
 
 
 if __name__ == "__main__":
-    print(format_rows(run_grid()))
+    import sys
+
+    from quickbench import bench_main
+
+    def _full():
+        rows = run_grid()
+        print(format_rows(rows))
+        return rows
+
+    def _quick():
+        rows = run_grid(thread_counts=(1, 4), history_sizes=(0, 100),
+                        ops_per_thread=500)
+        print(format_rows(rows))
+        return rows
+
+    sys.exit(bench_main("hotpath_scaling", full=_full, quick=_quick))

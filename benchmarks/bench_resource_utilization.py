@@ -31,3 +31,18 @@ def test_resource_utilization(once):
     # Engine state grows with thread count but stays bounded (well under the
     # tens of MB of the Java implementation).
     assert rows[-1].engine_state_bytes < 50 * 1024 * 1024
+
+
+if __name__ == "__main__":
+    import sys
+
+    from quickbench import bench_main
+
+    def _quick():
+        rows = run_resource_utilization(thread_counts=(2, 64), signatures=16,
+                                        iterations=3)
+        print(format_table(rows, "Section 7.4 (quick): resource utilization"))
+        return rows
+
+    sys.exit(bench_main("resource_utilization", full=bench_resources,
+                        quick=_quick))

@@ -80,10 +80,10 @@ async def _hammer_aio_sems(tasks: int, make_sem) -> float:
     return time.perf_counter() - started
 
 
-def run_grid():
+def run_grid(thread_counts=THREAD_COUNTS, task_counts=TASK_COUNTS):
     """Run both grids; returns a list of result dictionaries."""
     rows = []
-    for workers in THREAD_COUNTS:
+    for workers in thread_counts:
         native = _hammer_thread_sems(
             workers, lambda i: threading.Semaphore(PERMITS))
         native_ops = workers * OPS_PER_WORKER / native
@@ -98,7 +98,7 @@ def run_grid():
         rows.append({"runtime": "thread", "workers": workers,
                      "native_ops": native_ops, "tracked_ops": tracked_ops,
                      "overhead_x": native_ops / tracked_ops})
-    for tasks in TASK_COUNTS:
+    for tasks in task_counts:
         native = asyncio.run(_hammer_aio_sems(
             tasks, lambda i: asyncio.Semaphore(PERMITS)))
         native_ops = tasks * OPS_PER_WORKER / native
@@ -147,4 +147,18 @@ def test_semaphore_overhead(once):
 
 
 if __name__ == "__main__":
-    print(format_rows(run_grid()))
+    import sys
+
+    from quickbench import bench_main
+
+    def _full():
+        rows = run_grid()
+        print(format_rows(rows))
+        return rows
+
+    def _quick():
+        rows = run_grid(thread_counts=(2,), task_counts=(2,))
+        print(format_rows(rows))
+        return rows
+
+    sys.exit(bench_main("semaphore_overhead", full=_full, quick=_quick))

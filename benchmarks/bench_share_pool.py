@@ -1,0 +1,144 @@
+"""History-sharing overhead — publish→install cost of the signature pool.
+
+The sharing subsystem must be invisible on the lock fast path (all I/O
+happens on the monitor cadence, never on acquisitions), so what matters
+is pool mechanics: how fast signatures move from one worker's history to
+another's across each transport, and what a monitor-pass pump costs when
+there is nothing to install (the steady state).
+
+Reported rows:
+
+* ``memory``  — hub publish + pump for N signatures (upper bound: pure
+  pool mechanics, no I/O),
+* ``file``    — shared-log append + poll for N signatures (the
+  serverless transport, advisory locking included),
+* ``daemon``  — socket publish + broadcast + poll round trip for N
+  signatures through a live in-process daemon,
+* ``idle``    — cost of one no-op pump per transport (what every
+  monitor pass pays once the fleet has converged).
+
+Run directly or under pytest-benchmark::
+
+    PYTHONPATH=src python benchmarks/bench_share_pool.py --quick
+    PYTHONPATH=src python -m pytest benchmarks/bench_share_pool.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.callstack import CallStack
+from repro.core.history import History
+from repro.core.signature import Signature
+from repro.share import FileChannel, HistoryServer, MemoryHub, SignaturePool, SocketChannel
+
+SIGNATURES = 200
+
+
+def _signatures(count):
+    return [Signature([CallStack.from_labels([f"site{i}:1", "caller:0"]),
+                       CallStack.from_labels([f"site{i}:2", "caller:0"])])
+            for i in range(count)]
+
+
+def _pooled_pair(make_channel):
+    publisher = SignaturePool(History(path=None, autosave=False),
+                              make_channel())
+    consumer = SignaturePool(History(path=None, autosave=False),
+                             make_channel())
+    return publisher, consumer
+
+
+def _measure(make_channel, count, wait_for=None):
+    """Publish ``count`` signatures on one pool, pump them into another."""
+    publisher, consumer = _pooled_pair(make_channel)
+    sigs = _signatures(count)
+    started = time.perf_counter()
+    for signature in sigs:
+        publisher.history.add(signature)
+    installed = 0
+    deadline = time.monotonic() + 30.0
+    while installed < count and time.monotonic() < deadline:
+        installed += consumer.pump()
+    elapsed = time.perf_counter() - started
+    # The converged steady state: a pump with nothing to deliver.
+    idle_started = time.perf_counter()
+    for _ in range(100):
+        consumer.pump()
+    idle_us = (time.perf_counter() - idle_started) / 100 * 1e6
+    publisher.close()
+    consumer.close()
+    assert installed == count, (installed, count)
+    return {"signatures": count,
+            "publish_install_ops_per_sec": count / elapsed if elapsed else 0.0,
+            "per_signature_us": elapsed / count * 1e6,
+            "idle_pump_us": idle_us}
+
+
+def run_benchmark(count: int = SIGNATURES, tmp_dir: str = None):
+    """All transports; returns a list of result row dictionaries."""
+    import tempfile
+    rows = []
+
+    hub = MemoryHub()
+    rows.append({"transport": "memory", **_measure(hub.channel, count)})
+
+    with tempfile.TemporaryDirectory() as workdir:
+        path = workdir + "/pool.sig"
+        rows.append({"transport": "file",
+                     **_measure(lambda: FileChannel(path), count)})
+
+    server = HistoryServer(host="127.0.0.1", port=0).start()
+    try:
+        rows.append({"transport": "daemon",
+                     **_measure(lambda: SocketChannel(
+                         ("tcp", "127.0.0.1", server.port)), count)})
+    finally:
+        server.stop()
+    return rows
+
+
+def format_rows(rows) -> str:
+    lines = ["transport  signatures  pub+install/s  per-sig (us)  idle pump (us)",
+             "-" * 66]
+    for row in rows:
+        lines.append(f"{row['transport']:>9}  {row['signatures']:>10}  "
+                     f"{row['publish_install_ops_per_sec']:>13.0f}  "
+                     f"{row['per_signature_us']:>12.1f}  "
+                     f"{row['idle_pump_us']:>14.2f}")
+    return "\n".join(lines)
+
+
+def bench_share_pool():
+    rows = run_benchmark()
+    print()
+    print(format_rows(rows))
+    return rows
+
+
+def test_share_pool_throughput(once):
+    rows = once(bench_share_pool)
+    assert len(rows) == 3
+    for row in rows:
+        # Convergence must be fast enough that a monitor-interval pump
+        # (default 100 ms) never becomes the bottleneck of a real fleet.
+        assert row["publish_install_ops_per_sec"] > 50, row
+        assert row["idle_pump_us"] < 50_000, row
+
+
+if __name__ == "__main__":
+    import sys
+
+    from quickbench import bench_main
+
+    def _full():
+        rows = run_benchmark()
+        print(format_rows(rows))
+        return rows
+
+    def _quick():
+        rows = run_benchmark(count=50)
+        print(format_rows(rows))
+        return rows
+
+    sys.exit(bench_main("share_pool", full=_full, quick=_quick))

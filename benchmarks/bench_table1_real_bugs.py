@@ -28,3 +28,13 @@ def test_table1_real_bugs(once):
         assert row.immune_deadlocks == 0, row.name
         assert row.yields_min >= 1, row.name
         assert row.patterns >= 1, row.name
+
+
+if __name__ == "__main__":
+    import sys
+
+    from quickbench import bench_main
+
+    # trials=1 is already the minimal meaningful configuration.
+    sys.exit(bench_main("table1_real_bugs", full=bench_table1,
+                        quick=bench_table1))

@@ -25,3 +25,12 @@ def test_table2_jdk_invitations(once):
         assert row.detection_deadlocks >= 1, row.name
         assert row.immune_deadlocks == 0, row.name
         assert row.yields_min >= 1, row.name
+
+
+if __name__ == "__main__":
+    import sys
+
+    from quickbench import bench_main
+
+    # trials=1 is already the minimal meaningful configuration.
+    sys.exit(bench_main("table2_jdk", full=bench_table2, quick=bench_table2))

@@ -23,7 +23,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from ..core.callstack import CallStack, Frame
+from ..core.callstack import CallStack
 from ..core.signature import EXCLUSIVE
 from ..sim.backends import SchedulerBackend
 from ..sim.result import StallRecord

@@ -41,7 +41,7 @@ class Dimmunix:
                  history: Optional[History] = None,
                  clock: Optional[Clock] = None,
                  deadlock_handler=None, restart_handler=None,
-                 engine_mode: str = "full"):
+                 engine_mode: str = "full", share=None):
         self.config = (config or DimmunixConfig()).validate()
         self.history = history if history is not None else History(
             path=self.config.history_path)
@@ -62,6 +62,11 @@ class Dimmunix:
         #: Default engine-driving layer for adapters that do not supply
         #: their own parker (see :mod:`repro.core.runtime_api`).
         self.runtime_core = RuntimeCore(self)
+        #: Cross-process signature pool (see :mod:`repro.share`), attached
+        #: via the ``share`` argument or :meth:`attach_share`.
+        self.share_pool = None
+        if share is not None:
+            self.attach_share(share)
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -76,11 +81,17 @@ class Dimmunix:
         return self
 
     def stop(self) -> None:
-        """Stop the monitor thread, run a final detection pass, save history."""
+        """Stop the monitor thread, run a final detection pass, save history.
+
+        An attached share pool is flushed and closed: the final detection
+        pass archives (and thus publishes) any last deadlock, so a worker
+        that deadlocks and exits still immunizes the rest of the fleet.
+        """
         if self._monitor_thread is not None:
             self._monitor_thread.stop(final_process=True)
             self._monitor_thread = None
         self._started = False
+        self.detach_share()
         if self.history.path is not None:
             self.history.save()
 
@@ -122,6 +133,44 @@ class Dimmunix:
     def wake(self, thread_ids: List[int]) -> None:
         """Public wrapper around the waker registry (used by lock wrappers)."""
         self._wake_threads(thread_ids)
+
+    # -- history sharing (multi-process immunity) --------------------------------------------
+
+    def attach_share(self, share, sync: bool = True):
+        """Join a cross-process signature pool (see :mod:`repro.share`).
+
+        ``share`` is a spec string (``tcp://host:port``, ``unix://path``,
+        ``file://path``, ``memory://name``, or a bare file path) or an
+        already constructed
+        :class:`~repro.share.channel.HistoryChannel`.  Locally learned
+        signatures publish to the pool the instant the monitor archives
+        them; remote signatures install into the live engine (striped
+        cache index included) on every monitor pass — workers never need
+        a restart to benefit from each other's immunity.
+
+        Returns the attached :class:`~repro.share.pool.SignaturePool`.
+        """
+        from ..share import SignaturePool, open_channel
+
+        if self.share_pool is not None:
+            raise MonitorError("a share pool is already attached; "
+                               "call detach_share() first")
+        channel = open_channel(share)
+        pool = SignaturePool(self.history, channel)
+        if sync:
+            pool.sync()
+        self.share_pool = pool
+        self.monitor.add_process_hook(pool.pump)
+        return pool
+
+    def detach_share(self) -> None:
+        """Leave the signature pool: flush, close the channel, drop the hook."""
+        pool = self.share_pool
+        if pool is None:
+            return
+        self.monitor.remove_process_hook(pool.pump)
+        pool.close()
+        self.share_pool = None
 
     # -- signature management ----------------------------------------------------------------
 
@@ -176,7 +225,7 @@ class Dimmunix:
 
     def report(self) -> Dict:
         """A summary dictionary: statistics, history size, detections."""
-        return {
+        summary = {
             "stats": self.stats.snapshot(),
             "history_size": len(self.history),
             "enabled_signatures": len(self.history.enabled_signatures()),
@@ -184,6 +233,9 @@ class Dimmunix:
             "starvations_seen": len(self.monitor.starvations_seen()),
             "history_bytes": self.history.disk_footprint(),
         }
+        if self.share_pool is not None:
+            summary["share"] = self.share_pool.report()
+        return summary
 
 
 # Decision is re-exported here because runtime adapters import it alongside

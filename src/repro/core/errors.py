@@ -92,3 +92,16 @@ class ReplayDivergenceError(SimulationError):
 
 class InstrumentationError(DimmunixError):
     """Raised when lock instrumentation or monkey-patching fails."""
+
+
+class ShareError(DimmunixError):
+    """Raised when a history-sharing channel cannot be opened or spoken to.
+
+    Steady-state sharing failures (a daemon going away mid-run, a shared
+    file becoming unreadable) are deliberately *not* raised into the
+    application: losing the pool must degrade to single-process immunity,
+    never take the immunized program down.  This error therefore surfaces
+    only from explicit operations — opening a channel from a spec,
+    requesting a snapshot or a status — where the caller asked a question
+    and needs to know it could not be answered.
+    """

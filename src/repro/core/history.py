@@ -18,10 +18,11 @@ import os
 import tempfile
 import threading
 import weakref
-from typing import Callable, Dict, Iterable, Iterator, List, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
 
 from .errors import HistoryError, HistoryFormatError, SignatureError
 from .signature import Signature
+from ..util.filelock import locked_file
 
 #: Current on-disk format.  Version 2 added the per-stack acquisition
 #: ``modes`` introduced by the multi-holder resource model (semaphores,
@@ -39,6 +40,13 @@ class History:
         self._autosave = autosave and path is not None
         self._signatures: Dict[str, Signature] = {}
         self._lock = threading.RLock()
+        #: Fingerprints explicitly removed in this process.  Merge-on-save
+        #: and merge-on-load skip them, so a concurrent writer of the same
+        #: file cannot resurrect a signature the user deleted here.
+        self._removed: Set[str] = set()
+        #: (path, mtime_ns, size) of our own last write; when the backing
+        #: file still matches, merge-on-save skips re-parsing it.
+        self._written_stamp: Optional[tuple] = None
         self._listeners: List[Callable[[Signature], None]] = []
         #: Observers notified of every mutation kind (add/remove/enable/
         #: disable/clear); the incremental signature index maintains itself
@@ -103,6 +111,7 @@ class History:
                     self.save()
                 return False
             self._signatures[signature.fingerprint] = signature
+            self._removed.discard(signature.fingerprint)
             self._bump_version()
             if self._autosave:
                 self.save()
@@ -117,6 +126,7 @@ class History:
             signature = self._signatures.pop(fingerprint, None)
             removed = signature is not None
             if removed:
+                self._removed.add(fingerprint)
                 self._bump_version()
             if removed and self._autosave:
                 self.save()
@@ -151,12 +161,18 @@ class History:
         return True
 
     def clear(self) -> None:
-        """Remove every signature (used between experiment trials)."""
+        """Remove every signature (used between experiment trials).
+
+        Clearing is an explicit wipe: the autosave that follows does *not*
+        merge concurrent additions back from disk — the backing file is
+        rewritten empty.
+        """
         with self._lock:
             self._signatures.clear()
+            self._removed.clear()
             self._bump_version()
             if self._autosave:
-                self.save()
+                self.save(merge_on_disk=False)
         self._notify("on_history_cleared")
 
     def merge(self, other: Iterable[Signature]) -> int:
@@ -165,16 +181,42 @@ class History:
         Returns the number of signatures that were new.  This supports the
         paper's "signature distribution" use case: immunizing users who
         have not yet encountered a deadlock.
+
+        Autosave is batched: one save at the end instead of one per added
+        signature, so installing K pooled signatures into a file-backed
+        history costs one disk write, not K re-reads and rewrites.
         """
         added = 0
-        for signature in other:
-            if self.add(signature):
-                added += 1
+        with self._lock:
+            autosave = self._autosave
+            self._autosave = False
+            version_before = self._version
+        try:
+            for signature in other:
+                if self.add(signature):
+                    added += 1
+        finally:
+            with self._lock:
+                self._autosave = autosave
+        if autosave and self._version != version_before:
+            # Version check rather than `added`: a concurrent mutation on
+            # another thread during the suspended-autosave window must not
+            # lose its save either.
+            self.save()
         return added
 
     def add_listener(self, listener: Callable[[Signature], None]) -> None:
         """Register a callback invoked whenever a new signature is added."""
         self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[Signature], None]) -> None:
+        """Unregister a previously added listener (no-op when absent).
+
+        Comparison uses equality, not identity: callers typically pass a
+        bound method, and every ``obj.method`` access creates a *new*
+        bound-method object (identity never matches the stored one).
+        """
+        self._listeners = [cb for cb in self._listeners if cb != listener]
 
     # -- observers (incremental index maintenance) -----------------------------------------
 
@@ -217,22 +259,85 @@ class History:
 
     # -- persistence ----------------------------------------------------------------------------
 
-    def save(self, path: Optional[str] = None) -> Optional[str]:
-        """Write the history to ``path`` (or the configured path) atomically."""
+    def save(self, path: Optional[str] = None,
+             merge_on_disk: bool = True) -> Optional[str]:
+        """Write the history to ``path`` (or the configured path) atomically.
+
+        Saving is *merge-then-replace*: under a cross-process advisory
+        lock, signatures another process wrote to the file since our last
+        read are first merged into memory (minus the ones explicitly
+        removed here), then the union is written to a temporary file and
+        atomically renamed over the target.  Two processes autosaving the
+        same path therefore never truncate each other's signatures —
+        the file converges to the union of what both learned.  Pass
+        ``merge_on_disk=False`` for an explicit overwrite (used by
+        :meth:`clear`).
+        """
         target = path or self._path
         if target is None:
             return None
-        payload = self.to_dict()
         directory = os.path.dirname(os.path.abspath(target)) or "."
         try:
-            fd, temp_name = tempfile.mkstemp(prefix=".dimmunix-history-",
-                                             dir=directory)
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=2, sort_keys=True)
-            os.replace(temp_name, target)
+            # Lock order is always History._lock -> flock: mutators call
+            # save() while holding self._lock (RLock, so re-entry below is
+            # fine), and a direct save() taking the flock first while a
+            # mutator holds self._lock would be a classic ABBA deadlock
+            # with _merge_from_disk's own need for self._lock.
+            with self._lock:
+                with locked_file(target, exclusive=True):
+                    if merge_on_disk and not self._disk_unchanged(target):
+                        self._merge_from_disk(target)
+                    payload = self.to_dict()
+                    fd, temp_name = tempfile.mkstemp(
+                        prefix=".dimmunix-history-", dir=directory)
+                    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                        json.dump(payload, handle, indent=2, sort_keys=True)
+                    os.replace(temp_name, target)
+                    self._stamp_disk(target)
         except OSError as exc:
             raise HistoryError(f"cannot save history to {target}: {exc}") from exc
         return target
+
+    def _stamp_disk(self, target: str) -> None:
+        """Remember the file identity this process last wrote."""
+        try:
+            stat = os.stat(target)
+            self._written_stamp = (target, stat.st_mtime_ns, stat.st_size)
+        except OSError:
+            self._written_stamp = None
+
+    def _disk_unchanged(self, target: str) -> bool:
+        """True when the file still matches our own last write.
+
+        In the common single-writer case this skips re-parsing the whole
+        file on every autosave; any concurrent writer changes mtime/size
+        and forces a real merge.
+        """
+        stamp = self._written_stamp
+        if stamp is None or stamp[0] != target:
+            return False
+        try:
+            stat = os.stat(target)
+        except OSError:
+            return False
+        return (stat.st_mtime_ns, stat.st_size) == stamp[1:]
+
+    def _merge_from_disk(self, target: str) -> None:
+        """Fold signatures a concurrent writer saved to ``target`` into memory.
+
+        Unreadable or corrupt content is ignored: the save that follows
+        rewrites the file with this process's (valid) state, which is the
+        best available repair.
+        """
+        try:
+            with open(target, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return
+        try:
+            self._merge_payload(payload)
+        except HistoryFormatError:
+            return
 
     def load(self, path: Optional[str] = None) -> int:
         """Load (and merge) signatures from ``path``; returns the new total count."""
@@ -289,7 +394,8 @@ class History:
                     raise HistoryFormatError(
                         f"signature record {index} is not loadable: {exc}"
                     ) from exc
-                if signature.fingerprint not in self._signatures:
+                if (signature.fingerprint not in self._signatures
+                        and signature.fingerprint not in self._removed):
                     self._signatures[signature.fingerprint] = signature
                     self._bump_version()
                     merged.append(signature)

@@ -25,7 +25,7 @@ from then on.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, List, Optional, Set, Tuple
 
 from .avoidance import AvoidanceEngine
 from .config import DimmunixConfig
@@ -65,12 +65,34 @@ class MonitorCore:
         self.restart_handler = restart_handler
         self.wake_callback = wake_callback
         self._mutex = threading.RLock()
+        #: Callables run at the start of every :meth:`process` pass, before
+        #: detection.  The history-sharing pool registers its pump here so
+        #: remote signatures install on the monitor's cadence — one knob
+        #: (``monitor_interval``) governs both detection latency and pool
+        #: convergence, and simulator-driven tests get deterministic
+        #: installs through ``process_now()``.  Hook failures are isolated:
+        #: a broken share transport must not stop deadlock detection.
+        self._process_hooks: List[Callable[[], None]] = []
         #: Canonical keys of conditions already reported, so a persisting
         #: cycle is not archived again on every wakeup.
         self._reported_deadlocks: Set[Tuple[int, ...]] = set()
         self._reported_starvations: Set[Tuple[int, ...]] = set()
         #: All cycles detected over the monitor's lifetime (for reports).
         self.detected: List[DetectedCycle] = []
+
+    # -- process hooks (history sharing and other per-pass work) --------------------------
+
+    def add_process_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` at the start of every monitor pass."""
+        self._process_hooks.append(hook)
+
+    def remove_process_hook(self, hook: Callable[[], None]) -> None:
+        """Unregister a previously added process hook (no-op when absent).
+
+        Equality, not identity: bound methods (the usual hook shape) are
+        fresh objects on every attribute access, so ``is`` never matches.
+        """
+        self._process_hooks = [h for h in self._process_hooks if h != hook]
 
     # -- main entry point ----------------------------------------------------------------
 
@@ -80,6 +102,11 @@ class MonitorCore:
         Returns the list of *new* deadlock / starvation conditions handled
         during this invocation.
         """
+        for hook in list(self._process_hooks):
+            try:
+                hook()
+            except Exception:
+                pass
         with self._mutex:
             self.stats.bump("monitor_wakeups")
             events = self.engine.events.drain()

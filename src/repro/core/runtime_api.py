@@ -128,6 +128,25 @@ class RuntimeCore:
                          engine_mode=source.engine.mode)
         return clone.runtime_core
 
+    # -- history sharing ---------------------------------------------------------------
+
+    def attach_share(self, share, sync: bool = True):
+        """Join a cross-process signature pool (forwards to the facade).
+
+        Runtimes expose this so adapters configured only with a core —
+        lock wrappers, simulator backends — can still plug a
+        :class:`~repro.share.channel.HistoryChannel` (or spec string) into
+        the engine they drive.  New local signatures then publish as soon
+        as the monitor archives them, and remote ones install into the
+        striped cache index on every monitor pass.
+        """
+        return self.dimmunix.attach_share(share, sync=sync)
+
+    @property
+    def share_pool(self):
+        """The attached :class:`~repro.share.pool.SignaturePool`, if any."""
+        return self.dimmunix.share_pool
+
     # -- the six-operation protocol -------------------------------------------------------
 
     def request(self, thread_id: int, lock_id: int, stack: CallStack,

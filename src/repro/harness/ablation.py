@@ -25,7 +25,6 @@ from ..core.callstack import CallStack
 from ..core.config import DimmunixConfig
 from ..core.dimmunix import Dimmunix
 from ..core.history import History
-from ..core.monitor import MonitorCore
 
 
 @dataclass

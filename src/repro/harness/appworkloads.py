@@ -20,7 +20,7 @@ import asyncio
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..apps.aiobroker import AioBroker
 from ..apps.connpool import Connection

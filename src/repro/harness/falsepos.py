@@ -22,8 +22,8 @@ from typing import Dict, List, Optional, Sequence
 from ..baselines.gatelock import GateLockBackend
 from ..core.history import History
 from ..core.signature import Signature
-from ..sim.backends import DimmunixBackend, NullBackend
-from ..workloads.microbench import (MicrobenchConfig, MicrobenchResult,
+from ..sim.backends import NullBackend
+from ..workloads.microbench import (MicrobenchConfig,
                                     run_simulated_microbench)
 from ..workloads.synth_history import synthesize_microbench_history
 

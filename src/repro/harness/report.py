@@ -8,7 +8,7 @@ figure series.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 def format_table(rows: Sequence, title: Optional[str] = None) -> str:

@@ -1116,8 +1116,8 @@ def patched_asyncio(dimmunix: Optional[Dimmunix] = None,
 
 def immunize_asyncio(config: Optional[DimmunixConfig] = None,
                      history_path: Optional[str] = None,
-                     loop: Optional[asyncio.AbstractEventLoop] = None
-                     ) -> AsyncioRuntime:
+                     loop: Optional[asyncio.AbstractEventLoop] = None,
+                     share=None) -> AsyncioRuntime:
     """One-call setup: create, start, and install an asyncio Dimmunix.
 
     The "just make my event loop immune" entry point::
@@ -1130,12 +1130,17 @@ def immunize_asyncio(config: Optional[DimmunixConfig] = None,
     ``loop`` optionally records the loop this runtime primarily serves
     (informational — wake futures are bound to each parked task's own
     running loop, so any number of loops is supported either way).
+
+    ``share`` joins a cross-process signature pool exactly like
+    :func:`repro.immunize` does (see :mod:`repro.share`): a spec string
+    or channel.  The pool's channel I/O runs on the monitor thread, never
+    on the event loop, so sharing adds no latency to task scheduling.
     """
     if config is None:
         config = DimmunixConfig(history_path=history_path)
     elif history_path is not None:
         config = config.with_overrides(history_path=history_path)
-    dimmunix = Dimmunix(config=config)
+    dimmunix = Dimmunix(config=config, share=share)
     runtime = install_asyncio(dimmunix=dimmunix)
     runtime.loop = loop
     dimmunix.start()

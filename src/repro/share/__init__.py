@@ -1,0 +1,57 @@
+"""Cross-process history sharing: N workers immunize each other.
+
+The paper's deployment story (section 6) at service scale: once *any*
+process of a service develops an immunity signature, every other process
+avoids that deadlock pattern without ever experiencing it.  This package
+pools signatures live across real OS processes through one protocol and
+two interchangeable transports:
+
+* :class:`HistoryChannel` — the contract (``publish`` / ``poll`` /
+  ``snapshot`` / ``close``), plus the :class:`SignatureSink` /
+  :class:`SignatureSource` halves the engine layer plugs into;
+* :class:`HistoryServer` / :class:`SocketChannel` — a lightweight
+  history daemon over a Unix or TCP socket (JSON-lines protocol);
+* :class:`FileChannel` — serverless pooling through an append-only
+  shared signature log with advisory locking and compaction;
+* :class:`MemoryHub` / :class:`MemoryChannel` — the deterministic
+  in-process transport used by the simulator and tests;
+* :class:`SignaturePool` — binds a channel to a local
+  :class:`~repro.core.history.History` and the monitor's cadence.
+
+Typical use is one argument on the runtime entry points::
+
+    repro.immunize(history_path="app.history", share="unix:///run/app/pool.sock")
+    repro.immunize_asyncio(share="file:///shared/pool.sig")
+
+or, manually::
+
+    dimmunix = Dimmunix(config, share="tcp://10.0.0.5:7341")
+
+See ``docs/history-sharing.md`` for the protocol and the
+daemon-vs-shared-file trade-offs, and ``python -m repro.share.demo`` for
+the end-to-end multi-process proof.
+"""
+
+from .channel import (HistoryChannel, SignatureSink, SignatureSource,
+                      open_channel, parse_share_spec)
+from .client import SocketChannel
+from .filechannel import FileChannel
+from .memory import MemoryChannel, MemoryHub, memory_hub, reset_memory_hubs
+from .pool import SignaturePool
+from .server import HistoryServer
+
+__all__ = [
+    "FileChannel",
+    "HistoryChannel",
+    "HistoryServer",
+    "MemoryChannel",
+    "MemoryHub",
+    "SignaturePool",
+    "SignatureSink",
+    "SignatureSource",
+    "SocketChannel",
+    "memory_hub",
+    "open_channel",
+    "parse_share_spec",
+    "reset_memory_hubs",
+]

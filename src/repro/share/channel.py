@@ -1,0 +1,173 @@
+"""The ``HistoryChannel`` protocol — one contract, interchangeable transports.
+
+The paper's deployment story (section 6) is that immunity *compounds
+across instances*: once any process of a service develops an immunity
+signature, every other process should avoid that deadlock without ever
+experiencing it.  ``repro.share`` realizes that with a small pluggable
+contract:
+
+* a :class:`SignatureSink` accepts locally learned signatures
+  (``publish``),
+* a :class:`SignatureSource` yields signatures learned elsewhere
+  (``poll``/``snapshot``),
+* a :class:`HistoryChannel` is both at once, plus a lifecycle.
+
+Two production transports implement the contract — the history daemon
+(:mod:`repro.share.server` / :mod:`repro.share.client`) and the
+serverless shared file (:mod:`repro.share.filechannel`) — plus an
+in-process hub (:mod:`repro.share.memory`) used by the simulator and by
+deterministic tests.  All of them exchange plain
+:meth:`~repro.core.signature.Signature.to_dict` records, i.e. the exact
+v1/v2 format of ``docs/signature-format.md``, and every install goes
+through :meth:`History.merge` semantics (duplicates bump counters, never
+duplicate entries).
+
+Channels deduplicate by fingerprint in both directions: a signature that
+arrived from the pool is never published back into it, and a signature
+published locally is never redelivered by ``poll``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.errors import ShareError
+from ..core.signature import Signature
+
+
+class SignatureSink:
+    """Accepts locally learned signatures for distribution."""
+
+    def publish(self, signature: Signature) -> None:
+        """Offer ``signature`` to the pool (idempotent per fingerprint)."""
+        raise NotImplementedError
+
+
+class SignatureSource:
+    """Yields signatures learned by other processes."""
+
+    def poll(self) -> List[Signature]:
+        """Signatures that arrived since the previous ``poll`` call."""
+        raise NotImplementedError
+
+    def snapshot(self) -> List[Signature]:
+        """The pool's full current signature set."""
+        raise NotImplementedError
+
+
+class HistoryChannel(SignatureSink, SignatureSource):
+    """A bidirectional connection to a signature pool.
+
+    Subclasses implement ``publish``/``poll``/``snapshot``/``close`` and
+    may use the inherited fingerprint bookkeeping: :meth:`_mark_seen`
+    records fingerprints that must not cross the channel again (already
+    published, or already delivered), and :meth:`_filter_unseen` applies
+    the set while updating it.  The bookkeeping is thread-safe — the
+    monitor thread publishes while the pool pump polls.
+    """
+
+    def __init__(self) -> None:
+        self._seen: Set[str] = set()
+        self._seen_lock = threading.Lock()
+        self._closed = False
+
+    # -- fingerprint bookkeeping -------------------------------------------------------
+
+    def _mark_seen(self, fingerprint: str) -> bool:
+        """Record a fingerprint; returns True when it was new."""
+        with self._seen_lock:
+            if fingerprint in self._seen:
+                return False
+            self._seen.add(fingerprint)
+            return True
+
+    def _filter_unseen(self, signatures: List[Signature]) -> List[Signature]:
+        """Keep (and mark) only signatures not seen on this channel before."""
+        fresh = []
+        with self._seen_lock:
+            for signature in signatures:
+                if signature.fingerprint not in self._seen:
+                    self._seen.add(signature.fingerprint)
+                    fresh.append(signature)
+        return fresh
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release transport resources; further calls become no-ops."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (or the transport died)."""
+        return self._closed
+
+    def describe(self) -> str:
+        """Human-readable transport description (for status displays)."""
+        return type(self).__name__
+
+
+def parse_share_spec(spec: str) -> Tuple[str, Dict]:
+    """Parse a share spec string into ``(scheme, params)``.
+
+    Supported forms::
+
+        tcp://HOST:PORT      history daemon over TCP
+        unix://PATH          history daemon over a Unix socket
+        file://PATH          serverless shared signature log
+        memory://NAME        in-process hub (tests, simulator)
+
+    A bare path (no ``scheme://``) is treated as ``file://`` — the
+    zero-configuration deployment is "point every worker at one file".
+    """
+    if "://" not in spec:
+        return "file", {"path": spec}
+    scheme, _, rest = spec.partition("://")
+    scheme = scheme.lower()
+    if scheme == "tcp":
+        host, sep, port = rest.rpartition(":")
+        if not sep or not host:
+            raise ShareError(f"tcp share spec needs HOST:PORT, got {spec!r}")
+        try:
+            return "tcp", {"host": host, "port": int(port)}
+        except ValueError as exc:
+            raise ShareError(f"bad port in share spec {spec!r}") from exc
+    if scheme == "unix":
+        if not rest:
+            raise ShareError(f"unix share spec needs a socket path, got {spec!r}")
+        return "unix", {"path": rest}
+    if scheme == "file":
+        if not rest:
+            raise ShareError(f"file share spec needs a path, got {spec!r}")
+        return "file", {"path": rest}
+    if scheme == "memory":
+        if not rest:
+            raise ShareError(f"memory share spec needs a hub name, got {spec!r}")
+        return "memory", {"name": rest}
+    raise ShareError(f"unknown share transport {scheme!r} in {spec!r}")
+
+
+def open_channel(spec, client_name: Optional[str] = None) -> HistoryChannel:
+    """Open a :class:`HistoryChannel` from a spec string (or pass one through).
+
+    ``spec`` may already be a channel instance, which is returned as-is —
+    this lets ``immunize(share=...)`` accept both forms.
+    """
+    if isinstance(spec, HistoryChannel):
+        return spec
+    if not isinstance(spec, str):
+        raise ShareError(f"share spec must be a string or HistoryChannel, "
+                         f"got {type(spec).__name__}")
+    scheme, params = parse_share_spec(spec)
+    if scheme == "file":
+        from .filechannel import FileChannel
+        return FileChannel(params["path"])
+    if scheme == "memory":
+        from .memory import memory_hub
+        return memory_hub(params["name"]).channel()
+    from .client import SocketChannel
+    if scheme == "tcp":
+        return SocketChannel(("tcp", params["host"], params["port"]),
+                             client_name=client_name)
+    return SocketChannel(("unix", params["path"]), client_name=client_name)

@@ -1,0 +1,316 @@
+"""The cross-deployment immunity proof: N real processes, one deadlock.
+
+This module is both the CI smoke workload and a runnable demo of the
+paper's section 6 story.  The orchestrator
+
+1. stands up a signature pool (history daemon subprocess for the
+   ``unix``/``tcp`` transports, a shared log file for ``file``),
+2. runs **worker A** — a fresh process with an empty history executing a
+   deadlock-prone two-lock program.  A deadlocks; its monitor detects
+   the cycle, archives the signature, and the pool receives it before A
+   exits,
+3. waits until the pool holds the signature,
+4. fans out **workers B..N** — fresh processes that never saw the
+   deadlock.  Each attaches to the pool, installs A's signature on
+   sync, runs the *same* program, and completes without deadlocking,
+5. asserts that exactly one process (A) ever deadlocked and that every
+   worker's history converged to the same pooled signature set.
+
+Run it yourself::
+
+    PYTHONPATH=src python -m repro.share.demo run --transport unix --workers 4
+    PYTHONPATH=src python -m repro.share.demo run --transport file --workers 4
+
+Exit code 0 means the immunity story held end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..core.config import DimmunixConfig
+from ..core.dimmunix import Dimmunix
+from ..instrument.locks import DimmunixLock
+from ..instrument.runtime import InstrumentationRuntime
+from .channel import open_channel
+
+#: How long a worker waits on each lock before declaring itself deadlocked
+#: (stands in for the restart a production deployment would perform).
+LOCK_TIMEOUT = 1.5
+#: Overlap window forcing the two threads to interleave dangerously.
+PROVOKE_DELAY = 0.3
+
+
+def _deadlock_prone_program(runtime: InstrumentationRuntime) -> Dict:
+    """Two threads taking locks A and B in opposite order (paper section 4)."""
+    lock_a = DimmunixLock(runtime=runtime, name="A")
+    lock_b = DimmunixLock(runtime=runtime, name="B")
+    outcome = {"deadlocked": False, "completed": 0}
+    ready = [threading.Event(), threading.Event()]
+
+    def update(first, second, my_index):
+        if not first.acquire(timeout=LOCK_TIMEOUT):
+            outcome["deadlocked"] = True
+            return
+        try:
+            ready[my_index].set()
+            ready[1 - my_index].wait(PROVOKE_DELAY)
+            if not second.acquire(timeout=LOCK_TIMEOUT):
+                outcome["deadlocked"] = True
+                return
+            try:
+                outcome["completed"] += 1
+            finally:
+                second.release()
+        finally:
+            first.release()
+
+    threads = [
+        threading.Thread(target=update, args=(lock_a, lock_b, 0), name="w1"),
+        threading.Thread(target=update, args=(lock_b, lock_a, 1), name="w2"),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return outcome
+
+
+def run_worker(share: str, worker_id: str,
+               expect_immunity: bool = False,
+               sync_timeout: float = 10.0) -> Dict:
+    """One worker process: join the pool, run the buggy program, report."""
+    config = DimmunixConfig(monitor_interval=0.02)
+    dimmunix = Dimmunix(config=config, share=share)
+    dimmunix.start()
+    synced = len(dimmunix.history) > 0
+    if expect_immunity and not synced:
+        # The orchestrator only starts B..N once the pool holds A's
+        # signature, so waiting here guards against slow transports, not
+        # against a logically empty pool.
+        deadline = time.monotonic() + sync_timeout
+        while time.monotonic() < deadline:
+            dimmunix.share_pool.pump()
+            if len(dimmunix.history) > 0:
+                synced = True
+                break
+            time.sleep(0.02)
+    runtime = InstrumentationRuntime(dimmunix)
+    outcome = _deadlock_prone_program(runtime)
+    report = dimmunix.report()
+    dimmunix.stop()
+    return {
+        "worker": worker_id,
+        "deadlocked": outcome["deadlocked"],
+        "completed": outcome["completed"],
+        "synced_before_run": synced,
+        "yields": report["stats"].get("yield_decisions", 0),
+        "signatures": report["history_size"],
+        "share": report.get("share", {}),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Orchestration
+# ---------------------------------------------------------------------------
+
+
+def _spawn_worker(share: str, worker_id: str,
+                  expect_immunity: bool) -> subprocess.Popen:
+    command = [sys.executable, "-m", "repro.share.demo", "worker",
+               "--share", share, "--id", worker_id]
+    if expect_immunity:
+        command.append("--expect-immunity")
+    return subprocess.Popen(command, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+
+
+def _collect(process: subprocess.Popen, worker_id: str,
+             timeout: float = 60.0) -> Dict:
+    try:
+        stdout, stderr = process.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise SystemExit(f"worker {worker_id} hung")
+    if process.returncode != 0:
+        raise SystemExit(f"worker {worker_id} failed "
+                         f"(rc={process.returncode}):\n{stderr}")
+    return json.loads(stdout.strip().splitlines()[-1])
+
+
+def _free_tcp_port() -> int:
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def _wait_for_pool(share: str, minimum: int, timeout: float) -> int:
+    """Block until the pool holds at least ``minimum`` signatures."""
+    channel = open_channel(share)
+    try:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                count = len(channel.snapshot())
+            except Exception:
+                count = 0
+            if count >= minimum:
+                return count
+            time.sleep(0.05)
+        raise SystemExit(
+            f"pool at {share} never reached {minimum} signature(s)")
+    finally:
+        channel.close()
+
+
+def run_demo(transport: str, workers: int, workdir: str,
+             verbose: bool = True) -> Dict:
+    """Execute the full story; returns the summary dict (raises on failure)."""
+
+    def say(message: str) -> None:
+        if verbose:
+            print(message, flush=True)
+
+    daemon: Optional[subprocess.Popen] = None
+    if transport == "file":
+        share = "file://" + os.path.join(workdir, "pool.sig")
+    elif transport in ("unix", "tcp"):
+        if transport == "unix":
+            sock_path = os.path.join(workdir, "pool.sock")
+            share = f"unix://{sock_path}"
+            daemon_args = ["--unix", sock_path]
+        else:
+            port = _free_tcp_port()
+            share = f"tcp://127.0.0.1:{port}"
+            daemon_args = ["--tcp", f"127.0.0.1:{port}"]
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro.share.server"] + daemon_args,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        say(f"[demo] history daemon starting at {share}")
+        _wait_for_daemon(share, daemon)
+    else:
+        raise SystemExit(f"unknown transport {transport!r}")
+
+    try:
+        say(f"[demo] worker A: empty history, deadlock-prone program "
+            f"({transport} pool)")
+        result_a = _collect(_spawn_worker(share, "A", False), "A")
+        say(f"[demo]   -> deadlocked={result_a['deadlocked']} "
+            f"signatures={result_a['signatures']}")
+        pooled = _wait_for_pool(share, minimum=1, timeout=10.0)
+        say(f"[demo] pool converged: {pooled} signature(s)")
+
+        names = [chr(ord("B") + index) for index in range(workers - 1)]
+        say(f"[demo] workers {', '.join(names)}: fresh processes, "
+            f"first run each")
+        spawned = [(name, _spawn_worker(share, name, True)) for name in names]
+        results = [result_a] + [_collect(proc, name)
+                                for name, proc in spawned]
+    finally:
+        if daemon is not None:
+            daemon.terminate()
+            daemon.wait(timeout=10.0)
+
+    deadlocked = [r["worker"] for r in results if r["deadlocked"]]
+    immune = [r for r in results if not r["deadlocked"]]
+    sizes = sorted({r["signatures"] for r in results})
+    for result in results:
+        say(f"[demo]   worker {result['worker']}: "
+            f"deadlocked={result['deadlocked']} yields={result['yields']} "
+            f"signatures={result['signatures']} "
+            f"completed={result['completed']}/2")
+
+    if deadlocked != ["A"]:
+        raise SystemExit(
+            f"expected exactly worker A to deadlock, got {deadlocked or 'none'}")
+    if len(immune) != workers - 1:
+        raise SystemExit("some immunized worker deadlocked")
+    for result in immune:
+        if result["signatures"] < 1:
+            raise SystemExit(
+                f"worker {result['worker']} never received the signature")
+        if result["completed"] != 2:
+            raise SystemExit(
+                f"worker {result['worker']} did not complete both threads")
+    say(f"[demo] OK: 1 deadlock ({workers - 1} immune first runs), "
+        f"history sizes {sizes}")
+    return {"transport": transport, "workers": workers, "results": results}
+
+
+def _wait_for_daemon(share: str, daemon: subprocess.Popen,
+                     timeout: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if daemon.poll() is not None:
+            _, stderr = daemon.communicate()
+            raise SystemExit(f"daemon exited early: {stderr}")
+        try:
+            channel = open_channel(share)
+            channel.close()
+            return
+        except Exception:
+            time.sleep(0.05)
+    raise SystemExit(f"daemon at {share} never became reachable")
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.share.demo",
+        description="Cross-deployment immunity demo (paper section 6).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="orchestrate the N-process story")
+    p_run.add_argument("--transport", choices=("unix", "tcp", "file"),
+                       default="unix")
+    p_run.add_argument("--workers", type=int, default=4,
+                       help="total processes incl. the one that deadlocks")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_worker = sub.add_parser("worker", help="internal: one worker process")
+    p_worker.add_argument("--share", required=True)
+    p_worker.add_argument("--id", required=True)
+    p_worker.add_argument("--expect-immunity", action="store_true")
+    p_worker.set_defaults(func=_cmd_worker)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.workers < 2:
+        print("need at least 2 workers", file=sys.stderr)
+        return 2
+    with tempfile.TemporaryDirectory(prefix="dimmunix-demo-") as workdir:
+        run_demo(args.transport, args.workers, workdir)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    result = run_worker(args.share, args.id,
+                        expect_immunity=args.expect_immunity)
+    print(json.dumps(result, sort_keys=True))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI smoke
+    sys.exit(main())

@@ -1,0 +1,288 @@
+"""The serverless transport: an append-only shared signature log.
+
+When running a daemon is too much ceremony — cron-style workers, batch
+fleets, containers sharing one volume — N processes can pool immunity
+through a single file.  The format is a JSON-lines log::
+
+    {"log": "dimmunix-share", "format_version": 2, "generation": "9f2c..."}
+    {"signature": {...}}        # Signature.to_dict(), v1/v2 format
+    {"signature": {...}}
+
+Appends happen under an exclusive advisory lock on a sidecar file
+(``<path>.lock``); reads take the shared lock.  Locking the sidecar
+rather than the log itself keeps the scheme correct across *compaction*,
+which atomically replaces the log (``os.replace``) with a deduplicated
+copy under a fresh ``generation`` token: a reader whose byte offset was
+minted against the old file notices the generation change and rescans
+from the top, while its per-channel fingerprint set suppresses
+re-delivery.
+
+Platforms without :mod:`fcntl` lose cross-process exclusion but keep the
+append-only discipline (appends of a line are effectively atomic for the
+sizes involved); the daemon transport is the better choice there.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import ShareError
+from ..core.signature import Signature
+from ..util.filelock import locked_file
+from .channel import HistoryChannel
+
+_LOG_MAGIC = "dimmunix-share"
+_FORMAT_VERSION = 2
+
+
+def _new_generation() -> str:
+    return os.urandom(8).hex()
+
+
+class FileChannel(HistoryChannel):
+    """A :class:`HistoryChannel` over an append-only shared signature log."""
+
+    def __init__(self, path: str, compact_slack: int = 64,
+                 check_interval: int = 32):
+        super().__init__()
+        self._path = path
+        # Refuse to adopt a foreign file up front: a bare path is a valid
+        # share spec, so a user who passes their *history* file here would
+        # otherwise get signature lines appended to a JSON document,
+        # corrupting their immune memory.  Absent or empty files are fine
+        # (the header is written on first publish).
+        self._check_is_share_log(must_exist=False)
+        #: Auto-compact once the log carries this many redundant records.
+        self._compact_slack = max(1, compact_slack)
+        #: Publishes between redundancy checks (compaction is amortized).
+        self._check_interval = max(1, check_interval)
+        self._appends_since_check = 0
+        self._generation: Optional[str] = None
+        self._offset = 0
+        #: Steady-state I/O failures are swallowed (sharing must never take
+        #: the immunized program down); they are counted here instead.
+        self.io_errors = 0
+
+    @property
+    def path(self) -> str:
+        """Path of the shared signature log."""
+        return self._path
+
+    def _check_is_share_log(self, must_exist: bool) -> None:
+        """Raise :class:`ShareError` when the path holds a non-share file."""
+        try:
+            with open(self._path, "r", encoding="utf-8") as handle:
+                first = handle.readline()
+        except FileNotFoundError:
+            if must_exist:
+                raise ShareError(f"{self._path} does not exist")
+            return
+        except OSError as exc:
+            raise ShareError(f"cannot read {self._path}: {exc}") from exc
+        if not first.strip():
+            return
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError:
+            header = None
+        if not (isinstance(header, dict) and header.get("log") == _LOG_MAGIC):
+            raise ShareError(
+                f"{self._path} exists but is not a dimmunix share log "
+                "(refusing to append to a foreign file)")
+
+    def describe(self) -> str:
+        return f"file://{self._path}"
+
+    # -- reading -----------------------------------------------------------------------
+
+    def _read_from_offset(self, handle) -> List[dict]:
+        """Advance past the header if needed, then read new records."""
+        header_line = handle.readline()
+        if not header_line:
+            return []
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError:
+            raise ShareError(f"{self._path} is not a dimmunix share log")
+        if not isinstance(header, dict) or header.get("log") != _LOG_MAGIC:
+            raise ShareError(f"{self._path} is not a dimmunix share log")
+        generation = header.get("generation")
+        if generation != self._generation:
+            # Fresh file or post-compaction replacement: rescan from just
+            # after the header; the seen-set keeps delivery exactly-once.
+            self._generation = generation
+            self._offset = handle.tell()
+        handle.seek(self._offset)
+        records = []
+        while True:
+            # Explicit readline(): iterating the handle would disable
+            # tell(), which the offset bookkeeping depends on.
+            line = handle.readline()
+            if not line:
+                break
+            if not line.endswith("\n"):
+                # A writer is mid-append (no fcntl platform); re-read the
+                # partial line on the next poll.
+                break
+            self._offset = handle.tell()
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "signature" in record:
+                records.append(record)
+        return records
+
+    def _load_new_records(self) -> List[dict]:
+        try:
+            with locked_file(self._path, exclusive=False):
+                try:
+                    with open(self._path, "r", encoding="utf-8") as handle:
+                        return self._read_from_offset(handle)
+                except FileNotFoundError:
+                    return []
+        except OSError:
+            self.io_errors += 1
+            return []
+
+    def poll(self) -> List[Signature]:
+        if self._closed:
+            return []
+        signatures = []
+        for record in self._load_new_records():
+            try:
+                signatures.append(Signature.from_dict(record["signature"]))
+            except Exception:
+                continue
+        return self._filter_unseen(signatures)
+
+    def snapshot(self) -> List[Signature]:
+        if self._closed:
+            return []
+        self._generation = None  # force a rescan from the top
+        self._offset = 0
+        by_fingerprint: Dict[str, Signature] = {}
+        for record in self._load_new_records():
+            try:
+                signature = Signature.from_dict(record["signature"])
+            except Exception:
+                continue
+            by_fingerprint.setdefault(signature.fingerprint, signature)
+        signatures = list(by_fingerprint.values())
+        self._filter_unseen(signatures)
+        return signatures
+
+    # -- writing -----------------------------------------------------------------------
+
+    def publish(self, signature: Signature) -> None:
+        if self._closed:
+            return
+        if not self._mark_seen(signature.fingerprint):
+            return
+        line = json.dumps({"signature": signature.to_dict()}, sort_keys=True)
+        try:
+            with locked_file(self._path, exclusive=True):
+                # Re-validate under the lock: the path may have been
+                # replaced with a foreign file since construction.
+                self._check_is_share_log(must_exist=False)
+                self._ensure_header_locked()
+                with open(self._path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+                self._appends_since_check += 1
+                if self._appends_since_check >= self._check_interval:
+                    self._appends_since_check = 0
+                    self._maybe_compact_locked()
+        except OSError:
+            self.io_errors += 1
+
+    def _ensure_header_locked(self) -> None:
+        """Create the log with a header when absent (caller holds the lock)."""
+        try:
+            if os.path.getsize(self._path) > 0:
+                return
+        except OSError:
+            pass
+        header = {"log": _LOG_MAGIC, "format_version": _FORMAT_VERSION,
+                  "generation": _new_generation()}
+        with open(self._path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+
+    # -- compaction --------------------------------------------------------------------
+
+    def _scan_all_locked(self) -> Tuple[List[dict], int]:
+        """(unique records in first-seen order, total record count)."""
+        unique: Dict[str, dict] = {}
+        total = 0
+        try:
+            with open(self._path, "r", encoding="utf-8") as handle:
+                handle.readline()  # header
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        total += 1
+                        continue
+                    if not (isinstance(record, dict) and "signature" in record):
+                        continue
+                    total += 1
+                    fingerprint = record["signature"].get("fingerprint")
+                    if fingerprint and fingerprint not in unique:
+                        unique[fingerprint] = record
+        except OSError:
+            return [], 0
+        return list(unique.values()), total
+
+    def _maybe_compact_locked(self) -> None:
+        unique, total = self._scan_all_locked()
+        if total - len(unique) >= self._compact_slack:
+            self._rewrite_locked(unique)
+
+    def _rewrite_locked(self, records: List[dict]) -> None:
+        directory = os.path.dirname(os.path.abspath(self._path)) or "."
+        header = {"log": _LOG_MAGIC, "format_version": _FORMAT_VERSION,
+                  "generation": _new_generation()}
+        fd, temp_name = tempfile.mkstemp(prefix=".dimmunix-share-",
+                                         dir=directory)
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        os.replace(temp_name, self._path)
+
+    def compact(self) -> int:
+        """Deduplicate the log now; returns the number of records dropped."""
+        try:
+            with locked_file(self._path, exclusive=True):
+                unique, total = self._scan_all_locked()
+                dropped = total - len(unique)
+                if dropped > 0:
+                    self._rewrite_locked(unique)
+                return dropped
+        except OSError as exc:
+            raise ShareError(f"cannot compact {self._path}: {exc}") from exc
+
+    # -- introspection -----------------------------------------------------------------
+
+    def status(self) -> Dict:
+        """Counts for ``histctl pool-status``: records, unique, size."""
+        try:
+            with locked_file(self._path, exclusive=False):
+                unique, total = self._scan_all_locked()
+                try:
+                    size = os.path.getsize(self._path)
+                except OSError:
+                    size = 0
+        except OSError as exc:
+            raise ShareError(f"cannot read {self._path}: {exc}") from exc
+        return {"transport": "file", "path": self._path,
+                "signatures": len(unique), "records": total,
+                "bytes": size, "io_errors": self.io_errors}

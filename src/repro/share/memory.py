@@ -1,0 +1,125 @@
+"""In-process signature hub — the deterministic sharing transport.
+
+A :class:`MemoryHub` is the pool reduced to its essence: an append-only,
+fingerprint-deduplicated list of signature records shared by N
+:class:`MemoryChannel` endpoints in one process.  It exists for two
+consumers:
+
+* **the simulator / deterministic tests** — several engine instances
+  (e.g. two :class:`~repro.core.dimmunix.Dimmunix` objects standing in
+  for two worker processes) attach channels from one hub and exchange
+  immunity without sockets, files, or timing, so cross-deployment
+  immunity is checkable in an ordinary unit test;
+* **the spec form** ``memory://NAME`` — named hubs are process-global,
+  letting two independently constructed runtimes find each other by
+  name, mirroring how real workers find each other through a socket
+  path.
+
+Delivery order is the hub's append order, and every channel observes the
+same order — determinism that the socket transport cannot promise.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from ..core.signature import Signature
+from .channel import HistoryChannel
+
+
+class MemoryHub:
+    """A shared, deduplicated, append-only signature log in process memory."""
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name
+        self._records: List[dict] = []
+        self._fingerprints: set = set()
+        self._lock = threading.Lock()
+
+    def append(self, signature: Signature) -> bool:
+        """Add a signature record to the hub; True when it was new."""
+        record = signature.to_dict()
+        with self._lock:
+            if record["fingerprint"] in self._fingerprints:
+                return False
+            self._fingerprints.add(record["fingerprint"])
+            self._records.append(record)
+            return True
+
+    def records_from(self, cursor: int) -> List[dict]:
+        """All records appended at or after ``cursor`` (a plain index)."""
+        with self._lock:
+            return list(self._records[cursor:])
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def channel(self) -> "MemoryChannel":
+        """A new endpoint attached to this hub."""
+        return MemoryChannel(self)
+
+
+class MemoryChannel(HistoryChannel):
+    """One endpoint of a :class:`MemoryHub`."""
+
+    def __init__(self, hub: MemoryHub):
+        super().__init__()
+        self._hub = hub
+        self._cursor = 0
+
+    @property
+    def hub(self) -> MemoryHub:
+        """The hub this channel is attached to."""
+        return self._hub
+
+    def publish(self, signature: Signature) -> None:
+        if self._closed:
+            return
+        if self._mark_seen(signature.fingerprint):
+            self._hub.append(signature)
+
+    def poll(self) -> List[Signature]:
+        if self._closed:
+            return []
+        records = self._hub.records_from(self._cursor)
+        self._cursor += len(records)
+        return self._filter_unseen(
+            [Signature.from_dict(record) for record in records])
+
+    def snapshot(self) -> List[Signature]:
+        if self._closed:
+            return []
+        records = self._hub.records_from(0)
+        signatures = [Signature.from_dict(record) for record in records]
+        self._filter_unseen(signatures)
+        # Advance by what was actually read — not by len(hub), which may
+        # already include records appended after the read and would make
+        # poll() skip them forever.
+        self._cursor = max(self._cursor, len(records))
+        return signatures
+
+    def describe(self) -> str:
+        name = self._hub.name or "<anonymous>"
+        return f"memory://{name}"
+
+
+_hubs: Dict[str, MemoryHub] = {}
+_hubs_lock = threading.Lock()
+
+
+def memory_hub(name: str) -> MemoryHub:
+    """The process-global hub registered under ``name`` (created on demand)."""
+    with _hubs_lock:
+        hub = _hubs.get(name)
+        if hub is None:
+            hub = MemoryHub(name)
+            _hubs[name] = hub
+        return hub
+
+
+def reset_memory_hubs() -> None:
+    """Drop all named hubs (test isolation)."""
+    with _hubs_lock:
+        _hubs.clear()

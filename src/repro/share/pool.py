@@ -1,0 +1,146 @@
+"""The :class:`SignaturePool`: glue between a local history and a channel.
+
+One pool binds one :class:`~repro.core.history.History` to one
+:class:`~repro.share.channel.HistoryChannel`:
+
+* **outbound** — a history listener publishes every *locally* learned
+  signature the moment the monitor archives it (no polling delay on the
+  publish side);
+* **inbound** — :meth:`pump` drains the channel and merges remote
+  signatures into the history.  Merging triggers the history's observer
+  hooks, which is how a remote signature reaches the engine's striped
+  avoidance state: the incremental
+  :class:`~repro.core.sigindex.SignatureIndex` adds its suffix buckets
+  and the very next lock request can match it — no restart, no engine
+  reset.
+
+Echo suppression is two-layered: the pool flags installs so its own
+listener does not publish a remote signature back, and every channel
+additionally refuses to resend a fingerprint it has already carried.
+
+The pool is driven by whoever owns the runtime's cadence:
+:class:`~repro.core.monitor.MonitorCore` pumps it once per monitor pass
+(real threads and asyncio get live installs at the monitor period), and
+deterministic tests or simulator scenarios call
+``dimmunix.process_now()`` — or :meth:`pump` directly — at the exact
+point their schedule requires.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from ..core.history import History
+from ..core.signature import Signature
+from .channel import HistoryChannel
+
+
+class SignaturePool:
+    """Bidirectional signature flow between a history and a channel."""
+
+    def __init__(self, history: History, channel: HistoryChannel):
+        self._history = history
+        self._channel = channel
+        self._installing = threading.local()
+        #: Counters surfaced in reports and ``pool-status``.
+        self.published = 0
+        self.installed = 0
+        self.publish_errors = 0
+        self._detached = False
+        history.add_listener(self._publish_local)
+
+    @property
+    def channel(self) -> HistoryChannel:
+        """The transport this pool distributes through."""
+        return self._channel
+
+    @property
+    def history(self) -> History:
+        """The local history this pool feeds."""
+        return self._history
+
+    # -- outbound ----------------------------------------------------------------------
+
+    def _publish_local(self, signature: Signature) -> None:
+        if self._detached or getattr(self._installing, "active", False):
+            return
+        try:
+            self._channel.publish(signature)
+            self.published += 1
+        except Exception:
+            # Sharing failures must degrade to single-process immunity,
+            # never to an exception inside the monitor's archive path.
+            self.publish_errors += 1
+
+    # -- inbound -----------------------------------------------------------------------
+
+    def _install(self, signatures) -> int:
+        if not signatures:
+            return 0
+        self._installing.active = True
+        try:
+            added = self._history.merge(signatures)
+        finally:
+            self._installing.active = False
+        self.installed += added
+        return added
+
+    def pump(self) -> int:
+        """Install newly arrived remote signatures; returns how many were new."""
+        if self._detached:
+            return 0
+        try:
+            signatures = self._channel.poll()
+        except Exception:
+            return 0
+        return self._install(signatures)
+
+    def sync(self, timeout: float = 5.0) -> int:
+        """Full two-way synchronization (used right after attaching).
+
+        Publishes every signature already in the local history (a restarted
+        worker re-seeds the pool from its history file), then installs the
+        pool's full snapshot.  Returns the number of signatures installed.
+        """
+        for signature in self._history.signatures():
+            self._publish_local(signature)
+        try:
+            try:
+                remote = self._channel.snapshot(timeout=timeout)
+            except TypeError:
+                remote = self._channel.snapshot()
+        except Exception:
+            remote = []
+        return self._install(remote)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop publishing, pump one last time, and close the channel."""
+        if self._detached:
+            return
+        self.pump()
+        self._detached = True
+        self._history.remove_listener(self._publish_local)
+        try:
+            self._channel.close()
+        except Exception:
+            pass
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._detached
+
+    # -- introspection -----------------------------------------------------------------
+
+    def report(self) -> Dict:
+        """Counter snapshot for ``Dimmunix.report`` and status displays."""
+        return {
+            "channel": self._channel.describe(),
+            "published": self.published,
+            "installed": self.installed,
+            "publish_errors": self.publish_errors,
+            "history_size": len(self._history),
+        }

@@ -1,0 +1,357 @@
+"""The history daemon: one process pooling signatures for a worker fleet.
+
+The daemon owns a master :class:`~repro.core.history.History` (optionally
+file-backed, so the pool survives daemon restarts) and speaks a
+JSON-lines protocol over a Unix or TCP socket.  Every message is one JSON
+object per ``\\n``-terminated line.  Client requests:
+
+========== ==========================================================
+op          meaning
+========== ==========================================================
+hello       identify; server answers ``welcome`` with the pool size
+subscribe   start streaming; server first answers ``snapshot`` (unless
+            ``"snapshot": false``), then pushes ``signature`` messages
+publish     offer one signature record; new ones are merged into the
+            master history and broadcast to every *other* subscriber
+snapshot    answer with the full pool as one ``snapshot`` message
+status      answer with pool counters (``pool-status`` subcommand)
+ping        answer ``pong`` (liveness probes)
+========== ==========================================================
+
+Signature payloads are plain ``Signature.to_dict()`` records — the same
+v1/v2 format as history files (``docs/signature-format.md``) — and all
+merging goes through :meth:`History.merge` semantics, so the daemon
+deduplicates exactly like a local history does.
+
+Run it standalone with either front end::
+
+    python -m repro.share.server --unix /run/app/pool.sock
+    python -m repro.tools.histctl serve --tcp 127.0.0.1:7341 --history pool.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import sys
+import threading
+from typing import Dict, List, Optional
+
+from ..core.errors import ShareError, SignatureError
+from ..core.history import History
+from ..core.signature import Signature
+
+#: Protocol identifier sent in ``welcome`` messages.
+PROTOCOL = "dimmunix-share/1"
+
+
+class _ClientConnection:
+    """Server-side state of one connected worker."""
+
+    _ids = 0
+    _ids_lock = threading.Lock()
+
+    def __init__(self, sock: socket.socket):
+        with _ClientConnection._ids_lock:
+            _ClientConnection._ids += 1
+            self.client_id = _ClientConnection._ids
+        self.sock = sock
+        self.reader = sock.makefile("r", encoding="utf-8", newline="\n")
+        self.subscribed = False
+        self.name = f"client-{self.client_id}"
+        self._write_lock = threading.Lock()
+        self.alive = True
+
+    def send(self, message: Dict) -> bool:
+        """Serialize and send one message; False when the peer is gone."""
+        data = (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+        try:
+            with self._write_lock:
+                self.sock.sendall(data)
+            return True
+        except OSError:
+            self.alive = False
+            return False
+
+    def close(self) -> None:
+        self.alive = False
+        # Shutdown FIRST: it wakes a handler thread blocked in readline()
+        # with EOF.  Closing the buffered reader while that thread still
+        # blocks inside it would deadlock on the io buffer lock.
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.reader.close()
+        except (OSError, ValueError):
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class HistoryServer:
+    """A threaded signature-pool daemon over a Unix or TCP socket."""
+
+    def __init__(self, unix_path: Optional[str] = None,
+                 host: Optional[str] = None, port: int = 0,
+                 history: Optional[History] = None,
+                 history_path: Optional[str] = None):
+        if (unix_path is None) == (host is None):
+            raise ShareError("pass exactly one of unix_path or host")
+        if unix_path is not None and not hasattr(socket, "AF_UNIX"):
+            raise ShareError("unix sockets are not available on this platform")
+        self._unix_path = unix_path
+        self._host = host
+        self._port = port
+        self.history = history if history is not None else History(
+            path=history_path, autosave=history_path is not None)
+        self._listener: Optional[socket.socket] = None
+        self._clients: List[_ClientConnection] = []
+        self._clients_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._published = 0
+        self._broadcast = 0
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self) -> "HistoryServer":
+        """Bind, listen, and start the accept loop (non-blocking)."""
+        if self._unix_path is not None:
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+            listener.bind(self._unix_path)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self._host, self._port))
+            self._port = listener.getsockname()[1]
+        listener.listen(64)
+        self._listener = listener
+        acceptor = threading.Thread(target=self._accept_loop,
+                                    name="dimmunix-share-accept", daemon=True)
+        acceptor.start()
+        self._threads.append(acceptor)
+        return self
+
+    def stop(self) -> None:
+        """Close the listener and every client connection."""
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        if self._unix_path is not None:
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+        with self._clients_lock:
+            clients = list(self._clients)
+            self._clients.clear()
+        for client in clients:
+            client.close()
+        if self.history.path is not None:
+            self.history.save()
+
+    def __enter__(self) -> "HistoryServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    @property
+    def spec(self) -> str:
+        """The share spec clients should use to reach this daemon."""
+        if self._unix_path is not None:
+            return f"unix://{self._unix_path}"
+        return f"tcp://{self._host}:{self._port}"
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (0 for Unix-socket servers)."""
+        return self._port if self._host is not None else 0
+
+    # -- accept / serve ----------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            listener = self._listener
+            if listener is None:  # stop() ran between the checks
+                return
+            try:
+                sock, _addr = listener.accept()
+            except OSError:
+                return
+            client = _ClientConnection(sock)
+            with self._clients_lock:
+                self._clients.append(client)
+            # Handler threads are daemons tied to their connection's
+            # lifetime; they are deliberately not tracked — a long-lived
+            # daemon accepting short-lived probes must not accumulate
+            # per-connection state forever.
+            threading.Thread(
+                target=self._serve_client, args=(client,),
+                name=f"dimmunix-share-{client.client_id}",
+                daemon=True).start()
+
+    def _serve_client(self, client: _ClientConnection) -> None:
+        try:
+            for line in client.reader:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    message = json.loads(line)
+                except json.JSONDecodeError:
+                    client.send({"op": "error", "error": "not JSON"})
+                    continue
+                if not isinstance(message, dict):
+                    client.send({"op": "error", "error": "not an object"})
+                    continue
+                if not self._dispatch(client, message):
+                    return
+        except (OSError, ValueError):
+            # ValueError: the makefile was closed under us during shutdown.
+            pass
+        finally:
+            self._drop_client(client)
+
+    def _drop_client(self, client: _ClientConnection) -> None:
+        with self._clients_lock:
+            if client in self._clients:
+                self._clients.remove(client)
+        client.close()
+
+    # -- message handling --------------------------------------------------------------
+
+    def _dispatch(self, client: _ClientConnection, message: Dict) -> bool:
+        op = message.get("op")
+        if op == "hello":
+            client.name = str(message.get("client", client.name))
+            client.send({"op": "welcome", "protocol": PROTOCOL,
+                         "format_version": 2,
+                         "signatures": len(self.history)})
+        elif op == "subscribe":
+            client.subscribed = True
+            if message.get("snapshot", True):
+                client.send(self._snapshot_message())
+        elif op == "publish":
+            self._handle_publish(client, message)
+        elif op == "snapshot":
+            client.send(self._snapshot_message())
+        elif op == "status":
+            client.send(self.status())
+        elif op == "ping":
+            client.send({"op": "pong"})
+        elif op == "bye":
+            return False
+        else:
+            client.send({"op": "error", "error": f"unknown op {op!r}"})
+        return True
+
+    def _snapshot_message(self) -> Dict:
+        return {"op": "snapshot", "format_version": 2,
+                "signatures": [sig.to_dict()
+                               for sig in self.history.signatures()]}
+
+    def _handle_publish(self, client: _ClientConnection, message: Dict) -> None:
+        record = message.get("signature")
+        if not isinstance(record, dict):
+            client.send({"op": "error", "error": "publish without signature"})
+            return
+        try:
+            signature = Signature.from_dict(record)
+        except SignatureError as exc:
+            client.send({"op": "error", "error": f"bad signature: {exc}"})
+            return
+        self._published += 1
+        if self.history.add(signature):
+            self._broadcast_signature(signature, exclude=client)
+
+    def _broadcast_signature(self, signature: Signature,
+                             exclude: Optional[_ClientConnection]) -> None:
+        message = {"op": "signature", "signature": signature.to_dict()}
+        with self._clients_lock:
+            targets = [c for c in self._clients
+                       if c.subscribed and c is not exclude]
+        for target in targets:
+            if target.send(message):
+                self._broadcast += 1
+            else:
+                self._drop_client(target)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def status(self) -> Dict:
+        """Pool counters, also used as the ``status`` protocol answer."""
+        with self._clients_lock:
+            clients = len(self._clients)
+            subscribed = sum(1 for c in self._clients if c.subscribed)
+        return {"op": "status", "transport": "daemon", "spec": self.spec,
+                "signatures": len(self.history), "clients": clients,
+                "subscribers": subscribed, "publishes": self._published,
+                "broadcasts": self._broadcast,
+                "history_path": self.history.path}
+
+
+def serve_forever(server: HistoryServer) -> None:
+    """Run ``server`` until interrupted (the daemon main loop)."""
+    server.start()
+    print(f"dimmunix history daemon listening on {server.spec}", flush=True)
+    try:
+        while True:
+            threading.Event().wait(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.share.server",
+        description="Dimmunix signature-pool daemon.")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--unix", metavar="PATH",
+                       help="listen on a Unix socket at PATH")
+    group.add_argument("--tcp", metavar="HOST:PORT",
+                       help="listen on HOST:PORT")
+    parser.add_argument("--history", metavar="FILE", default=None,
+                        help="persist the pooled history to FILE")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        if not host:
+            print(f"--tcp needs HOST:PORT, got {args.tcp!r}", file=sys.stderr)
+            return 2
+        server = HistoryServer(host=host, port=int(port),
+                               history_path=args.history)
+    else:
+        server = HistoryServer(unix_path=args.unix, history_path=args.history)
+    try:
+        serve_forever(server)
+    except ShareError as exc:
+        print(f"server: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -11,7 +11,7 @@ as captured stacks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
 
 from ..core.callstack import CallStack
 from ..core.signature import EXCLUSIVE, SHARED

@@ -196,7 +196,8 @@ class _DfsPolicy(SchedulePolicy):
         lock = lock_footprint(action)
         if lock is not None:
             lock = scheduler.lock_slot_of(lock)
-            for sleeping in [s for s, l in self.sleep.items() if l == lock]:
+            for sleeping in [s for s, slot in self.sleep.items()
+                             if slot == lock]:
                 del self.sleep[sleeping]
 
 

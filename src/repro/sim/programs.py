@@ -10,7 +10,7 @@ section 7.2.2.
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Sequence
 
 from ..core.signature import EXCLUSIVE, SHARED
 from .actions import Acquire, Compute, Log, Release, call_site

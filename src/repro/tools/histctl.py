@@ -13,6 +13,18 @@ histories when distributing immunity.  This small CLI covers them::
     python -m repro.tools.histctl export app.history signatures.json
     python -m repro.tools.histctl merge app.history vendor-signatures.json
 
+With multi-process history sharing (:mod:`repro.share`) come three live
+subcommands that operate on a signature *pool* instead of a file::
+
+    python -m repro.tools.histctl serve --unix /run/app/pool.sock --history pool.json
+    python -m repro.tools.histctl tail unix:///run/app/pool.sock --duration 30
+    python -m repro.tools.histctl pool-status file:///shared/pool.sig
+
+``serve`` runs the history daemon in the foreground; ``tail`` prints
+signatures as the pool learns them (snapshot first, then live for
+``--duration`` seconds); ``pool-status`` asks a daemon (or inspects a
+shared log file) for its counters.
+
 Read-only commands (``list``, ``show``) load the file *leniently*: a
 record whose kind (or any other field) this build does not understand —
 say, a history written by a newer release with additional resource
@@ -175,6 +187,80 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..share.server import HistoryServer, serve_forever
+
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        if not host:
+            print(f"--tcp needs HOST:PORT, got {args.tcp!r}", file=sys.stderr)
+            return 2
+        server = HistoryServer(host=host, port=int(port),
+                               history_path=args.history)
+    else:
+        server = HistoryServer(unix_path=args.unix, history_path=args.history)
+    serve_forever(server)
+    return 0
+
+
+def _print_signature_line(signature: Signature, origin: str) -> None:
+    print(f"{origin:<9} {signature.fingerprint:<18} {signature.kind:<12} "
+          f"{signature.size} thread(s) depth={signature.matching_depth}",
+          flush=True)
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    import time
+
+    from ..share import open_channel
+
+    channel = open_channel(args.pool, client_name="histctl-tail")
+    printed = 0
+    try:
+        for signature in sorted(channel.snapshot(),
+                                key=lambda s: s.fingerprint):
+            _print_signature_line(signature, "snapshot")
+            printed += 1
+            if args.count is not None and printed >= args.count:
+                return 0
+        deadline = (time.monotonic() + args.duration
+                    if args.duration is not None else None)
+        while deadline is None or time.monotonic() < deadline:
+            for signature in channel.poll():
+                _print_signature_line(signature, "live")
+                printed += 1
+                if args.count is not None and printed >= args.count:
+                    return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        channel.close()
+    return 0
+
+
+def _cmd_pool_status(args: argparse.Namespace) -> int:
+    from ..share import open_channel
+
+    channel = open_channel(args.pool, client_name="histctl-status")
+    try:
+        status_call = getattr(channel, "status", None)
+        if status_call is not None:
+            status = status_call()
+        else:
+            # Transports without native counters (e.g. memory://) still
+            # answer the essential question: how many signatures pooled.
+            status = {"transport": channel.describe(),
+                      "signatures": len(channel.snapshot())}
+    finally:
+        channel.close()
+    status.pop("op", None)
+    width = max(len(key) for key in status)
+    for key in sorted(status):
+        print(f"{key:<{width}}  {status[key]}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="histctl", description="Manage a Dimmunix signature history file.")
@@ -213,6 +299,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_merge.add_argument("history")
     p_merge.add_argument("source")
     p_merge.set_defaults(func=_cmd_merge)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the history daemon (multi-process sharing)")
+    group = p_serve.add_mutually_exclusive_group(required=True)
+    group.add_argument("--unix", metavar="PATH",
+                       help="listen on a Unix socket at PATH")
+    group.add_argument("--tcp", metavar="HOST:PORT",
+                       help="listen on HOST:PORT")
+    p_serve.add_argument("--history", metavar="FILE", default=None,
+                         help="persist the pooled history to FILE")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_tail = sub.add_parser(
+        "tail", help="print pooled signatures as they arrive")
+    p_tail.add_argument("pool", help="share spec (unix://, tcp://, file://)")
+    p_tail.add_argument("--count", type=int, default=None,
+                        help="stop after printing this many signatures")
+    p_tail.add_argument("--duration", type=float, default=None,
+                        help="stop after this many seconds (default: forever)")
+    p_tail.add_argument("--interval", type=float, default=0.2,
+                        help="poll period in seconds for non-push transports")
+    p_tail.set_defaults(func=_cmd_tail)
+
+    p_status = sub.add_parser(
+        "pool-status", help="show signature-pool counters")
+    p_status.add_argument("pool", help="share spec (unix://, tcp://, file://)")
+    p_status.set_defaults(func=_cmd_pool_status)
 
     return parser
 

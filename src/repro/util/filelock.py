@@ -1,0 +1,60 @@
+"""Advisory cross-process file locking.
+
+Both the concurrent-autosave path of :class:`~repro.core.history.History`
+and the shared-file signature channel of :mod:`repro.share` need a way for
+several *processes* to serialize access to one file.  POSIX advisory
+``flock`` is the right tool; on platforms without :mod:`fcntl` (Windows)
+the helpers degrade to no-ops, which keeps single-process behaviour
+correct and merely loses cross-process exclusion there.
+
+Locks are always taken on a *sidecar* path (``<path>.lock``), never on
+the data file itself: the data file is replaced atomically via
+``os.replace`` (compaction, atomic saves), and ``flock`` follows the
+inode — a lock taken on a file that is then replaced would no longer
+exclude writers that open the new inode.  The sidecar file is only ever
+created, never replaced, so its inode is stable.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+#: True when real cross-process advisory locking is available.
+HAVE_FLOCK = fcntl is not None
+
+
+def lock_path_for(path: str) -> str:
+    """The sidecar lock-file path protecting ``path``."""
+    return path + ".lock"
+
+
+@contextlib.contextmanager
+def locked_file(path: str, exclusive: bool = True) -> Iterator[None]:
+    """Hold an advisory lock on the sidecar of ``path`` for the block.
+
+    ``exclusive`` selects between a writer lock (``LOCK_EX``) and a reader
+    lock (``LOCK_SH``).  Re-entrant use from one thread on the same file
+    descriptor is not supported and not needed: each entry opens its own
+    descriptor, so independent threads of one process also exclude each
+    other, matching the cross-process semantics.
+    """
+    if fcntl is None:
+        yield
+        return
+    sidecar = lock_path_for(path)
+    fd = os.open(sidecar, os.O_RDWR | os.O_CREAT, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+        yield
+    finally:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines import (DetectionOnlyBackend, GateLockBackend,
                              GhostLockBackend, rx_retry)

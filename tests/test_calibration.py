@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.core.calibration import Calibrator, Episode, LockOp, find_lock_inversion
+from repro.core.calibration import Calibrator, LockOp, find_lock_inversion
 from repro.core.callstack import CallStack
 from repro.core.config import DimmunixConfig
 from repro.core.signature import Signature

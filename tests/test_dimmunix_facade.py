@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import os
 
-import pytest
 
 from repro.core.callstack import CallStack
 from repro.core.config import DimmunixConfig

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.callstack import CallStack
-from repro.core.events import (Event, EventType, acquired_event, allow_event,
+from repro.core.events import ( EventType, acquired_event, allow_event,
                                cancel_event, release_event, request_event,
                                yield_event)
 

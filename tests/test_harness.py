@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.config import DimmunixConfig
 from repro.core.dimmunix import Dimmunix
 from repro.harness.ablation import run_allow_edge_ablation
 from repro.harness.appworkloads import run_broker_workload, run_jdbc_workload

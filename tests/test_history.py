@@ -7,7 +7,7 @@ import os
 
 import pytest
 
-from repro.core.errors import HistoryError, HistoryFormatError
+from repro.core.errors import HistoryFormatError
 from repro.core.history import History
 from repro.core.signature import Signature
 

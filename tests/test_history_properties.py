@@ -315,3 +315,98 @@ class TestConcurrentAutosave:
         writer.join()
         reader.join()
         assert not errors, f"reload saw a torn file: {errors[0]}"
+
+
+class TestCrossProcessAutosave:
+    """Two writers of one history path must never truncate each other.
+
+    Each ``History`` instance here stands in for a separate process (no
+    shared in-memory state, only the file); the final test uses real
+    subprocesses so the advisory-lock path is exercised across actual
+    process boundaries."""
+
+    @given(st.lists(signatures, min_size=1, max_size=5, unique_by=lambda s: s.fingerprint),
+           st.lists(signatures, min_size=1, max_size=5, unique_by=lambda s: s.fingerprint),
+           st.lists(st.booleans(), min_size=10, max_size=10))
+    @settings(max_examples=20, deadline=None)
+    def test_interleaved_autosaves_converge_to_the_union(self, left, right,
+                                                         schedule):
+        import tempfile
+        with tempfile.TemporaryDirectory() as workdir:
+            path = os.path.join(workdir, "shared.history")
+            a = History(path=path, autosave=True)
+            b = History(path=path, autosave=True)
+            queues = {True: list(left), False: list(right)}
+            writers = {True: a, False: b}
+            for pick in schedule:
+                if queues[pick]:
+                    writers[pick].add(queues[pick].pop())
+            for remaining in (True, False):
+                for signature in queues[remaining]:
+                    writers[remaining].add(signature)
+            final = History(path=path, autosave=False)
+            expected = ({s.fingerprint for s in left}
+                        | {s.fingerprint for s in right})
+            assert _fingerprints(final) == expected
+
+    def test_save_merges_unknown_signatures_into_memory_too(self, tmp_path):
+        path = str(tmp_path / "shared.history")
+        a = History(path=path, autosave=True)
+        b = History(path=path, autosave=True)
+        sig_a = Signature.from_stacks([["a:1"], ["a:2"]], matching_depth=2)
+        sig_b = Signature.from_stacks([["b:1"], ["b:2"]], matching_depth=2)
+        a.add(sig_a)
+        b.add(sig_b)
+        # b's merge-on-save folded a's signature into b's memory as well:
+        # the processes *converge*, not just their file.
+        assert _fingerprints(b) == {sig_a.fingerprint, sig_b.fingerprint}
+
+    def test_removal_is_not_resurrected_by_own_saves(self, tmp_path):
+        path = str(tmp_path / "shared.history")
+        history = History(path=path, autosave=True)
+        keep = Signature.from_stacks([["keep:1"], ["keep:2"]], matching_depth=2)
+        drop = Signature.from_stacks([["drop:1"], ["drop:2"]], matching_depth=2)
+        history.add(keep)
+        history.add(drop)
+        history.remove(drop.fingerprint)
+        # The save that follows the removal merges from disk; the tombstone
+        # must keep the removed signature from coming back.
+        history.add(Signature.from_stacks([["more:1"], ["more:2"]],
+                                          matching_depth=2))
+        assert drop.fingerprint not in _fingerprints(history)
+        reloaded = History(path=path, autosave=False)
+        assert drop.fingerprint not in _fingerprints(reloaded)
+
+    def test_clear_overwrites_instead_of_merging(self, tmp_path):
+        path = str(tmp_path / "shared.history")
+        history = History(path=path, autosave=True)
+        history.add(Signature.from_stacks([["x:1"], ["x:2"]], matching_depth=2))
+        history.clear()
+        assert len(History(path=path, autosave=False)) == 0
+
+    def test_real_processes_autosaving_one_path(self, tmp_path):
+        import subprocess
+        import sys
+        path = str(tmp_path / "shared.history")
+        script = (
+            "import sys\n"
+            "from repro.core.history import History\n"
+            "from repro.core.signature import Signature\n"
+            "worker, path = sys.argv[1], sys.argv[2]\n"
+            "history = History(path=path, autosave=True)\n"
+            "for index in range(5):\n"
+            "    history.add(Signature.from_stacks(\n"
+            "        [[f'{worker}:{index}'], [f'peer-{worker}:{index}']],\n"
+            "        matching_depth=2))\n"
+        )
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        processes = [subprocess.Popen([sys.executable, "-c", script,
+                                       f"w{index}", path], env=env)
+                     for index in range(3)]
+        for process in processes:
+            assert process.wait(timeout=60) == 0
+        final = History(path=path, autosave=False)
+        assert len(final) == 15

@@ -153,7 +153,7 @@ class TestFactoriesAndPatching:
         assert runtime is get_default_dimmunix()
 
     def test_install_patches_threading(self, config):
-        runtime = patching.install(Dimmunix(config=config))
+        patching.install(Dimmunix(config=config))
         try:
             lock = threading.Lock()
             assert isinstance(lock, DimmunixLock)

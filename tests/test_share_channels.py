@@ -1,0 +1,344 @@
+"""Unit tests for the history-sharing transports (repro.share).
+
+Covers the :class:`HistoryChannel` contract for all three transports —
+spec parsing, publish/poll/snapshot dedup, the daemon protocol, the
+shared-file log's locking/compaction/generation handling — without
+spawning worker processes (the end-to-end multi-process story lives in
+``test_share_multiprocess.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.callstack import CallStack
+from repro.core.errors import ShareError
+from repro.core.signature import Signature
+from repro.share import (FileChannel, HistoryServer, MemoryHub, SocketChannel,
+                         memory_hub, open_channel, parse_share_spec,
+                         reset_memory_hubs)
+
+
+def make_signature(label: str) -> Signature:
+    return Signature([CallStack.from_labels([f"{label}:1", "main:0"]),
+                      CallStack.from_labels([f"{label}:2", "main:0"])])
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing
+# ---------------------------------------------------------------------------
+
+
+class TestSpecParsing:
+    def test_tcp(self):
+        assert parse_share_spec("tcp://pool.internal:7341") == (
+            "tcp", {"host": "pool.internal", "port": 7341})
+
+    def test_unix(self):
+        assert parse_share_spec("unix:///run/app/pool.sock") == (
+            "unix", {"path": "/run/app/pool.sock"})
+
+    def test_file(self):
+        assert parse_share_spec("file:///shared/pool.sig") == (
+            "file", {"path": "/shared/pool.sig"})
+
+    def test_bare_path_is_file(self):
+        assert parse_share_spec("/shared/pool.sig") == (
+            "file", {"path": "/shared/pool.sig"})
+
+    def test_memory(self):
+        assert parse_share_spec("memory://team-a") == (
+            "memory", {"name": "team-a"})
+
+    @pytest.mark.parametrize("spec", ["tcp://nohost", "tcp://host:notaport",
+                                      "unix://", "file://", "memory://",
+                                      "carrier-pigeon://x"])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ShareError):
+            parse_share_spec(spec)
+
+    def test_open_channel_passes_instances_through(self):
+        channel = MemoryHub("passthrough").channel()
+        assert open_channel(channel) is channel
+
+    def test_open_channel_rejects_non_specs(self):
+        with pytest.raises(ShareError):
+            open_channel(42)
+
+    def test_open_channel_memory_spec_is_process_global(self):
+        reset_memory_hubs()
+        a = open_channel("memory://shared-hub")
+        b = open_channel("memory://shared-hub")
+        a.publish(make_signature("global"))
+        assert len(b.poll()) == 1
+
+
+# ---------------------------------------------------------------------------
+# Memory hub
+# ---------------------------------------------------------------------------
+
+
+class TestMemoryChannel:
+    def test_publish_reaches_other_channels_not_self(self):
+        hub = MemoryHub()
+        a, b = hub.channel(), hub.channel()
+        a.publish(make_signature("m1"))
+        assert [s.fingerprint for s in b.poll()] == \
+            [make_signature("m1").fingerprint]
+        assert a.poll() == []          # own publish is never redelivered
+        assert b.poll() == []          # delivery is exactly-once
+
+    def test_hub_deduplicates_by_fingerprint(self):
+        hub = MemoryHub()
+        a, b, c = hub.channel(), hub.channel(), hub.channel()
+        a.publish(make_signature("dup"))
+        b.publish(make_signature("dup"))
+        assert len(hub) == 1
+        assert len(c.poll()) == 1
+
+    def test_snapshot_returns_everything_and_stops_redelivery(self):
+        hub = MemoryHub()
+        a, b = hub.channel(), hub.channel()
+        a.publish(make_signature("s1"))
+        a.publish(make_signature("s2"))
+        assert len(b.snapshot()) == 2
+        assert b.poll() == []
+
+    def test_closed_channel_is_inert(self):
+        hub = MemoryHub()
+        a, b = hub.channel(), hub.channel()
+        a.close()
+        a.publish(make_signature("x"))
+        assert len(hub) == 0
+        assert a.poll() == [] and a.snapshot() == []
+        b.publish(make_signature("y"))
+        assert b.poll() == []
+
+    def test_named_hubs_are_stable(self):
+        reset_memory_hubs()
+        assert memory_hub("alpha") is memory_hub("alpha")
+        assert memory_hub("alpha") is not memory_hub("beta")
+
+
+# ---------------------------------------------------------------------------
+# Shared-file channel
+# ---------------------------------------------------------------------------
+
+
+class TestFileChannel:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "pool.sig")
+        a, b = FileChannel(path), FileChannel(path)
+        a.publish(make_signature("f1"))
+        got = b.poll()
+        assert [s.fingerprint for s in got] == \
+            [make_signature("f1").fingerprint]
+        assert b.poll() == []
+        assert a.poll() == []          # own record filtered by seen-set
+
+    def test_poll_before_any_publish(self, tmp_path):
+        channel = FileChannel(str(tmp_path / "absent.sig"))
+        assert channel.poll() == []
+        assert channel.snapshot() == []
+
+    def test_incremental_offsets(self, tmp_path):
+        path = str(tmp_path / "pool.sig")
+        a, b = FileChannel(path), FileChannel(path)
+        for index in range(5):
+            a.publish(make_signature(f"s{index}"))
+            assert len(b.poll()) == 1
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        path = str(tmp_path / "pool.sig")
+        a, b = FileChannel(path), FileChannel(path)
+        a.publish(make_signature("good"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"unrelated": True}) + "\n")
+        a.publish(make_signature("good2"))
+        assert len(b.poll()) == 2
+
+    def test_non_share_file_is_refused_outright(self, tmp_path):
+        """A foreign file (say, a history file passed as the share spec)
+        must be rejected at construction — never appended to."""
+        path = str(tmp_path / "other.json")
+        original = json.dumps({"format_version": 2, "signatures": []})
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(original)
+        with pytest.raises(ShareError):
+            FileChannel(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read() == original  # untouched
+
+    def test_compaction_drops_duplicates_and_readers_survive(self, tmp_path):
+        path = str(tmp_path / "pool.sig")
+        writer = FileChannel(path)
+        reader = FileChannel(path)
+        for index in range(4):
+            writer.publish(make_signature(f"c{index}"))
+        assert len(reader.poll()) == 4
+        # Duplicate records from "other processes" (fresh seen-sets).
+        for _ in range(3):
+            duplicator = FileChannel(path)
+            duplicator.publish(make_signature("c0"))
+            # A fresh channel skips publishing fingerprints it has read;
+            # force the duplicate append the way a restarted process would.
+            duplicator._seen.clear()
+            duplicator.publish(make_signature("c0"))
+        dropped = writer.compact()
+        assert dropped >= 1
+        status = writer.status()
+        assert status["records"] == status["signatures"] == 4
+        # The reader's offset was minted against the pre-compaction file:
+        # the generation change forces a rescan, the seen-set stops any
+        # re-delivery.
+        assert reader.poll() == []
+        writer.publish(make_signature("after-compaction"))
+        assert len(reader.poll()) == 1
+
+    def test_auto_compaction(self, tmp_path):
+        path = str(tmp_path / "pool.sig")
+        channel = FileChannel(path, compact_slack=2, check_interval=1)
+        channel.publish(make_signature("a"))
+        for _ in range(4):
+            channel._seen.clear()
+            channel.publish(make_signature("a"))
+        status = channel.status()
+        assert status["records"] == status["signatures"] == 1
+
+    def test_status(self, tmp_path):
+        path = str(tmp_path / "pool.sig")
+        channel = FileChannel(path)
+        channel.publish(make_signature("one"))
+        status = channel.status()
+        assert status["transport"] == "file"
+        assert status["signatures"] == 1
+        assert status["bytes"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Daemon + socket channel
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def server(tmp_path):
+    instance = HistoryServer(unix_path=str(tmp_path / "pool.sock")).start()
+    yield instance
+    instance.stop()
+
+
+def wait_until(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestSocketChannel:
+    def test_connect_requires_a_daemon(self, tmp_path):
+        with pytest.raises(ShareError):
+            SocketChannel(("unix", str(tmp_path / "nothing.sock")))
+
+    def test_publish_broadcasts_to_other_subscribers(self, server):
+        a = SocketChannel(("unix", server._unix_path))
+        b = SocketChannel(("unix", server._unix_path))
+        assert a.wait_synced(5) and b.wait_synced(5)
+        a.publish(make_signature("net"))
+        assert wait_until(lambda: len(b.poll()) == 1 or False)
+        # The publisher never gets its own signature back.
+        assert a.poll() == []
+        a.close(), b.close()
+
+    def test_late_joiner_gets_snapshot(self, server):
+        early = SocketChannel(("unix", server._unix_path))
+        early.publish(make_signature("old1"))
+        early.publish(make_signature("old2"))
+        assert wait_until(lambda: len(server.history) == 2)
+        late = SocketChannel(("unix", server._unix_path))
+        assert late.wait_synced(5)
+        assert len(late.poll()) == 2
+        early.close(), late.close()
+
+    def test_snapshot_and_status_requests(self, server):
+        channel = SocketChannel(("unix", server._unix_path))
+        channel.publish(make_signature("q"))
+        assert wait_until(lambda: len(server.history) == 1)
+        assert len(channel.snapshot()) == 1
+        status = channel.status()
+        assert status["transport"] == "daemon"
+        assert status["signatures"] == 1
+        assert status["publishes"] == 1
+        channel.close()
+
+    def test_server_deduplicates(self, server):
+        a = SocketChannel(("unix", server._unix_path))
+        b = SocketChannel(("unix", server._unix_path))
+        a.publish(make_signature("same"))
+        b.publish(make_signature("same"))
+        assert wait_until(lambda: server._published == 2)
+        assert len(server.history) == 1
+        # No broadcast echo of the duplicate back to `a`.
+        time.sleep(0.1)
+        assert a.poll() == []
+        a.close(), b.close()
+
+    def test_malformed_messages_do_not_kill_the_connection(self, server):
+        channel = SocketChannel(("unix", server._unix_path))
+        channel._send({"op": "publish"})               # missing signature
+        channel._send({"op": "no-such-op"})
+        channel._send({"op": "publish", "signature": {"bogus": 1}})
+        channel.publish(make_signature("still-works"))
+        assert wait_until(lambda: len(server.history) == 1)
+        channel.close()
+
+    def test_dead_daemon_degrades_without_raising(self, server):
+        channel = SocketChannel(("unix", server._unix_path))
+        assert channel.wait_synced(5)
+        server.stop()
+        assert wait_until(lambda: not channel.connected)
+        channel.publish(make_signature("lost"))        # swallowed
+        assert channel.poll() == []                    # swallowed
+        with pytest.raises(ShareError):
+            channel.status(timeout=0.2)
+        channel.close()
+
+    def test_tcp_transport(self):
+        server = HistoryServer(host="127.0.0.1", port=0).start()
+        try:
+            a = SocketChannel(("tcp", "127.0.0.1", server.port))
+            b = SocketChannel(("tcp", "127.0.0.1", server.port))
+            a.publish(make_signature("tcp"))
+            assert wait_until(lambda: len(b.poll()) == 1 or False)
+            a.close(), b.close()
+        finally:
+            server.stop()
+
+    def test_persistent_daemon_history(self, tmp_path):
+        history_path = str(tmp_path / "pool.json")
+        sock = str(tmp_path / "pool.sock")
+        server = HistoryServer(unix_path=sock, history_path=history_path)
+        server.start()
+        try:
+            channel = SocketChannel(("unix", sock))
+            channel.publish(make_signature("persisted"))
+            assert wait_until(lambda: len(server.history) == 1)
+            channel.close()
+        finally:
+            server.stop()
+        assert os.path.exists(history_path)
+        revived = HistoryServer(unix_path=sock, history_path=history_path)
+        revived.start()
+        try:
+            late = SocketChannel(("unix", sock))
+            assert late.wait_synced(5)
+            assert len(late.poll()) == 1
+            late.close()
+        finally:
+            revived.stop()

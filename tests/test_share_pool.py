@@ -1,0 +1,227 @@
+"""Tests for the SignaturePool and its engine/runtime wiring.
+
+Proves the tentpole properties without any worker processes:
+
+* locally archived signatures publish to the channel the instant the
+  history learns them,
+* remote signatures install into the *live* engine on a monitor pass —
+  the striped signature index picks them up and the very next request
+  can yield on them (no restart),
+* installs never echo back out of the pool,
+* deterministic cross-"deployment" immunity through the memory hub, for
+  engines and for two full runtimes in one process.
+"""
+
+from __future__ import annotations
+
+
+import pytest
+
+from repro.core.avoidance import Decision
+from repro.core.callstack import CallStack
+from repro.core.config import DimmunixConfig
+from repro.core.dimmunix import Dimmunix
+from repro.core.errors import MonitorError
+from repro.core.history import History
+from repro.core.signature import Signature
+from repro.share import MemoryHub, SignaturePool
+from repro.share.channel import HistoryChannel
+
+
+def stack(*labels):
+    return CallStack.from_labels(list(labels))
+
+
+def make_signature(label: str, depth: int = 2) -> Signature:
+    return Signature([stack(f"{label}:1", "update:1"),
+                      stack(f"{label}:1", "update:2")],
+                     matching_depth=depth)
+
+
+class FailingChannel(HistoryChannel):
+    """A channel whose transport always fails (dead daemon stand-in)."""
+
+    def publish(self, signature):
+        raise OSError("transport down")
+
+    def poll(self):
+        raise OSError("transport down")
+
+    def snapshot(self):
+        raise OSError("transport down")
+
+
+class TestSignaturePool:
+    def test_local_add_publishes_immediately(self):
+        hub = MemoryHub()
+        history = History(path=None, autosave=False)
+        pool = SignaturePool(history, hub.channel())
+        history.add(make_signature("local"))
+        assert len(hub) == 1
+        assert pool.published == 1
+
+    def test_pump_installs_remote_signatures(self):
+        hub = MemoryHub()
+        history = History(path=None, autosave=False)
+        pool = SignaturePool(history, hub.channel())
+        hub.channel().publish(make_signature("remote"))
+        assert pool.pump() == 1
+        assert len(history) == 1
+        assert pool.pump() == 0
+
+    def test_installed_signatures_do_not_echo(self):
+        hub = MemoryHub()
+        history = History(path=None, autosave=False)
+        pool = SignaturePool(history, hub.channel())
+        hub.channel().publish(make_signature("remote"))
+        pool.pump()
+        # The install triggered the history listener, but the pool must
+        # not publish a remote signature back into the pool.
+        assert pool.published == 0
+        assert len(hub) == 1
+
+    def test_sync_pushes_existing_history(self):
+        hub = MemoryHub()
+        history = History(path=None, autosave=False)
+        history.add(make_signature("preexisting"))
+        pool = SignaturePool(history, hub.channel())
+        hub.channel().publish(make_signature("remote"))
+        installed = pool.sync()
+        assert installed == 1
+        assert len(history) == 2
+        assert len(hub) == 2
+
+    def test_transport_failures_never_raise(self):
+        history = History(path=None, autosave=False)
+        pool = SignaturePool(history, FailingChannel())
+        history.add(make_signature("doomed"))       # publish swallowed
+        assert pool.publish_errors == 1
+        assert pool.pump() == 0                     # poll swallowed
+        assert pool.sync() == 0                     # snapshot swallowed
+        assert len(history) == 1                    # immunity still local
+
+    def test_close_detaches_listener(self):
+        hub = MemoryHub()
+        history = History(path=None, autosave=False)
+        pool = SignaturePool(history, hub.channel())
+        pool.close()
+        assert pool.closed
+        # The listener must actually be gone (bound-method equality, not
+        # identity): repeated attach/detach cycles must not accumulate
+        # dead listeners on a long-lived history.
+        assert pool._publish_local not in history._listeners
+        history.add(make_signature("after-close"))
+        assert len(hub) == 0
+        pool.close()  # idempotent
+
+    def test_report(self):
+        hub = MemoryHub()
+        history = History(path=None, autosave=False)
+        pool = SignaturePool(history, hub.channel())
+        history.add(make_signature("r")); pool.pump()
+        report = pool.report()
+        assert report["published"] == 1
+        assert report["history_size"] == 1
+
+
+class TestDimmunixWiring:
+    def test_attach_via_constructor_and_monitor_pass(self):
+        hub = MemoryHub()
+        a = Dimmunix(DimmunixConfig.for_testing(), share=hub.channel())
+        b = Dimmunix(DimmunixConfig.for_testing(), share=hub.channel())
+        a.history.add(make_signature("cross"))
+        assert len(b.history) == 0
+        b.process_now()                      # the monitor pass pumps
+        assert len(b.history) == 1
+        assert b.report()["share"]["installed"] == 1
+
+    def test_double_attach_raises(self):
+        hub = MemoryHub()
+        dim = Dimmunix(DimmunixConfig.for_testing(), share=hub.channel())
+        with pytest.raises(MonitorError):
+            dim.attach_share(hub.channel())
+        dim.detach_share()
+        dim.attach_share(hub.channel())      # fine after detach
+
+    def test_attach_share_by_memory_spec(self):
+        from repro.share import memory_hub, reset_memory_hubs
+        reset_memory_hubs()
+        a = Dimmunix(DimmunixConfig.for_testing(), share="memory://spec-test")
+        b = Dimmunix(DimmunixConfig.for_testing(), share="memory://spec-test")
+        a.history.add(make_signature("spec"))
+        b.process_now()
+        assert len(b.history) == 1
+        assert len(memory_hub("spec-test")) == 1
+
+    def test_runtime_core_passthrough(self):
+        hub = MemoryHub()
+        dim = Dimmunix(DimmunixConfig.for_testing())
+        pool = dim.runtime_core.attach_share(hub.channel())
+        assert dim.runtime_core.share_pool is pool
+        assert dim.share_pool is pool
+
+    def test_stop_flushes_and_closes_the_pool(self):
+        hub = MemoryHub()
+        dim = Dimmunix(DimmunixConfig.for_testing(), share=hub.channel())
+        pool = dim.share_pool
+        other = hub.channel()
+        other.publish(make_signature("late"))
+        dim.start()
+        dim.stop()
+        # stop() pumped one final time before closing the channel.
+        assert len(dim.history) == 1
+        assert pool.closed
+        assert dim.share_pool is None
+
+    def test_remote_signature_reaches_live_engine(self):
+        """The headline property: a remote install makes the *running*
+        engine yield on the next matching request — no restart."""
+        hub = MemoryHub()
+        dim = Dimmunix(DimmunixConfig.for_testing(), share=hub.channel())
+        engine = dim.engine
+        s1 = stack("lock:1", "update:1", "main:0")
+        s2 = stack("lock:1", "update:2", "main:0")
+        # Before the remote signature arrives: everything is GO.
+        assert engine.request(1, 10, s1).decision is Decision.GO
+        engine.acquired(1, 10, s1)
+        # Another "process" learns the deadlock and publishes it.
+        hub.channel().publish(make_signature("lock", depth=2))
+        dim.process_now()
+        # The same pattern is now dangerous: thread 2 must yield.
+        outcome = engine.request(2, 20, s2)
+        assert outcome.decision is Decision.YIELD
+        assert outcome.signature.fingerprint == \
+            make_signature("lock", depth=2).fingerprint
+
+
+class TestDeterministicCrossRuntimeImmunity:
+    """Two full runtimes in one process, pooled through the memory hub.
+
+    This is the sim-channel acceptance criterion: the cross-deployment
+    immunity story runs deterministically — every install point is an
+    explicit ``process_now()`` call, no sockets, files, or sleeps.
+    """
+
+    def test_run_twice_across_two_runtimes(self):
+        from repro.instrument.runtime import InstrumentationRuntime
+        from repro.share.demo import _deadlock_prone_program
+
+        hub = MemoryHub()
+        # Deployment A: empty history, deadlocks once.
+        dim_a = Dimmunix(DimmunixConfig.for_testing(), share=hub.channel())
+        dim_a.start()
+        outcome_a = _deadlock_prone_program(InstrumentationRuntime(dim_a))
+        dim_a.stop()
+        assert outcome_a["deadlocked"]
+        assert len(dim_a.history) >= 1
+        assert len(hub) >= 1
+
+        # Deployment B: fresh runtime, never deadlocked, first run immune.
+        dim_b = Dimmunix(DimmunixConfig.for_testing(), share=hub.channel())
+        assert len(dim_b.history) >= 1        # installed on attach sync
+        dim_b.start()
+        outcome_b = _deadlock_prone_program(InstrumentationRuntime(dim_b))
+        dim_b.stop()
+        assert not outcome_b["deadlocked"]
+        assert outcome_b["completed"] == 2
+        assert dim_b.stats.snapshot()["yield_decisions"] >= 1

@@ -8,7 +8,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.avoidance import AvoidanceEngine
-from repro.core.calibration import Calibrator
 from repro.core.callstack import CallStack
 from repro.core.config import DimmunixConfig
 from repro.core.dimmunix import Dimmunix

@@ -8,7 +8,6 @@ re-manifests an archived pattern") that a single lucky seed cannot test.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.config import DimmunixConfig, STRONG_IMMUNITY
 from repro.core.signature import STARVATION, Signature
@@ -149,7 +148,7 @@ class TestInducedStarvation:
         for signature in self._starvation_history():
             backend.history.add(signature)
         scheduler = self._build(backend)
-        result = scheduler.run()
+        scheduler.run()
         # The restart hook fired; with no actual restart the run then stalls.
         assert len(restarts) >= 1
         assert backend.dimmunix.stats.restarts_requested >= 1
