@@ -1,0 +1,139 @@
+"""Multi-core contention — one shared engine hammered from N real threads.
+
+On stock CPython the GIL caps the engine at roughly single-core
+throughput no matter how many threads request locks.  On free-threaded
+builds (PEP 703, ``python3.13t``/``python3.14t``) the hot path's shared
+state becomes the scaling limit instead, which is exactly what this
+benchmark measures: every thread drives request/acquired/release on its
+own lock and stack against one shared :class:`AvoidanceEngine` with a
+1000-signature history, so the only contention is engine-internal —
+the per-thread event rings, the sharded statistics counters, the
+lock-free signature-index reads, and the striped avoidance cache.
+
+Reported per thread count: aggregate ops/sec and scaling efficiency
+(ops/sec relative to ``1-thread ops/sec × threads``).  The result rows
+carry ``gil_enabled`` so the CI matrix can tell the two build flavours
+apart; on GIL builds efficiency degrading toward ``1/threads`` is
+expected and not a regression.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+from repro.core.avoidance import AvoidanceEngine
+from repro.core.callstack import CallStack
+from repro.core.config import DimmunixConfig
+from repro.core.events import EventBus
+from repro.core.history import History
+from repro.workloads.synth_history import synthesize_history
+
+THREAD_COUNTS = (1, 2, 4, 8)
+HISTORY_SIZE = 1000
+OPS_PER_THREAD = 20000
+
+_SIG_UNIVERSE = [
+    CallStack.from_labels([f"sig_lock:{i}", f"sig_caller:{i % 7}", "sig_main:0"])
+    for i in range(64)
+]
+
+
+def _gil_enabled() -> bool:
+    checker = getattr(sys, "_is_gil_enabled", None)
+    return bool(checker()) if checker is not None else True
+
+
+def _make_engine() -> AvoidanceEngine:
+    history = History(path=None, autosave=False)
+    synthesize_history(_SIG_UNIVERSE, count=HISTORY_SIZE, matching_depth=4,
+                       seed=7, history=history)
+    return AvoidanceEngine(history, DimmunixConfig.for_testing(),
+                           event_queue=EventBus(ring_capacity=4096))
+
+
+def _measure(threads: int, ops_per_thread: int) -> float:
+    engine = _make_engine()
+    barrier = threading.Barrier(threads + 1)
+
+    def work(worker: int) -> None:
+        stack = CallStack.from_labels(
+            [f"app_lock:{worker}", f"app_caller:{worker}", "app_main:0"])
+        lock_id = 1000 + worker
+        thread_id = worker + 1
+        barrier.wait()
+        for _ in range(ops_per_thread):
+            engine.request(thread_id, lock_id, stack)
+            engine.acquired(thread_id, lock_id, stack)
+            engine.release(thread_id, lock_id)
+
+    pool = [threading.Thread(target=work, args=(w,), daemon=True)
+            for w in range(threads)]
+    for thread in pool:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in pool:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return threads * ops_per_thread / elapsed if elapsed > 0 else float("inf")
+
+
+def run_scaling(thread_counts=THREAD_COUNTS, ops_per_thread=OPS_PER_THREAD):
+    gil = _gil_enabled()
+    rows = []
+    single = None
+    for threads in thread_counts:
+        ops_per_sec = _measure(threads, ops_per_thread)
+        if single is None:
+            single = ops_per_sec
+        rows.append({
+            "threads": threads,
+            "ops_per_thread": ops_per_thread,
+            "ops_per_sec": ops_per_sec,
+            "scaling_efficiency": ops_per_sec / (single * threads),
+            "gil_enabled": gil,
+        })
+    return rows
+
+
+def format_rows(rows) -> str:
+    gil = rows[0]["gil_enabled"] if rows else _gil_enabled()
+    lines = [f"gil_enabled: {gil}",
+             "threads  ops/sec     efficiency", "-" * 33]
+    for row in rows:
+        lines.append(f"{row['threads']:>7}  {row['ops_per_sec']:>10.0f}  "
+                     f"{row['scaling_efficiency']:>9.2f}")
+    return "\n".join(lines)
+
+
+def bench_freethreaded_scaling():
+    rows = run_scaling()
+    print()
+    print(format_rows(rows))
+    return rows
+
+
+def test_freethreaded_scaling(once):
+    rows = once(bench_freethreaded_scaling)
+    assert len(rows) == len(THREAD_COUNTS)
+    for row in rows:
+        assert row["ops_per_sec"] > 0
+        assert 0 < row["scaling_efficiency"] <= 2.0
+
+
+if __name__ == "__main__":
+    from quickbench import bench_main
+
+    def _full():
+        rows = run_scaling()
+        print(format_rows(rows))
+        return rows
+
+    def _quick():
+        rows = run_scaling(thread_counts=(1, 4), ops_per_thread=4000)
+        print(format_rows(rows))
+        return rows
+
+    sys.exit(bench_main("freethreaded_scaling", full=_full, quick=_quick))

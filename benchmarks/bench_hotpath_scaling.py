@@ -23,8 +23,8 @@ from repro.core.avoidance import AvoidanceEngine
 from repro.core.callstack import CallStack
 from repro.core.config import DimmunixConfig
 from repro.core.history import History
+from repro.core.events import EventBus
 from repro.workloads.synth_history import synthesize_history
-from repro.util.eventqueue import EventQueue
 
 THREAD_COUNTS = (1, 2, 4, 8)
 HISTORY_SIZES = (0, 100, 1000)
@@ -44,9 +44,9 @@ def _make_engine(history_size: int) -> AvoidanceEngine:
         synthesize_history(_SIG_UNIVERSE, count=history_size,
                            matching_depth=4, seed=7, history=history)
     config = DimmunixConfig.for_testing()
-    # Bounded queue: the benchmark has no monitor draining it, and an
-    # unbounded queue would measure allocation, not the decision path.
-    return AvoidanceEngine(history, config, event_queue=EventQueue(maxsize=4096))
+    # Small rings: the benchmark has no monitor draining them, and large
+    # backlogs would measure allocation, not the decision path.
+    return AvoidanceEngine(history, config, event_queue=EventBus(ring_capacity=4096))
 
 
 def _worker_stack(worker: int) -> CallStack:
@@ -131,8 +131,10 @@ if __name__ == "__main__":
         return rows
 
     def _quick():
-        rows = run_grid(thread_counts=(1, 4), history_sizes=(0, 100),
-                        ops_per_thread=500)
+        # The 8-thread x 1000-signature cell is the PR acceptance cell:
+        # the compare subcommand tracks it against benchmarks/results/.
+        rows = run_grid(thread_counts=(1, 8), history_sizes=(0, 1000),
+                        ops_per_thread=1000)
         print(format_rows(rows))
         return rows
 

@@ -19,11 +19,13 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import glob
 import json
+import os
 import platform
 import sys
 import time
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 
 def jsonable(value: Any) -> Any:
@@ -88,3 +90,137 @@ def bench_main(name: str, full: Callable[[], Any],
               f"({elapsed:.1f}s{', quick' if args.quick else ''})",
               file=sys.stderr)
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison (``python quickbench.py compare``)
+# ---------------------------------------------------------------------------
+
+#: Metric-name fragments that mean "higher is better" / "lower is better".
+#: Numeric leaves matching neither are ignored (grid parameters, counts).
+_HIGHER_BETTER = ("ops_per_sec", "per_sec", "throughput", "speedup",
+                  "efficiency")
+_LOWER_BETTER = ("elapsed", "overhead", "latency", "_us", "_ms", "seconds")
+
+
+def _flatten(value: Any, prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a result tree as ``dotted.path -> float``."""
+    leaves: Dict[str, float] = {}
+    if isinstance(value, bool):
+        return leaves
+    if isinstance(value, (int, float)):
+        leaves[prefix or "value"] = float(value)
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            leaves.update(_flatten(item, path))
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            path = f"{prefix}[{index}]"
+            leaves.update(_flatten(item, path))
+    return leaves
+
+
+def _direction(path: str) -> int:
+    """+1 when larger is better, -1 when smaller is better, 0 when unjudged."""
+    lowered = path.lower()
+    if any(hint in lowered for hint in _HIGHER_BETTER):
+        return 1
+    if any(hint in lowered for hint in _LOWER_BETTER):
+        return -1
+    return 0
+
+
+def compare_payloads(baseline: Dict, fresh: Dict,
+                     threshold: float) -> Tuple[List[str], List[str]]:
+    """Compare two ``BENCH_<name>.json`` payloads.
+
+    Returns ``(lines, regressions)``: human-readable per-metric deltas
+    for every judged metric shared by both payloads, and the subset whose
+    change is a regression worse than ``threshold`` percent.
+    """
+    base_leaves = _flatten(baseline.get("results"))
+    fresh_leaves = _flatten(fresh.get("results"))
+    lines: List[str] = []
+    regressions: List[str] = []
+    for path in sorted(base_leaves):
+        direction = _direction(path)
+        if direction == 0 or path not in fresh_leaves:
+            continue
+        before, after = base_leaves[path], fresh_leaves[path]
+        if before == 0:
+            continue
+        # Positive percentage == improvement, in either direction.
+        delta = (after - before) / abs(before) * 100.0 * direction
+        line = f"{path}: {before:.6g} -> {after:.6g} ({delta:+.1f}%)"
+        lines.append("  " + line)
+        if delta < -threshold:
+            regressions.append(line)
+    return lines, regressions
+
+
+def compare_dirs(baseline_dir: str, fresh_dir: str, threshold: float,
+                 verbose: bool = False) -> Tuple[int, int]:
+    """Diff every ``BENCH_*.json`` common to two directories.
+
+    Prints a per-benchmark report; returns ``(benchmarks_compared,
+    regression_count)``.
+    """
+    compared = regressed = 0
+    baseline_files = sorted(glob.glob(os.path.join(baseline_dir,
+                                                   "BENCH_*.json")))
+    if not baseline_files:
+        print(f"no BENCH_*.json baselines under {baseline_dir}")
+        return 0, 0
+    for baseline_path in baseline_files:
+        name = os.path.basename(baseline_path)
+        fresh_path = os.path.join(fresh_dir, name)
+        if not os.path.exists(fresh_path):
+            print(f"-- {name}: no fresh run, skipped")
+            continue
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        with open(fresh_path, "r", encoding="utf-8") as handle:
+            fresh = json.load(handle)
+        lines, regressions = compare_payloads(baseline, fresh, threshold)
+        compared += 1
+        regressed += len(regressions)
+        status = (f"{len(regressions)} regression(s) past {threshold:.0f}%"
+                  if regressions else "ok")
+        print(f"-- {name}: {len(lines)} metric(s), {status}")
+        shown = lines if verbose else ["  " + line for line in regressions]
+        for line in shown:
+            print(line)
+    print(f"compared {compared} benchmark(s), "
+          f"{regressed} regression(s) past {threshold:.0f}%")
+    return compared, regressed
+
+
+def _compare_cli(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="quickbench",
+        description="Compare fresh --quick benchmark runs against "
+                    "committed baselines.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    compare = sub.add_parser(
+        "compare", help="diff BENCH_*.json files between two directories")
+    compare.add_argument("--baseline", default="benchmarks/results",
+                         help="directory of committed baseline JSON files")
+    compare.add_argument("--fresh", default=".",
+                         help="directory containing the fresh BENCH_*.json")
+    compare.add_argument("--threshold", type=float, default=15.0,
+                         help="regression warning threshold in percent")
+    compare.add_argument("--verbose", action="store_true",
+                         help="print every judged metric, not just "
+                              "regressions")
+    compare.add_argument("--strict", action="store_true",
+                         help="exit non-zero when regressions are found "
+                              "(the CI report step stays non-blocking)")
+    args = parser.parse_args(argv)
+    _, regressed = compare_dirs(args.baseline, args.fresh, args.threshold,
+                                verbose=args.verbose)
+    return 1 if (args.strict and regressed) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(_compare_cli())

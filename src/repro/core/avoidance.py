@@ -39,14 +39,13 @@ from .cache import AvoidanceCache, Binding
 from .callstack import CallStack
 from .config import DimmunixConfig
 from .errors import AvoidanceError
-from .events import (acquired_event, allow_event, cancel_event, release_event,
-                     request_event, yield_event)
+from .events import (EV_ACQUIRED, EV_ALLOW, EV_CANCEL, EV_RELEASE,
+                     EV_REQUEST, EV_YIELD, EventBus)
 from .history import History
 from .sigindex import SignatureIndex
 from .signature import EXCLUSIVE, SHARED, Signature
 from .stats import EngineStats
 from ..util.clock import Clock, WallClock
-from ..util.eventqueue import EventQueue
 from ..util.slots import SlotRegistry
 
 
@@ -65,7 +64,7 @@ MODE_INSTRUMENTATION_ONLY = "instrumentation_only"
 _VALID_MODES = (MODE_FULL, MODE_UPDATES_ONLY, MODE_INSTRUMENTATION_ONLY)
 
 
-@dataclass
+@dataclass(frozen=True)
 class RequestOutcome:
     """Full description of a request decision (GO or YIELD)."""
 
@@ -80,6 +79,12 @@ class RequestOutcome:
     @property
     def is_yield(self) -> bool:
         return self.decision is Decision.YIELD
+
+
+#: The one GO outcome.  A plain GO carries no signature and no causes, so
+#: every grant — the 99.99% production case — returns this frozen
+#: singleton instead of allocating a fresh dataclass per acquisition.
+GO_OUTCOME = RequestOutcome(Decision.GO)
 
 
 @dataclass
@@ -112,7 +117,7 @@ class AvoidanceEngine:
     """Makes GO/YIELD decisions and keeps the avoidance cache up to date."""
 
     def __init__(self, history: History, config: Optional[DimmunixConfig] = None,
-                 event_queue: Optional[EventQueue] = None,
+                 event_queue: Optional[object] = None,  # EventBus or EventQueue
                  clock: Optional[Clock] = None,
                  stats: Optional[EngineStats] = None,
                  calibrator=None,
@@ -122,7 +127,11 @@ class AvoidanceEngine:
         self.config = (config or DimmunixConfig()).validate()
         self.history = history
         self.cache = AvoidanceCache()
-        self.events = event_queue if event_queue is not None else EventQueue()
+        #: The monitor-facing event channel.  Defaults to the per-thread
+        #: ring-buffer bus; a legacy :class:`EventQueue` may still be
+        #: injected (its ``emit`` decodes eagerly into Event objects).
+        self.events = (event_queue if event_queue is not None
+                       else EventBus(ring_capacity=self.config.event_ring_size))
         self.clock = clock or WallClock()
         self.stats = stats or EngineStats()
         self.calibrator = calibrator
@@ -186,12 +195,12 @@ class AvoidanceEngine:
         calling :meth:`abort_yield`).
         """
         if self.mode == MODE_INSTRUMENTATION_ONLY:
-            return RequestOutcome(Decision.GO)
+            return GO_OUTCOME
         now = self.clock.now()
         self.stats.bump("requests")
         self._learn_spec(lock_id, mode, capacity)
-        self.events.put(request_event(thread_id, lock_id, stack, timestamp=now,
-                                      mode=mode, capacity=capacity))
+        self.events.emit(EV_REQUEST, thread_id, lock_id, stack, (), now,
+                         mode, capacity)
         slot = self._slot(thread_id)
 
         if self._should_bypass(slot, thread_id, lock_id, stack):
@@ -230,9 +239,8 @@ class AvoidanceEngine:
                 self._last_avoided_fp = signature.fingerprint
                 signature.record_avoidance()
                 self.stats.bump("yield_decisions")
-                self.events.put(yield_event(thread_id, lock_id, stack, causes,
-                                            timestamp=now, mode=mode,
-                                            capacity=capacity))
+                self.events.emit(EV_YIELD, thread_id, lock_id, stack, causes,
+                                 now, mode, capacity)
                 if self.calibrator is not None:
                     deeper = self._depths_matching(signature, thread_id, lock_id,
                                                    stack)
@@ -273,9 +281,9 @@ class AvoidanceEngine:
         self.cache.clear_yield_cause(thread_id)
         slot.yield_state = None
         self.stats.bump("go_decisions")
-        self.events.put(allow_event(thread_id, lock_id, stack, timestamp=now,
-                                    mode=mode, capacity=capacity))
-        return RequestOutcome(Decision.GO)
+        self.events.emit(EV_ALLOW, thread_id, lock_id, stack, (), now,
+                         mode, capacity)
+        return GO_OUTCOME
 
     # ------------------------------------------------------------- history match --
 
@@ -375,8 +383,8 @@ class AvoidanceEngine:
                             capacity=capacity)
         self._slot(thread_id).yield_state = None
         self.stats.bump("acquisitions")
-        self.events.put(acquired_event(thread_id, lock_id, stack, timestamp=now,
-                                       mode=mode, capacity=capacity))
+        self.events.emit(EV_ACQUIRED, thread_id, lock_id, stack, (), now,
+                         mode, capacity)
         if self.calibrator is not None:
             self.calibrator.on_lock_acquired(thread_id, lock_id, held_before, stack)
 
@@ -389,9 +397,9 @@ class AvoidanceEngine:
         now = self.clock.now()
         fully, stack = self.cache.release_hold(thread_id, lock_id)
         self.stats.bump("releases")
-        self.events.put(release_event(thread_id, lock_id,
-                                      stack if stack is not None else CallStack(()),
-                                      timestamp=now))
+        self.events.emit(EV_RELEASE, thread_id, lock_id,
+                         stack if stack is not None else CallStack(()),
+                         (), now)
         if self.calibrator is not None:
             self.calibrator.on_lock_released(thread_id, lock_id)
         if not fully and lock_id not in self._multiholder:
@@ -412,7 +420,7 @@ class AvoidanceEngine:
         self.cache.clear_yield_cause(thread_id)
         self._slot(thread_id).yield_state = None
         self.stats.bump("cancels")
-        self.events.put(cancel_event(thread_id, lock_id, timestamp=now))
+        self.events.emit(EV_CANCEL, thread_id, lock_id, timestamp=now)
 
     # ---------------------------------------------------------- yield management --
 

@@ -76,6 +76,11 @@ class DimmunixConfig:
     fp_window:
         Number of lock operations logged per avoidance episode for the
         false-positive heuristic of the calibrator.
+    event_ring_size:
+        Per-thread capacity of the monitor event bus's ring buffers.  Each
+        emitting thread owns one bounded ring; when a ring fills (the
+        monitor is stopped or badly behind), further events from that
+        thread are dropped and counted rather than blocking the hot path.
     thread_name_stacks:
         When True, captured stacks include the thread name as the outermost
         frame; useful for debugging, disabled by default because it makes
@@ -97,6 +102,7 @@ class DimmunixConfig:
     external_synchronization: Sequence[str] = field(default_factory=tuple)
     fp_window: int = 64
     thread_name_stacks: bool = False
+    event_ring_size: int = 65536
 
     def validate(self) -> "DimmunixConfig":
         """Check parameter ranges and return ``self`` for chaining."""
@@ -124,6 +130,8 @@ class DimmunixConfig:
             raise ConfigError("auto_disable_abort_threshold must be >= 1 or None")
         if self.fp_window < 1:
             raise ConfigError("fp_window must be >= 1")
+        if self.event_ring_size < 1:
+            raise ConfigError("event_ring_size must be >= 1")
         if self.history_path is not None:
             parent = os.path.dirname(os.path.abspath(self.history_path))
             if parent and not os.path.isdir(parent):

@@ -3,16 +3,38 @@
 The avoidance instrumentation runs in the application's critical path and
 must stay cheap; everything expensive (RAG maintenance, cycle detection,
 history file I/O) happens asynchronously in the monitor.  The two halves
-communicate through a queue of the event types defined here, exactly as in
-Figure 1 of the paper.
+communicate through the event types defined here, exactly as in Figure 1
+of the paper.
+
+Two representations exist:
+
+* :class:`Event` — the frozen dataclass, used by tests, reports, and any
+  consumer that wants named fields;
+* *encoded records* — plain tuples ``(seq, code, thread_id, lock_id,
+  stack, causes, timestamp, mode, capacity)`` produced by the hot path
+  through :class:`EventBus` and consumed directly by the monitor's RAG.
+  The tuple form exists because building a dataclass per lock operation
+  dominated the per-acquire cost; the monitor decodes to :class:`Event`
+  only when a consumer actually needs one (:meth:`EventBus.drain`).
+
+:class:`EventBus` replaces the single shared MPSC queue with per-OS-thread
+bounded ring buffers: each emitting thread appends to its own ring without
+contending with other producers (which matters on free-threaded builds,
+where a shared deque serializes on its per-object lock), and the monitor
+merges the rings by the global ``seq`` so the paper's section 5.2 partial
+ordering — a release precedes the next acquire of the same lock — is
+preserved across rings.
 """
 
 from __future__ import annotations
 
 import itertools
+import operator
+import threading
+from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from .callstack import CallStack, EMPTY_STACK
 from .signature import EXCLUSIVE
@@ -39,6 +61,21 @@ class EventType(Enum):
     RELEASE = "release"
     CANCEL = "cancel"
 
+
+#: Integer codes used in encoded records instead of :class:`EventType`
+#: members — an int compare is what the RAG dispatch needs, and the hot
+#: path never touches the Enum machinery.
+EV_REQUEST = 0
+EV_ALLOW = 1
+EV_YIELD = 2
+EV_ACQUIRED = 3
+EV_RELEASE = 4
+EV_CANCEL = 5
+
+CODE_TO_TYPE = (EventType.REQUEST, EventType.ALLOW, EventType.YIELD,
+                EventType.ACQUIRED, EventType.RELEASE, EventType.CANCEL)
+TYPE_TO_CODE = {event_type: code
+                for code, event_type in enumerate(CODE_TO_TYPE)}
 
 _SEQUENCE = itertools.count(1)
 
@@ -135,3 +172,194 @@ def cancel_event(thread_id: int, lock_id: int, stack: CallStack = EMPTY_STACK,
                  timestamp: float = 0.0) -> Event:
     """Convenience constructor for a CANCEL event."""
     return Event(EventType.CANCEL, thread_id, lock_id, stack, timestamp=timestamp)
+
+
+# ---------------------------------------------------------------------------
+# Encoded records and the ring-buffer event bus
+# ---------------------------------------------------------------------------
+
+def encode_event(event: Event) -> Tuple:
+    """The encoded-record form of an :class:`Event` (same ``seq``)."""
+    return (event.seq, TYPE_TO_CODE[event.type], event.thread_id,
+            event.lock_id, event.stack, event.causes, event.timestamp,
+            event.mode, event.capacity)
+
+
+def decode_event(record: Tuple) -> Event:
+    """Rebuild the :class:`Event` dataclass from an encoded record."""
+    seq, code, thread_id, lock_id, stack, causes, timestamp, mode, capacity = record
+    return Event(CODE_TO_TYPE[code], thread_id, lock_id, stack, causes,
+                 seq, timestamp, mode, capacity)
+
+
+#: Default per-thread ring capacity.  Generous on purpose: with a running
+#: monitor the per-pass backlog is tiny, and the bound only matters when
+#: nothing drains the bus (overhead harnesses, engines without monitors).
+DEFAULT_RING_CAPACITY = 65536
+
+#: Sort key of encoded records: the global emission sequence number.
+_RECORD_SEQ = operator.itemgetter(0)
+
+
+class _Ring:
+    """One producer thread's bounded event ring.
+
+    A ``deque`` appended only by the owning thread and drained only by
+    the monitor — single producer, single consumer, opposite ends — so
+    both operations are safe without a ring-level lock on GIL and
+    free-threaded builds alike.  The bound is enforced by the producer
+    (drop-newest with a counter), mirroring :class:`~repro.util.eventqueue.EventQueue`.
+    """
+
+    __slots__ = ("items", "capacity", "dropped", "high_water", "total")
+
+    def __init__(self, capacity: int):
+        self.items: deque = deque()
+        self.capacity = capacity
+        self.dropped = 0
+        self.high_water = 0
+        self.total = 0
+
+
+class EventBus:
+    """Per-thread-slot ring buffers of encoded events, merged on drain.
+
+    Producers call :meth:`emit` (or :meth:`put` with a prebuilt
+    :class:`Event`); the single consumer — the monitor — calls
+    :meth:`drain_raw` for encoded records or :meth:`drain` for decoded
+    :class:`Event` objects.  Rings are keyed by the *emitting OS thread*
+    (not the event's ``thread_id``: a semaphore release may be recorded
+    on behalf of another holder), which keeps each ring single-producer.
+    Merging sorts by the global ``seq`` allocated at emission, restoring
+    one totally ordered stream for the RAG.
+    """
+
+    def __init__(self, ring_capacity: int = DEFAULT_RING_CAPACITY):
+        if ring_capacity < 1:
+            raise ValueError("ring_capacity must be >= 1")
+        self._capacity = ring_capacity
+        self._rings: dict = {}
+        self._mutex = threading.Lock()  # guards ring creation only
+        self._local = threading.local()
+        #: Records beyond a ``drain(limit=...)`` cut, consumed first by the
+        #: next drain so nothing is lost and ordering is kept.
+        self._pending: List[Tuple] = []
+
+    def _ring(self) -> _Ring:
+        ring = getattr(self._local, "ring", None)
+        if ring is None:
+            ident = threading.get_ident()
+            with self._mutex:
+                ring = self._rings.get(ident)
+                if ring is None:
+                    ring = _Ring(self._capacity)
+                    self._rings[ident] = ring
+            self._local.ring = ring
+        return ring
+
+    # -- producer side ------------------------------------------------------------------
+
+    def emit(self, code: int, thread_id: int, lock_id: Optional[int],
+             stack: CallStack = EMPTY_STACK, causes: Tuple = (),
+             timestamp: float = 0.0, mode: str = EXCLUSIVE,
+             capacity: int = 1) -> bool:
+        """Append one encoded record to the calling thread's ring.
+
+        Returns ``False`` (and counts a drop) when the ring is full; the
+        caller never blocks, mirroring the paper's lock-free enqueue.
+        """
+        ring = self._ring()
+        items = ring.items
+        if len(items) >= ring.capacity:
+            ring.dropped += 1
+            return False
+        items.append((next(_SEQUENCE), code, thread_id, lock_id, stack,
+                      causes, timestamp, mode, capacity))
+        ring.total += 1
+        size = len(items)
+        if size > ring.high_water:
+            ring.high_water = size
+        return True
+
+    def put(self, event: Event) -> bool:
+        """Enqueue a prebuilt :class:`Event` (compat with the queue API)."""
+        ring = self._ring()
+        if len(ring.items) >= ring.capacity:
+            ring.dropped += 1
+            return False
+        ring.items.append(encode_event(event))
+        ring.total += 1
+        size = len(ring.items)
+        if size > ring.high_water:
+            ring.high_water = size
+        return True
+
+    # -- consumer side ------------------------------------------------------------------
+
+    def drain_raw(self, limit: Optional[int] = None) -> List[Tuple]:
+        """Remove and return encoded records, merged in ``seq`` order."""
+        merged = self._pending
+        self._pending = []
+        with self._mutex:
+            rings = list(self._rings.values())
+        for ring in rings:
+            items = ring.items
+            for _ in range(len(items)):
+                try:
+                    merged.append(items.popleft())
+                except IndexError:  # pragma: no cover - defensive
+                    break
+        merged.sort(key=_RECORD_SEQ)
+        if limit is not None and len(merged) > limit:
+            self._pending = merged[limit:]
+            merged = merged[:limit]
+        return merged
+
+    def drain(self, limit: Optional[int] = None) -> List[Event]:
+        """Remove and return decoded :class:`Event` objects in ``seq`` order."""
+        return [decode_event(record) for record in self.drain_raw(limit)]
+
+    # -- introspection (EventQueue-compatible surface) -----------------------------------
+
+    def peek_size(self) -> int:
+        """Current number of buffered records (approximate under concurrency)."""
+        with self._mutex:
+            rings = list(self._rings.values())
+        return len(self._pending) + sum(len(ring.items) for ring in rings)
+
+    def __len__(self) -> int:
+        return self.peek_size()
+
+    def __bool__(self) -> bool:
+        return self.peek_size() > 0
+
+    @property
+    def ring_capacity(self) -> int:
+        """The per-thread ring bound this bus was built with."""
+        return self._capacity
+
+    @property
+    def dropped(self) -> int:
+        """Number of records rejected because a ring was full."""
+        with self._mutex:
+            return sum(ring.dropped for ring in self._rings.values())
+
+    @property
+    def high_water_mark(self) -> int:
+        """Sum of the per-ring high-water marks (upper bound on backlog)."""
+        with self._mutex:
+            return sum(ring.high_water for ring in self._rings.values())
+
+    @property
+    def total_enqueued(self) -> int:
+        """Total number of records accepted over the bus's lifetime."""
+        with self._mutex:
+            return sum(ring.total for ring in self._rings.values())
+
+    def clear(self) -> None:
+        """Discard all buffered records (used when resetting an engine)."""
+        self._pending = []
+        with self._mutex:
+            rings = list(self._rings.values())
+        for ring in rings:
+            ring.items.clear()

@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from .callstack import CallStack
 from .errors import RAGError
-from .events import Event, EventType
+from .events import Event, TYPE_TO_CODE
 from .signature import EXCLUSIVE, SHARED
 
 
@@ -272,10 +272,11 @@ class ResourceAllocationGraph:
 
     def apply(self, event: Event) -> None:
         """Apply one synchronization event to the graph."""
-        handler = _HANDLERS.get(event.type)
-        if handler is None:  # pragma: no cover - defensive
+        code = TYPE_TO_CODE.get(event.type)
+        if code is None:  # pragma: no cover - defensive
             raise RAGError(f"unknown event type {event.type}")
-        handler(self, event)
+        _HANDLERS[code](self, event.thread_id, event.lock_id, event.stack,
+                        event.causes, event.mode, event.capacity)
         self._dirty_threads.add(event.thread_id)
         self._events_applied += 1
 
@@ -287,56 +288,76 @@ class ResourceAllocationGraph:
             count += 1
         return count
 
-    def _learn_spec(self, event: Event) -> ResourceState:
+    def apply_encoded(self, records) -> int:
+        """Apply encoded records (see :mod:`repro.core.events`) directly.
+
+        This is the monitor's standard path: the records drained from the
+        ring-buffer bus are consumed field by field, so the per-event
+        dataclass is never materialized.
+        """
+        handlers = _HANDLERS
+        dirty = self._dirty_threads
+        count = 0
+        for record in records:
+            _seq, code, thread_id, lock_id, stack, causes, _ts, mode, capacity = record
+            handlers[code](self, thread_id, lock_id, stack, causes, mode,
+                           capacity)
+            dirty.add(thread_id)
+            count += 1
+        self._events_applied += count
+        return count
+
+    def _learn_spec_fields(self, lock_id: int, mode: str,
+                           capacity: int) -> ResourceState:
         """Update (and return) the resource record from an event's spec fields."""
-        resource = self.lock(event.lock_id)
-        if event.capacity > resource.capacity:
-            resource.capacity = event.capacity
-        if event.mode == SHARED:
+        resource = self.lock(lock_id)
+        if capacity > resource.capacity:
+            resource.capacity = capacity
+        if mode == SHARED:
             resource.shared_capable = True
         return resource
 
-    # -- individual handlers -------------------------------------------------------------------
+    # -- individual handlers (field-level, shared by both event forms) --------------------------
 
-    def _on_request(self, event: Event) -> None:
-        thread = self.thread(event.thread_id)
-        thread.request = (event.lock_id, event.stack)
-        thread.request_mode = event.mode
-        self._learn_spec(event)
+    def _on_request(self, thread_id, lock_id, stack, causes, mode, capacity) -> None:
+        thread = self.thread(thread_id)
+        thread.request = (lock_id, stack)
+        thread.request_mode = mode
+        self._learn_spec_fields(lock_id, mode, capacity)
 
-    def _on_allow(self, event: Event) -> None:
-        thread = self.thread(event.thread_id)
+    def _on_allow(self, thread_id, lock_id, stack, causes, mode, capacity) -> None:
+        thread = self.thread(thread_id)
         thread.request = None
-        thread.allow = (event.lock_id, event.stack)
-        thread.allow_mode = event.mode
+        thread.allow = (lock_id, stack)
+        thread.allow_mode = mode
         thread.yields.clear()
-        self._learn_spec(event).waiters.add(event.thread_id)
+        self._learn_spec_fields(lock_id, mode, capacity).waiters.add(thread_id)
 
-    def _on_yield(self, event: Event) -> None:
-        thread = self.thread(event.thread_id)
+    def _on_yield(self, thread_id, lock_id, stack, causes, mode, capacity) -> None:
+        thread = self.thread(thread_id)
         # The tentative allow edge is flipped back into a request edge.
-        if thread.allow is not None and thread.allow[0] == event.lock_id:
-            self.lock(event.lock_id).waiters.discard(event.thread_id)
+        if thread.allow is not None and thread.allow[0] == lock_id:
+            self.lock(lock_id).waiters.discard(thread_id)
             thread.allow = None
-        thread.request = (event.lock_id, event.stack)
-        thread.request_mode = event.mode
-        thread.yields = set(event.causes)
-        self._learn_spec(event)
+        thread.request = (lock_id, stack)
+        thread.request_mode = mode
+        thread.yields = set(causes)
+        self._learn_spec_fields(lock_id, mode, capacity)
 
-    def _on_acquired(self, event: Event) -> None:
-        thread = self.thread(event.thread_id)
-        resource = self._learn_spec(event)
-        if thread.allow is not None and thread.allow[0] == event.lock_id:
+    def _on_acquired(self, thread_id, lock_id, stack, causes, mode, capacity) -> None:
+        thread = self.thread(thread_id)
+        resource = self._learn_spec_fields(lock_id, mode, capacity)
+        if thread.allow is not None and thread.allow[0] == lock_id:
             thread.allow = None
-        if thread.request is not None and thread.request[0] == event.lock_id:
+        if thread.request is not None and thread.request[0] == lock_id:
             thread.request = None
-        resource.waiters.discard(event.thread_id)
+        resource.waiters.discard(thread_id)
         thread.yields.clear()
         single_holder = (resource.capacity == 1
                          and not resource.shared_capable
-                         and event.mode == EXCLUSIVE)
+                         and mode == EXCLUSIVE)
         if single_holder and resource.edges \
-                and any(tid != event.thread_id
+                and any(tid != thread_id
                         for tid, _s, _m in resource.edges):
             # A release event from the previous owner has not been processed
             # yet.  The partial-ordering argument of section 5.2 guarantees
@@ -344,42 +365,42 @@ class ResourceAllocationGraph:
             # this point means the caller violated that ordering.
             if self._strict:
                 raise RAGError(
-                    f"lock {event.lock_id} acquired by {event.thread_id} while "
+                    f"lock {lock_id} acquired by {thread_id} while "
                     f"owned by {resource.holder_ids()}")
             # Be forgiving outside strict mode: drop the stale hold edges.
             for tid in resource.holder_ids():
                 previous = self._threads.get(tid)
                 if previous is not None:
-                    previous.holds.pop(event.lock_id, None)
+                    previous.holds.pop(lock_id, None)
             resource.edges.clear()
-        resource.edges.append((event.thread_id, event.stack, event.mode))
-        thread.holds.setdefault(event.lock_id, []).append(event.stack)
+        resource.edges.append((thread_id, stack, mode))
+        thread.holds.setdefault(lock_id, []).append(stack)
 
-    def _on_release(self, event: Event) -> None:
-        thread = self.thread(event.thread_id)
-        resource = self.lock(event.lock_id)
-        stacks = thread.holds.get(event.lock_id)
+    def _on_release(self, thread_id, lock_id, stack, causes, mode, capacity) -> None:
+        thread = self.thread(thread_id)
+        resource = self.lock(lock_id)
+        stacks = thread.holds.get(lock_id)
         if not stacks:
             if self._strict:
                 raise RAGError(
-                    f"thread {event.thread_id} released lock {event.lock_id} "
+                    f"thread {thread_id} released lock {lock_id} "
                     "it does not hold")
             return
         stacks.pop()
         if not stacks:
-            del thread.holds[event.lock_id]
+            del thread.holds[lock_id]
         for index in range(len(resource.edges) - 1, -1, -1):
-            if resource.edges[index][0] == event.thread_id:
+            if resource.edges[index][0] == thread_id:
                 del resource.edges[index]
                 break
 
-    def _on_cancel(self, event: Event) -> None:
-        thread = self.thread(event.thread_id)
-        if thread.allow is not None and thread.allow[0] == event.lock_id:
+    def _on_cancel(self, thread_id, lock_id, stack, causes, mode, capacity) -> None:
+        thread = self.thread(thread_id)
+        if thread.allow is not None and thread.allow[0] == lock_id:
             thread.allow = None
-        if thread.request is not None and thread.request[0] == event.lock_id:
+        if thread.request is not None and thread.request[0] == lock_id:
             thread.request = None
-        self.lock(event.lock_id).waiters.discard(event.thread_id)
+        self.lock(lock_id).waiters.discard(thread_id)
         thread.yields.clear()
 
     # -- statistics / introspection ---------------------------------------------------------------
@@ -427,11 +448,12 @@ class ResourceAllocationGraph:
         self._dirty_threads.discard(thread_id)
 
 
-_HANDLERS = {
-    EventType.REQUEST: ResourceAllocationGraph._on_request,
-    EventType.ALLOW: ResourceAllocationGraph._on_allow,
-    EventType.YIELD: ResourceAllocationGraph._on_yield,
-    EventType.ACQUIRED: ResourceAllocationGraph._on_acquired,
-    EventType.RELEASE: ResourceAllocationGraph._on_release,
-    EventType.CANCEL: ResourceAllocationGraph._on_cancel,
-}
+#: Dispatch table indexed by the integer event code (EV_REQUEST..EV_CANCEL).
+_HANDLERS = (
+    ResourceAllocationGraph._on_request,
+    ResourceAllocationGraph._on_allow,
+    ResourceAllocationGraph._on_yield,
+    ResourceAllocationGraph._on_acquired,
+    ResourceAllocationGraph._on_release,
+    ResourceAllocationGraph._on_cancel,
+)

@@ -32,6 +32,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: depth -> stack-suffix key -> signatures whose stacks carry that suffix.
 Buckets = Dict[int, Dict[Tuple, Tuple[Signature, ...]]]
 
+#: Filter probe used for the degenerate empty suffix key (empty stacks).
+_EMPTY_TOP = object()
+
 
 class SignatureIndex:
     """Read-mostly suffix index over the enabled signatures of a history."""
@@ -39,6 +42,16 @@ class SignatureIndex:
     def __init__(self, history: Optional["History"] = None):
         self._mutex = threading.Lock()
         self._buckets: Buckets = {}
+        #: Miss fast path (the paper's 99.99% case): the set of innermost
+        #: frames appearing in any bucket key, published copy-on-write.  A
+        #: request whose call site is not in this set cannot hit any bucket
+        #: at any depth — every suffix key shares its innermost frame with
+        #: the stacks it matches — so ``candidates()`` answers with one set
+        #: probe instead of a per-depth slice-hash-lookup.
+        self._top_filter: frozenset = frozenset()
+        #: Refcounts behind the filter: innermost frame -> number of bucket
+        #: keys starting with it (mutated only under ``_mutex``).
+        self._top_counts: Dict[object, int] = {}
         #: fingerprint -> signature, for enabled indexed signatures.
         self._entries: Dict[str, Signature] = {}
         #: fingerprint -> depth the signature is currently indexed under.
@@ -59,14 +72,18 @@ class SignatureIndex:
         """Enabled signatures one of whose stacks ``stack`` could cover.
 
         Deduplicated; ordering follows bucket iteration order.  Lock-free:
-        reads one published snapshot of the buckets.
+        reads one published snapshot of the top-frame filter and one of the
+        buckets.  A call site absent from the filter — the common case in
+        production — returns immediately without touching the buckets.
         """
+        frames = stack.frames
+        if (frames[0] if frames else _EMPTY_TOP) not in self._top_filter:
+            return []
         buckets = self._buckets
         if not buckets:
             return []
         found: List[Signature] = []
         seen = set()
-        frames = stack.frames
         for depth, bucket in buckets.items():
             entries = bucket.get(frames[:depth])
             if not entries:
@@ -137,6 +154,7 @@ class SignatureIndex:
             buckets: Buckets = {}
             entries: Dict[str, Signature] = {}
             depths: Dict[str, int] = {}
+            top_counts: Dict[object, int] = {}
             for signature in self._history.enabled_signatures():
                 depth = signature.matching_depth
                 entries[signature.fingerprint] = signature
@@ -146,7 +164,12 @@ class SignatureIndex:
                     key = sig_stack.frames[:depth]
                     existing = bucket.get(key, ())
                     if signature not in existing:
+                        if not existing:
+                            top = key[0] if key else _EMPTY_TOP
+                            top_counts[top] = top_counts.get(top, 0) + 1
                         bucket[key] = existing + (signature,)
+            self._top_counts = top_counts
+            self._top_filter = frozenset(top_counts)
             self._buckets = buckets
             self._entries = entries
             self._depths = depths
@@ -171,6 +194,8 @@ class SignatureIndex:
             self._buckets = {}
             self._entries = {}
             self._depths = {}
+            self._top_counts = {}
+            self._top_filter = frozenset()
             self.updates += 1
 
     # -- internals (callers hold self._mutex) ---------------------------------------------
@@ -183,8 +208,14 @@ class SignatureIndex:
             key = sig_stack.frames[:depth]
             existing = bucket.get(key, ())
             if signature not in existing:
+                if not existing:
+                    top = key[0] if key else _EMPTY_TOP
+                    self._top_counts[top] = self._top_counts.get(top, 0) + 1
                 bucket[key] = existing + (signature,)
         new_buckets[depth] = bucket
+        # Publish the filter before the buckets: a racing reader must never
+        # see a bucket key whose top frame the filter would reject.
+        self._top_filter = frozenset(self._top_counts)
         self._buckets = new_buckets
         self._entries[signature.fingerprint] = signature
         self._depths[signature.fingerprint] = depth
@@ -206,12 +237,22 @@ class SignatureIndex:
                 bucket[key] = remaining
             else:
                 del bucket[key]
+                top = key[0] if key else _EMPTY_TOP
+                count = self._top_counts.get(top, 0) - 1
+                if count > 0:
+                    self._top_counts[top] = count
+                else:
+                    self._top_counts.pop(top, None)
         new_buckets = dict(self._buckets)
         if bucket:
             new_buckets[depth] = bucket
         else:
             new_buckets.pop(depth, None)
+        # Publish the buckets before shrinking the filter: a racing reader
+        # may briefly pass a stale filter and find no candidates, never the
+        # reverse.
         self._buckets = new_buckets
+        self._top_filter = frozenset(self._top_counts)
 
     # -- equivalence checking (tests, doctor tooling) ---------------------------------------
 
@@ -220,6 +261,20 @@ class SignatureIndex:
         return {depth: {key: tuple(sig.fingerprint for sig in entries)
                         for key, entries in bucket.items()}
                 for depth, bucket in self._buckets.items()}
+
+    def filter_consistent(self) -> bool:
+        """Does the top-frame filter exactly cover the current bucket keys?
+
+        Used by tests to check the incremental refcount maintenance stays
+        in lock-step with the buckets through add/remove/refresh churn.
+        """
+        expected: Dict[object, int] = {}
+        for bucket in self._buckets.values():
+            for key in bucket:
+                top = key[0] if key else _EMPTY_TOP
+                expected[top] = expected.get(top, 0) + 1
+        return (expected == self._top_counts
+                and frozenset(expected) == self._top_filter)
 
     def equivalent_to_rebuild(self) -> bool:
         """Does the incremental state match a from-scratch rebuild?"""

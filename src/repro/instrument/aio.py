@@ -134,10 +134,25 @@ class AsyncioParker(ThreadParker):
         self._registered: Set[int] = set()
 
     def prepare(self, task_id: int) -> None:
-        """Arm a fresh wake future for ``task_id`` (call *before* request)."""
+        """Arm the wake future for ``task_id`` (call *before* request).
+
+        Futures are pooled: the task's pending future is reused across
+        requests and a fresh one is created only when the previous round
+        actually resolved it (a yield that was woken).  On the GO fast
+        path — where the future is armed but never awaited — every request
+        after the first is a dict read with no allocation.  Reusing an
+        unresolved future is safe: a stale wake scheduled against it can
+        only cause a spurious wakeup, and the avoidance gate re-requests
+        after every wake.
+        """
         loop = asyncio.get_running_loop()
+        entry = self._futures.get(task_id)
+        if entry is not None and entry[0] is loop and not entry[1].done():
+            return
         with self._mutex:
-            self._futures[task_id] = (loop, loop.create_future())
+            entry = self._futures.get(task_id)
+            if entry is None or entry[0] is not loop or entry[1].done():
+                self._futures[task_id] = (loop, loop.create_future())
             register = task_id not in self._registered
             if register:
                 self._registered.add(task_id)

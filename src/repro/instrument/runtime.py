@@ -113,14 +113,19 @@ class YieldManager(ThreadParker):
         return event
 
     def prepare(self, thread_id: int) -> threading.Event:
-        """Clear and return the wake event, to be called *before* ``request``.
+        """Reset and return the wake event, to be called *before* ``request``.
 
         Clearing before the request closes the classic lost-wakeup window:
         any wake triggered by state changes after the request will set the
-        event even if the thread has not started waiting yet.
+        event even if the thread has not started waiting yet.  The event is
+        pooled — one per thread slot for the thread's lifetime — and on the
+        GO fast path it was never set, so the usual call is a flag check
+        with no lock taken (``Event.clear`` acquires the event's internal
+        condition lock; ``is_set`` does not).
         """
         event = self.event_for(thread_id)
-        event.clear()
+        if event.is_set():
+            event.clear()
         return event
 
     def park(self, thread_id: int, timeout: Optional[float]) -> bool:

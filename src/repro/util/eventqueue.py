@@ -13,6 +13,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable, List, Optional
 
+#: Lazily bound references used by :meth:`EventQueue.emit` (import cycle).
+_CODE_TO_TYPE = None
+_EVENT = None
+_EMPTY_STACK = None
+
 
 class EventQueue:
     """Unbounded (optionally bounded) MPSC queue of events.
@@ -46,6 +51,25 @@ class EventQueue:
         if size > self._high_water:
             self._high_water = size
         return True
+
+    def emit(self, code: int, thread_id: int, lock_id, stack=None,
+             causes=(), timestamp: float = 0.0, mode: str = "exclusive",
+             capacity: int = 1) -> bool:
+        """Encoded-record emission (compat with :class:`~repro.core.events.EventBus`).
+
+        The engine emits through this uniform entry point; a legacy
+        ``EventQueue`` injected into an engine decodes eagerly so its
+        consumers keep receiving :class:`~repro.core.events.Event` objects.
+        """
+        global _CODE_TO_TYPE, _EVENT, _EMPTY_STACK
+        if _EVENT is None:  # late binding: import cycle with repro.core
+            from ..core.events import CODE_TO_TYPE, Event
+            from ..core.callstack import EMPTY_STACK
+            _CODE_TO_TYPE, _EVENT, _EMPTY_STACK = CODE_TO_TYPE, Event, EMPTY_STACK
+        return self.put(_EVENT(_CODE_TO_TYPE[code], thread_id, lock_id,
+                               stack if stack is not None else _EMPTY_STACK,
+                               causes, timestamp=timestamp, mode=mode,
+                               capacity=capacity))
 
     def extend(self, items: Iterable) -> int:
         """Enqueue many items; returns how many were accepted."""

@@ -1,0 +1,207 @@
+"""Tests for the ring-buffered event bus (the hot-path event path).
+
+The engine's six emission points write tuple-encoded records into
+per-thread bounded rings (:class:`~repro.core.events.EventBus`); the
+monitor drains all rings in one batch, merged by global sequence number,
+which preserves the paper's section 5.2 partial order (every event a
+thread emitted before another of its own events is applied first).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.avoidance import AvoidanceEngine
+from repro.core.callstack import CallStack
+from repro.core.config import DimmunixConfig
+from repro.core.events import (EV_ACQUIRED, EV_ALLOW, EV_CANCEL, EV_RELEASE,
+                               EV_REQUEST, EV_YIELD, CODE_TO_TYPE, EventBus,
+                               EventType, TYPE_TO_CODE, acquired_event,
+                               cancel_event, decode_event, encode_event,
+                               release_event, request_event, yield_event)
+from repro.core.history import History
+from repro.util.eventqueue import EventQueue
+
+
+def stack():
+    return CallStack.from_labels(["f:1", "g:2"])
+
+
+class TestEncoding:
+    def test_roundtrip_preserves_every_field(self):
+        s = stack()
+        for event in (request_event(1, 2, s, timestamp=3.5, mode="shared",
+                                    capacity=4),
+                      yield_event(1, 2, s, causes=((7, 8, s),)),
+                      acquired_event(1, 2, s),
+                      release_event(1, 2),
+                      cancel_event(1, 2)):
+            decoded = decode_event(encode_event(event))
+            assert decoded == event
+            assert decoded.seq == event.seq
+
+    def test_code_tables_are_inverse(self):
+        for code, event_type in enumerate(CODE_TO_TYPE):
+            assert TYPE_TO_CODE[event_type] == code
+        assert CODE_TO_TYPE[EV_REQUEST] is EventType.REQUEST
+        assert CODE_TO_TYPE[EV_ALLOW] is EventType.ALLOW
+        assert CODE_TO_TYPE[EV_YIELD] is EventType.YIELD
+        assert CODE_TO_TYPE[EV_ACQUIRED] is EventType.ACQUIRED
+        assert CODE_TO_TYPE[EV_RELEASE] is EventType.RELEASE
+        assert CODE_TO_TYPE[EV_CANCEL] is EventType.CANCEL
+
+
+class TestEventBus:
+    def test_emit_then_drain_decodes_in_order(self):
+        bus = EventBus()
+        s = stack()
+        bus.emit(EV_REQUEST, 1, 10, s)
+        bus.emit(EV_ALLOW, 1, 10, s)
+        bus.emit(EV_ACQUIRED, 1, 10, s)
+        events = bus.drain()
+        assert [e.type for e in events] == [EventType.REQUEST,
+                                            EventType.ALLOW,
+                                            EventType.ACQUIRED]
+        assert events[0].seq < events[1].seq < events[2].seq
+        assert not bus
+
+    def test_put_event_compat(self):
+        bus = EventBus()
+        event = request_event(3, 4, stack())
+        assert bus.put(event)
+        assert bus.drain() == [event]
+
+    def test_bounded_ring_drops_newest_and_counts(self):
+        bus = EventBus(ring_capacity=4)
+        s = stack()
+        accepted = [bus.emit(EV_REQUEST, 1, i, s) for i in range(7)]
+        assert accepted == [True] * 4 + [False] * 3
+        assert bus.dropped == 3
+        assert len(bus) == 4
+        # The accepted prefix survives, in order.
+        assert [e.lock_id for e in bus.drain()] == [0, 1, 2, 3]
+
+    def test_drain_limit_keeps_leftovers_in_order(self):
+        bus = EventBus()
+        s = stack()
+        for i in range(10):
+            bus.emit(EV_REQUEST, 1, i, s)
+        first = bus.drain_raw(limit=4)
+        second = bus.drain_raw()
+        assert [r[3] for r in first] == [0, 1, 2, 3]
+        assert [r[3] for r in second] == [4, 5, 6, 7, 8, 9]
+
+    def test_watermarks_and_clear(self):
+        bus = EventBus()
+        s = stack()
+        for i in range(5):
+            bus.emit(EV_RELEASE, 1, i, s)
+        assert bus.total_enqueued == 5
+        assert bus.high_water_mark == 5
+        assert bus.peek_size() == 5
+        bus.clear()
+        assert len(bus) == 0
+        assert bus.drain() == []
+
+    def test_rejects_silly_capacity(self):
+        try:
+            EventBus(ring_capacity=0)
+            raised = False
+        except ValueError:
+            raised = True
+        assert raised
+
+    def test_concurrent_emit_drain_preserves_per_thread_order(self):
+        """Property: batched draining loses nothing and keeps each
+        producer's events in emission order, with a consumer draining
+        concurrently with the producers."""
+        producers, per_thread = 4, 2000
+        bus = EventBus(ring_capacity=per_thread + 16)
+        s = stack()
+        start = threading.Barrier(producers + 1)
+        done = threading.Event()
+
+        def produce(thread_id: int) -> None:
+            start.wait()
+            for i in range(per_thread):
+                bus.emit(EV_REQUEST, thread_id, i, s)
+
+        collected = []
+
+        def consume() -> None:
+            start.wait()
+            while not done.is_set() or bus:
+                collected.extend(bus.drain_raw(limit=97))
+
+        pool = [threading.Thread(target=produce, args=(tid,))
+                for tid in range(1, producers + 1)]
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        done.set()
+        consumer.join()
+
+        assert bus.dropped == 0
+        assert len(collected) == producers * per_thread
+        by_thread = {tid: [] for tid in range(1, producers + 1)}
+        for record in collected:
+            by_thread[record[2]].append(record[3])
+        for tid, payloads in by_thread.items():
+            assert payloads == list(range(per_thread)), f"thread {tid}"
+        # Each producer's seq numbers are strictly increasing too.
+        seqs = {tid: [] for tid in by_thread}
+        for record in collected:
+            seqs[record[2]].append(record[0])
+        for tid, values in seqs.items():
+            assert values == sorted(values), f"thread {tid}"
+
+
+class TestLegacyQueueCompat:
+    def test_eventqueue_emit_delivers_event_objects(self):
+        queue = EventQueue()
+        s = stack()
+        queue.emit(EV_REQUEST, 5, 6, s, (), 1.25, "shared", 3)
+        queue.emit(EV_CANCEL, 5, 6)
+        first, second = queue.drain()
+        assert first.type is EventType.REQUEST
+        assert (first.thread_id, first.lock_id) == (5, 6)
+        assert first.timestamp == 1.25
+        assert first.mode == "shared"
+        assert first.capacity == 3
+        assert second.type is EventType.CANCEL
+
+    def test_engine_accepts_legacy_queue(self):
+        queue = EventQueue()
+        engine = AvoidanceEngine(History(path=None, autosave=False),
+                                 DimmunixConfig.for_testing(),
+                                 event_queue=queue)
+        s = stack()
+        engine.request(1, 10, s)
+        engine.acquired(1, 10, s)
+        engine.release(1, 10)
+        types = [e.type for e in queue.drain()]
+        assert types == [EventType.REQUEST, EventType.ALLOW,
+                         EventType.ACQUIRED, EventType.RELEASE]
+
+
+class TestEngineRingPath:
+    def test_engine_default_bus_is_ring_buffered(self):
+        engine = AvoidanceEngine(History(path=None, autosave=False),
+                                 DimmunixConfig.for_testing())
+        assert isinstance(engine.events, EventBus)
+        assert engine.events.ring_capacity == engine.config.event_ring_size
+
+    def test_engine_emissions_drain_as_encoded_records(self):
+        engine = AvoidanceEngine(History(path=None, autosave=False),
+                                 DimmunixConfig.for_testing())
+        s = stack()
+        engine.request(1, 10, s)
+        engine.acquired(1, 10, s)
+        engine.release(1, 10)
+        records = engine.events.drain_raw()
+        assert [r[1] for r in records] == [EV_REQUEST, EV_ALLOW,
+                                           EV_ACQUIRED, EV_RELEASE]
+        assert all(r[2] == 1 and r[3] == 10 for r in records)

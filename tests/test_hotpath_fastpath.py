@@ -1,0 +1,209 @@
+"""Tests for the allocation-free GO fast path.
+
+Covers the three pooling/fast-path mechanisms: the singleton GO outcome,
+the pooled per-thread/per-task parkers, the signature index's top-frame
+miss filter, the sharded statistics counters, and the simulator's use of
+the same ring-buffered event path as the real runtimes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.core.avoidance import (AvoidanceEngine, Decision, GO_OUTCOME,
+                                  MODE_INSTRUMENTATION_ONLY)
+from repro.core.callstack import CallStack
+from repro.core.config import DimmunixConfig
+from repro.core.dimmunix import Dimmunix
+from repro.core.events import EventBus
+from repro.core.history import History
+from repro.core.sigindex import SignatureIndex
+from repro.core.signature import Signature
+from repro.core.stats import EngineStats
+from repro.instrument.aio import AsyncioParker
+from repro.instrument.runtime import YieldManager
+from repro.sim.backends import DimmunixBackend
+
+
+def stack(labels=("f:1", "g:2")):
+    return CallStack.from_labels(list(labels))
+
+
+def make_engine(history=None):
+    return AvoidanceEngine(history or History(path=None, autosave=False),
+                           DimmunixConfig.for_testing())
+
+
+class TestGoOutcomeSingleton:
+    def test_grants_reuse_one_frozen_outcome(self):
+        engine = make_engine()
+        s = stack()
+        first = engine.request(1, 10, s)
+        engine.acquired(1, 10, s)
+        engine.release(1, 10)
+        second = engine.request(2, 20, s)
+        assert first is GO_OUTCOME
+        assert second is GO_OUTCOME
+        assert first.decision is Decision.GO
+
+    def test_instrumentation_only_mode_reuses_it_too(self):
+        engine = make_engine()
+        engine.mode = MODE_INSTRUMENTATION_ONLY
+        assert engine.request(1, 10, stack()) is GO_OUTCOME
+
+    def test_outcome_is_immutable(self):
+        try:
+            GO_OUTCOME.decision = Decision.YIELD
+            mutated = True
+        except Exception:
+            mutated = False
+        assert not mutated
+
+
+class TestPooledThreadParker:
+    def test_same_event_object_across_rounds(self):
+        yields = YieldManager(Dimmunix(config=DimmunixConfig.for_testing()))
+        first = yields.prepare(1)
+        second = yields.prepare(1)
+        assert first is second
+
+    def test_event_is_reset_after_a_wake(self):
+        yields = YieldManager(Dimmunix(config=DimmunixConfig.for_testing()))
+        event = yields.prepare(1)
+        yields.wake([1])
+        assert event.is_set()
+        again = yields.prepare(1)
+        assert again is event
+        assert not again.is_set()
+
+    def test_never_shared_between_threads(self):
+        yields = YieldManager(Dimmunix(config=DimmunixConfig.for_testing()))
+        events = {}
+
+        def grab(thread_id: int) -> None:
+            events[thread_id] = yields.prepare(thread_id)
+
+        pool = [threading.Thread(target=grab, args=(tid,))
+                for tid in range(1, 9)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert len({id(event) for event in events.values()}) == 8
+
+    def test_forget_releases_the_pooled_event(self):
+        yields = YieldManager(Dimmunix(config=DimmunixConfig.for_testing()))
+        event = yields.prepare(1)
+        yields.forget(1)
+        assert yields.prepare(1) is not event
+
+
+class TestPooledTaskParker:
+    def test_pending_future_is_reused_until_resolved(self):
+        parker = AsyncioParker(Dimmunix(config=DimmunixConfig.for_testing()))
+
+        async def scenario():
+            parker.prepare(1)
+            first = parker._futures[1][1]
+            parker.prepare(1)
+            assert parker._futures[1][1] is first, "pending future re-made"
+            # A wake resolves the round; the next prepare must re-arm.
+            parker._wake(1)
+            assert first.done()
+            parker.prepare(1)
+            assert parker._futures[1][1] is not first
+
+        asyncio.run(scenario())
+
+    def test_distinct_tasks_get_distinct_futures(self):
+        parker = AsyncioParker(Dimmunix(config=DimmunixConfig.for_testing()))
+
+        async def scenario():
+            parker.prepare(1)
+            parker.prepare(2)
+            assert parker._futures[1][1] is not parker._futures[2][1]
+
+        asyncio.run(scenario())
+
+
+class TestTopFrameMissFilter:
+    def _signature(self, labels_a, labels_b, depth=2):
+        return Signature([stack(labels_a), stack(labels_b)],
+                         matching_depth=depth)
+
+    def test_unknown_call_site_misses_without_bucket_lookup(self):
+        history = History(path=None, autosave=False)
+        history.add(self._signature(("a:1", "m:0"), ("b:2", "m:0")))
+        index = SignatureIndex(history)
+        assert index.candidates(stack(("zzz:9", "m:0"))) == []
+        assert index.candidates(stack(("a:1", "m:0"))) != []
+
+    def test_filter_tracks_add_remove_refresh_churn(self):
+        history = History(path=None, autosave=False)
+        index = SignatureIndex(history)
+        signatures = [self._signature((f"a{i}:1", "m:0"), (f"b{i}:2", "m:0"))
+                      for i in range(6)]
+        for signature in signatures:
+            history.add(signature)
+            assert index.filter_consistent()
+        history.remove(signatures[0].fingerprint)
+        assert index.filter_consistent()
+        signatures[1].matching_depth = 1
+        index.refresh(signatures[1])
+        assert index.filter_consistent()
+        history.clear()
+        assert index.filter_consistent()
+        assert index.candidates(stack(("a2:1", "m:0"))) == []
+
+    def test_engine_miss_path_returns_go(self):
+        history = History(path=None, autosave=False)
+        history.add(self._signature(("a:1", "m:0"), ("b:2", "m:0")))
+        engine = make_engine(history)
+        outcome = engine.request(1, 10, stack(("elsewhere:5", "m:0")))
+        assert outcome is GO_OUTCOME
+
+
+class TestShardedStats:
+    def test_concurrent_bumps_sum_exactly(self):
+        stats = EngineStats()
+        threads, per_thread = 8, 5000
+
+        def work():
+            for _ in range(per_thread):
+                stats.bump("requests")
+
+        pool = [threading.Thread(target=work) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert stats.requests == threads * per_thread
+        assert stats.snapshot()["requests"] == threads * per_thread
+
+    def test_reset_zeroes_every_shard(self):
+        stats = EngineStats()
+        stats.bump("requests", 3)
+        other = threading.Thread(target=lambda: stats.bump("releases", 2))
+        other.start()
+        other.join()
+        stats.reset()
+        assert stats.requests == 0
+        assert stats.releases == 0
+
+    def test_unknown_attribute_still_raises(self):
+        stats = EngineStats()
+        try:
+            stats.no_such_counter
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestSimulatorRingPath:
+    def test_sim_backend_emits_through_the_ring_bus(self):
+        backend = DimmunixBackend(config=DimmunixConfig.for_testing())
+        assert isinstance(backend.dimmunix.engine.events, EventBus)
+        fork = backend.fork()
+        assert isinstance(fork.dimmunix.engine.events, EventBus)
