@@ -28,6 +28,19 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 
+def _gil_enabled() -> bool:
+    """Whether this interpreter is running with the GIL engaged.
+
+    ``sys._is_gil_enabled`` only exists on 3.13+; older interpreters are
+    by definition GIL builds.  Free-threaded numbers are not comparable
+    to GIL-build numbers (the whole point of the scaling benchmarks is
+    that they differ), so every payload carries this tag and
+    :func:`compare_dirs` refuses to diff across it.
+    """
+    probe = getattr(sys, "_is_gil_enabled", None)
+    return bool(probe()) if callable(probe) else True
+
+
 def jsonable(value: Any) -> Any:
     """Best-effort conversion of benchmark results to JSON-friendly data.
 
@@ -81,6 +94,7 @@ def bench_main(name: str, full: Callable[[], Any],
             "quick": bool(args.quick),
             "elapsed_seconds": round(elapsed, 3),
             "python": platform.python_version(),
+            "gil_enabled": _gil_enabled(),
             "results": jsonable(results),
         }
         output = args.output or f"BENCH_{name}.json"
@@ -160,18 +174,22 @@ def compare_payloads(baseline: Dict, fresh: Dict,
 
 
 def compare_dirs(baseline_dir: str, fresh_dir: str, threshold: float,
-                 verbose: bool = False) -> Tuple[int, int]:
+                 verbose: bool = False) -> Tuple[int, int, int]:
     """Diff every ``BENCH_*.json`` common to two directories.
 
     Prints a per-benchmark report; returns ``(benchmarks_compared,
-    regression_count)``.
+    regression_count, refused_count)``.  A pair whose ``gil_enabled``
+    tags disagree is *refused*, not compared: free-threaded and
+    GIL-build numbers live on different performance planets and a diff
+    between them is noise at best and a fabricated regression at worst.
+    Payloads predating the tag count as GIL builds.
     """
-    compared = regressed = 0
+    compared = regressed = refused = 0
     baseline_files = sorted(glob.glob(os.path.join(baseline_dir,
                                                    "BENCH_*.json")))
     if not baseline_files:
         print(f"no BENCH_*.json baselines under {baseline_dir}")
-        return 0, 0
+        return 0, 0, 0
     for baseline_path in baseline_files:
         name = os.path.basename(baseline_path)
         fresh_path = os.path.join(fresh_dir, name)
@@ -182,6 +200,16 @@ def compare_dirs(baseline_dir: str, fresh_dir: str, threshold: float,
             baseline = json.load(handle)
         with open(fresh_path, "r", encoding="utf-8") as handle:
             fresh = json.load(handle)
+        base_gil = bool(baseline.get("gil_enabled", True))
+        fresh_gil = bool(fresh.get("gil_enabled", True))
+        if base_gil != fresh_gil:
+            refused += 1
+            print(f"-- {name}: REFUSED — baseline is a "
+                  f"{'GIL' if base_gil else 'free-threaded'} run, fresh is a "
+                  f"{'GIL' if fresh_gil else 'free-threaded'} run; "
+                  f"regenerate a matching baseline instead of comparing "
+                  f"across builds")
+            continue
         lines, regressions = compare_payloads(baseline, fresh, threshold)
         compared += 1
         regressed += len(regressions)
@@ -192,8 +220,9 @@ def compare_dirs(baseline_dir: str, fresh_dir: str, threshold: float,
         for line in shown:
             print(line)
     print(f"compared {compared} benchmark(s), "
-          f"{regressed} regression(s) past {threshold:.0f}%")
-    return compared, regressed
+          f"{regressed} regression(s) past {threshold:.0f}%, "
+          f"{refused} cross-build comparison(s) refused")
+    return compared, regressed, refused
 
 
 def _compare_cli(argv: Optional[list] = None) -> int:
@@ -214,12 +243,14 @@ def _compare_cli(argv: Optional[list] = None) -> int:
                          help="print every judged metric, not just "
                               "regressions")
     compare.add_argument("--strict", action="store_true",
-                         help="exit non-zero when regressions are found "
-                              "(the CI report step stays non-blocking)")
+                         help="exit non-zero when regressions are found or "
+                              "a cross-build comparison is refused (the CI "
+                              "report step stays non-blocking)")
     args = parser.parse_args(argv)
-    _, regressed = compare_dirs(args.baseline, args.fresh, args.threshold,
-                                verbose=args.verbose)
-    return 1 if (args.strict and regressed) else 0
+    _, regressed, refused = compare_dirs(args.baseline, args.fresh,
+                                         args.threshold,
+                                         verbose=args.verbose)
+    return 1 if (args.strict and (regressed or refused)) else 0
 
 
 if __name__ == "__main__":

@@ -131,7 +131,9 @@ class AvoidanceEngine:
         #: ring-buffer bus; a legacy :class:`EventQueue` may still be
         #: injected (its ``emit`` decodes eagerly into Event objects).
         self.events = (event_queue if event_queue is not None
-                       else EventBus(ring_capacity=self.config.event_ring_size))
+                       else EventBus(
+                           ring_capacity=self.config.event_ring_size,
+                           gap_timeout=self.config.event_gap_timeout))
         self.clock = clock or WallClock()
         self.stats = stats or EngineStats()
         self.calibrator = calibrator

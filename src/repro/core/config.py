@@ -81,6 +81,13 @@ class DimmunixConfig:
         emitting thread owns one bounded ring; when a ring fills (the
         monitor is stopped or badly behind), further events from that
         thread are dropped and counted rather than blocking the hot path.
+    event_gap_timeout:
+        Seconds the event-bus drain waits for a sequence number that was
+        allocated but whose record has not been appended yet before
+        giving it up for lost.  In-flight emissions close that window in
+        microseconds; the timeout only fires when an emitting thread was
+        killed mid-emission, so the monitor cannot wedge on it.  See
+        ``docs/architecture.md`` ("The memory model").
     thread_name_stacks:
         When True, captured stacks include the thread name as the outermost
         frame; useful for debugging, disabled by default because it makes
@@ -103,6 +110,7 @@ class DimmunixConfig:
     fp_window: int = 64
     thread_name_stacks: bool = False
     event_ring_size: int = 65536
+    event_gap_timeout: float = 0.05
 
     def validate(self) -> "DimmunixConfig":
         """Check parameter ranges and return ``self`` for chaining."""
@@ -132,6 +140,8 @@ class DimmunixConfig:
             raise ConfigError("fp_window must be >= 1")
         if self.event_ring_size < 1:
             raise ConfigError("event_ring_size must be >= 1")
+        if self.event_gap_timeout <= 0:
+            raise ConfigError("event_gap_timeout must be positive")
         if self.history_path is not None:
             parent = os.path.dirname(os.path.abspath(self.history_path))
             if parent and not os.path.isdir(parent):

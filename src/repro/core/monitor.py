@@ -112,6 +112,9 @@ class MonitorCore:
             # Ring-buffer buses hand over encoded records that the RAG
             # consumes field by field — no per-event decode on the standard
             # pipeline.  Legacy queues still deliver Event objects.
+            # _mutex also enforces the bus's single-consumer contract:
+            # drain_raw must never run concurrently with itself, and the
+            # RAG (not thread-safe) is only ever touched under it.
             drain_raw = getattr(self.engine.events, "drain_raw", None)
             if drain_raw is not None:
                 records = drain_raw()

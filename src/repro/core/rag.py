@@ -196,6 +196,13 @@ class ResourceAllocationGraph:
         self._dirty_threads: Set[int] = set()
         self._strict = strict
         self._events_applied = 0
+        #: Times the graph observed an event order section 5.2 forbids (an
+        #: ACQUIRED for a single-holder resource that still shows another
+        #: owner, i.e. the matching RELEASE had not been applied first).
+        #: Outside strict mode the stale edges are dropped and this counts
+        #: the repair; a correctly ordered event stream keeps it at 0, so
+        #: the race harness uses it as its ordering oracle.
+        self._order_violations = 0
 
     # -- accessors -------------------------------------------------------------------------
 
@@ -243,6 +250,18 @@ class ResourceAllocationGraph:
     def events_applied(self) -> int:
         """Total number of events applied to this RAG."""
         return self._events_applied
+
+    @property
+    def order_violations(self) -> int:
+        """Times an applied event stream broke the section 5.2 order.
+
+        Incremented when an ACQUIRED arrives for a single-holder resource
+        the graph still believes another thread owns — possible only if
+        the owner's RELEASE was reordered behind it (or lost).  Stays 0
+        when the event source honors its ordering contract; the races
+        harness asserts exactly that.
+        """
+        return self._order_violations
 
     def holder_of(self, lock_id: int) -> Optional[int]:
         """The sole thread holding ``lock_id`` (None if free/shared/unknown)."""
@@ -294,6 +313,12 @@ class ResourceAllocationGraph:
         This is the monitor's standard path: the records drained from the
         ring-buffer bus are consumed field by field, so the per-event
         dataclass is never materialized.
+
+        The RAG itself is not thread-safe — it relies on its caller being
+        a single consumer (the monitor applies batches under its own
+        mutex) and on ``records`` arriving in the emission order the bus
+        guarantees; :attr:`order_violations` counts the times that
+        contract was broken.
         """
         handlers = _HANDLERS
         dirty = self._dirty_threads
@@ -363,6 +388,7 @@ class ResourceAllocationGraph:
             # yet.  The partial-ordering argument of section 5.2 guarantees
             # the release precedes this acquired in the queue, so reaching
             # this point means the caller violated that ordering.
+            self._order_violations += 1
             if self._strict:
                 raise RAGError(
                     f"lock {lock_id} acquired by {thread_id} while "

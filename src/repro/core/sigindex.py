@@ -37,7 +37,27 @@ _EMPTY_TOP = object()
 
 
 class SignatureIndex:
-    """Read-mostly suffix index over the enabled signatures of a history."""
+    """Read-mostly suffix index over the enabled signatures of a history.
+
+    **Publication contract** (audited for free-threaded builds; see
+    ``docs/architecture.md``, "The memory model").  Writers mutate under
+    ``_mutex`` and publish copy-on-write: ``_top_filter`` and ``_buckets``
+    are each replaced wholesale with immutable/never-again-mutated
+    objects, never edited in place after publication.  Readers
+    (:meth:`candidates`) are lock-free and read *filter first, buckets
+    second*; writers order their stores so every interleaving errs toward
+    a **false negative** (a just-added signature briefly not matched —
+    benign, the monitor's detection safety net still catches the
+    deadlock), never a false positive and never a torn structure:
+
+    * :meth:`_insert` publishes the grown filter *before* the grown
+      buckets — a reader passing the new filter may still see old buckets
+      and miss, but a reader can never probe a bucket key whose top frame
+      its filter already rejected;
+    * :meth:`_remove` publishes the shrunk buckets *before* the shrunk
+      filter — a reader passing the stale filter finds no bucket entry
+      and misses, never the reverse.
+    """
 
     def __init__(self, history: Optional["History"] = None):
         self._mutex = threading.Lock()

@@ -12,6 +12,19 @@ lock showed up in hot-path profiles) and on free-threaded builds (where
 a shared lock serializes every core).  Reads aggregate the shards:
 ``stats.requests`` and :meth:`snapshot` sum over all per-thread
 dictionaries, which is O(threads) but off the hot path.
+
+:meth:`EngineStats.reset` is *epoch-based*.  Clearing the shard dicts in
+place would race lock-free bumpers — a writer that read ``shard.get(name)``
+before the clear and stored after it resurrects the pre-reset total, and
+one that stored just before the clear loses its increment ambiguously.
+Instead, reset bumps a generation number; each writer lazily replaces its
+counts dict the next time it bumps, and readers ignore shards whose
+generation is stale.  An in-flight bump therefore lands wholly in the old
+epoch (and is discarded with it) or wholly in the new one — never half-
+counted, never resurrected.  The publication order writers must follow is
+*counts dict before epoch* (see ``docs/architecture.md``, "The memory
+model"): a reader that sees the new epoch then always sees the fresh
+dict, so no post-reset increment can be missed.
 """
 
 from __future__ import annotations
@@ -31,6 +44,23 @@ _COUNTER_NAMES = (
 _COUNTER_SET = frozenset(_COUNTER_NAMES)
 
 
+class _StatShard:
+    """One thread's counter storage.
+
+    ``counts`` is written only by the owning thread; ``epoch`` records the
+    reset generation those counts belong to.  The owner replaces both on
+    its first bump after a reset, writing ``counts`` *before* ``epoch``
+    so readers filtering by epoch never see a stale dict behind a fresh
+    epoch number.
+    """
+
+    __slots__ = ("counts", "epoch")
+
+    def __init__(self, epoch: int):
+        self.counts: Dict[str, int] = {}
+        self.epoch = epoch
+
+
 class EngineStats:
     """Counters maintained by the avoidance engine and monitor.
 
@@ -40,20 +70,24 @@ class EngineStats:
     worst a few increments stale while they are still running.
     """
 
-    __slots__ = ("_lock", "_local", "_shards")
+    __slots__ = ("_lock", "_local", "_shards", "_epoch")
 
     def __init__(self):
         self._lock = threading.Lock()
         self._local = threading.local()
-        #: All per-thread shard dicts ever created; appended under _lock,
+        #: All per-thread shards ever created; appended under _lock,
         #: iterated lock-free by readers (list append is atomic).
         self._shards = []
+        #: Reset generation.  Writers compare their shard's epoch to this
+        #: and readers skip shards from older generations.  Only ever
+        #: incremented, under _lock.
+        self._epoch = 0
 
-    def _shard(self) -> Dict[str, int]:
+    def _shard(self) -> _StatShard:
         try:
             return self._local.shard
         except AttributeError:
-            shard: Dict[str, int] = {}
+            shard = _StatShard(self._epoch)
             with self._lock:
                 self._shards.append(shard)
             self._local.shard = shard
@@ -62,15 +96,26 @@ class EngineStats:
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment the counter ``name`` on the calling thread's shard."""
         shard = self._shard()
-        shard[name] = shard.get(name, 0) + amount
+        epoch = self._epoch
+        if shard.epoch != epoch:
+            # First bump after a reset: start a fresh dict for the new
+            # generation.  Publication order matters — counts first, then
+            # epoch — so a reader that accepts this shard by its epoch
+            # can only see the fresh dict, never leftover totals.
+            shard.counts = {}
+            shard.epoch = epoch
+        counts = shard.counts
+        counts[name] = counts.get(name, 0) + amount
 
     def value_of(self, name: str) -> int:
         """The aggregated value of one counter across all thread shards."""
         if name not in _COUNTER_SET:
             raise KeyError(name)
+        epoch = self._epoch
         total = 0
         for shard in self._shards:
-            total += shard.get(name, 0)
+            if shard.epoch == epoch:
+                total += shard.counts.get(name, 0)
         return total
 
     def __getattr__(self, name: str) -> int:
@@ -83,23 +128,27 @@ class EngineStats:
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy of all counters (aggregated over shards)."""
         totals = {name: 0 for name in _COUNTER_NAMES}
+        epoch = self._epoch
         with self._lock:
             shards = list(self._shards)
         for shard in shards:
-            for name, value in list(shard.items()):
+            if shard.epoch != epoch:
+                continue
+            for name, value in list(shard.counts.items()):
                 totals[name] += value
         return totals
 
     def reset(self) -> None:
-        """Zero every counter.
+        """Zero every counter, atomically with respect to concurrent bumps.
 
-        Should be called while bumping threads are quiescent; a bump
-        racing the reset may survive it or be lost with it (the same
-        ambiguity any concurrent reset has).
+        Starts a new epoch rather than clearing shard dicts in place (a
+        clear would race lock-free writers; see the module docstring).
+        A bump racing the reset lands entirely in the old epoch — and is
+        discarded with it — or entirely in the new one; it is never
+        half-counted and old totals can never resurface.
         """
         with self._lock:
-            for shard in self._shards:
-                shard.clear()
+            self._epoch += 1
 
     @property
     def yield_rate(self) -> float:

@@ -144,6 +144,15 @@ class AsyncioParker(ThreadParker):
         unresolved future is safe: a stale wake scheduled against it can
         only cause a spurious wakeup, and the avoidance gate re-requests
         after every wake.
+
+        Audited for free-threaded builds: the lock-free fast path reads
+        one published ``(loop, future)`` tuple — dict reads are atomic
+        per-object, tuples are immutable, and replacements only ever
+        happen under ``_mutex``.  A racing :meth:`forget` or replacement
+        at worst leaves this round armed against a tuple that is no
+        longer current, which the next ``park_async`` (re-reading the
+        dict under ``_mutex``) resolves to a spurious-wake, never a
+        lost one.
         """
         loop = asyncio.get_running_loop()
         entry = self._futures.get(task_id)

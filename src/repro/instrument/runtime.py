@@ -124,6 +124,13 @@ class YieldManager(ThreadParker):
         condition lock; ``is_set`` does not).
         """
         event = self.event_for(thread_id)
+        # Audited for free-threaded builds: the is_set/clear pair is not
+        # atomic, so a wake arriving between the two calls is eaten by the
+        # clear.  That wake is necessarily *stale* — prepare() runs before
+        # the request is published, so nothing can be legitimately waking
+        # this thread yet; wakes for the upcoming park are only triggered
+        # by state changes after the request, and those set() calls land
+        # after this clear.  No lost-wakeup is possible.
         if event.is_set():
             event.clear()
         return event

@@ -1,0 +1,126 @@
+"""EngineStats reset-vs-bump races: epochs must prevent resurrection.
+
+The pre-fix ``reset`` cleared every shard dict in place under the stats
+lock while ``bump`` wrote lock-free: a bump that read its old value
+before the clear and stored after it resurrected the whole pre-reset
+total for that counter.  The epoch scheme discards the old generation
+wholesale instead; these tests pin the invariant from both ends.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.stats import EngineStats
+
+from .harness import GatedDict, preemption_pressure, run_threads
+
+
+def _install_gated_counts(stats: EngineStats) -> GatedDict:
+    """From the calling thread, put a GatedDict behind its own shard.
+
+    Works against both the epoch-based shard objects (``.counts``) and
+    the pre-fix plain-dict shards, so the test stays meaningful when the
+    fix is reverted for the demonstration run.
+    """
+    stats.bump("requests", 0)  # force shard creation
+    shard = stats._local.shard
+    if hasattr(shard, "counts"):
+        gated = GatedDict(shard.counts)
+        shard.counts = gated
+    else:  # pre-fix layout: the shard IS the dict, registered in _shards
+        gated = GatedDict(shard)
+        stats._local.shard = gated
+        stats._shards[stats._shards.index(shard)] = gated
+    return gated
+
+
+class TestDeterministicResurrection:
+    def test_reset_never_resurrects_an_inflight_bump(self):
+        """Choreography: park a bump inside its read-modify-write window,
+        reset while it is parked, release it.  The parked bump belongs to
+        the old generation; the post-reset total must not contain any of
+        the 500 pre-reset increments (pre-fix code reports 501)."""
+        stats = EngineStats()
+        gates = {}
+        gate_ready = threading.Event()
+        resumed = threading.Event()
+
+        def bumper():
+            stats.bump("requests", 500)   # pre-reset total to resurrect
+            gates["gate"] = _install_gated_counts(stats)
+            gate_ready.set()
+            stats.bump("requests")        # parks inside counts.get
+            resumed.set()
+
+        worker = threading.Thread(target=bumper, name="gated-bumper")
+        worker.start()
+        # Wait for the worker to be parked mid-bump, then reset.
+        assert gate_ready.wait(10.0)
+        gate = gates["gate"]
+        assert gate.entered.wait(10.0)
+        assert stats.requests == 500
+        stats.reset()
+        assert stats.requests == 0
+        gate.release.set()
+        assert resumed.wait(10.0)
+        worker.join(10.0)
+        # The in-flight bump wrote 501 into the *old* generation's dict;
+        # a correct reset leaves it there, dead.  It must never surface.
+        assert stats.requests <= 1, (
+            f"pre-reset total resurrected: requests={stats.requests}")
+        # And the next bump lands cleanly in the new generation.
+        stats.bump("requests")
+        assert 1 <= stats.requests <= 2
+
+    def test_quiescent_reset_zeroes_everything(self):
+        stats = EngineStats()
+        for name in ("requests", "go_decisions", "acquisitions"):
+            stats.bump(name, 7)
+        stats.reset()
+        assert stats.snapshot() == {name: 0 for name in stats.snapshot()}
+        stats.bump("requests")
+        assert stats.requests == 1
+
+
+class TestResetStorm:
+    def test_reset_bound_under_concurrent_bumping(self):
+        """Stress: W workers bump continuously while the main thread
+        resets mid-flight.  Afterwards the aggregate may contain only
+        increments issued *after* the reset, plus at most one in-flight
+        bump per worker — resurrection of pre-reset totals (the pre-fix
+        failure) blows this bound by thousands."""
+        workers, bursts, per_burst = 4, 60, 25
+        stats = EngineStats()
+        progress = [0] * workers
+        reset_done = threading.Event()
+
+        def bump_loop(slot):
+            for _ in range(bursts):
+                for _ in range(per_burst):
+                    stats.bump("requests")
+                    progress[slot] += 1
+
+        def resetter():
+            # Let real contention build, then reset once mid-storm.
+            while sum(progress) < (workers * bursts * per_burst) // 3:
+                pass
+            issued_before = sum(progress)
+            stats.reset()
+            reset_done.issued_before = issued_before  # type: ignore[attr-defined]
+            reset_done.set()
+
+        with preemption_pressure():
+            run_threads([lambda slot=slot: bump_loop(slot)
+                         for slot in range(workers)] + [resetter])
+
+        assert reset_done.is_set()
+        issued_before = reset_done.issued_before  # type: ignore[attr-defined]
+        total_issued = sum(progress)
+        after = stats.requests
+        # progress[] is read racily by the resetter, so allow one burst of
+        # slack per worker on top of the one in-flight bump each.
+        bound = (total_issued - issued_before) + workers * (per_burst + 1)
+        assert after <= bound, (
+            f"resurrected pre-reset counts: {after} > {bound} "
+            f"(issued_before={issued_before}, total={total_issued})")

@@ -66,10 +66,19 @@ class TestEventBus:
         assert not bus
 
     def test_put_event_compat(self):
+        # put() re-stamps with a bus-owned seq (the bus needs a contiguous
+        # sequence space for its ordering guarantee); every other field of
+        # the Event round-trips.
         bus = EventBus()
         event = request_event(3, 4, stack())
         assert bus.put(event)
-        assert bus.drain() == [event]
+        (drained,) = bus.drain()
+        assert drained.seq == 1
+        assert (drained.type, drained.thread_id, drained.lock_id,
+                drained.stack, drained.causes, drained.timestamp,
+                drained.mode, drained.capacity) == (
+            event.type, event.thread_id, event.lock_id, event.stack,
+            event.causes, event.timestamp, event.mode, event.capacity)
 
     def test_bounded_ring_drops_newest_and_counts(self):
         bus = EventBus(ring_capacity=4)
@@ -157,6 +166,143 @@ class TestEventBus:
             seqs[record[2]].append(record[0])
         for tid, values in seqs.items():
             assert values == sorted(values), f"thread {tid}"
+
+    def test_cross_drain_global_seq_order_property(self):
+        """Property (the §5.2 total order, across drain boundaries): with
+        concurrent emitters and arbitrary ``drain_raw(limit=...)`` cut
+        points, the concatenation of all drained batches is in strictly
+        increasing global seq order, nothing is lost, and no seq slot is
+        ever given up for lost.  Fails on pre-PR-7 code, where a record
+        could be drained before an earlier-seq record had landed."""
+        import random
+        import sys
+
+        producers, per_thread = 4, 1500
+        bus = EventBus(ring_capacity=per_thread + 16)
+        s = stack()
+        start = threading.Barrier(producers + 1)
+        done = threading.Event()
+        rng = random.Random(0x5152)
+
+        def produce(thread_id: int) -> None:
+            start.wait()
+            for i in range(per_thread):
+                bus.emit(EV_REQUEST, thread_id, i, s)
+
+        batches = []
+
+        def consume() -> None:
+            start.wait()
+            while not done.is_set() or bus:
+                batches.append(bus.drain_raw(limit=rng.randrange(1, 120)))
+            batches.append(bus.drain_raw())
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)  # force frequent preemption
+        try:
+            pool = [threading.Thread(target=produce, args=(tid,))
+                    for tid in range(1, producers + 1)]
+            consumer = threading.Thread(target=consume)
+            consumer.start()
+            for thread in pool:
+                thread.start()
+            for thread in pool:
+                thread.join()
+            done.set()
+            consumer.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+
+        collected = [record for batch in batches for record in batch]
+        assert len(collected) == producers * per_thread
+        seqs = [record[0] for record in collected]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        # Seq space is contiguous: drops never allocate, so none skipped.
+        assert seqs == list(range(1, len(seqs) + 1))
+        assert bus.seq_gaps_skipped == 0
+        assert bus.stragglers == 0
+        assert bus.total_drained == len(collected)
+
+    def test_peek_size_consistent_with_enqueued_minus_drained(self):
+        """The documented peek_size() envelope: with the consumer reading
+        ``peek_size()`` *before* ``total_enqueued`` (rings bump ``total``
+        before appending), ``peek_size() <= total_enqueued -
+        total_drained`` at every instant, with equality once producers
+        are quiescent; the lifetime counters only grow."""
+        producers, per_thread = 3, 1200
+        bus = EventBus(ring_capacity=per_thread + 16)
+        s = stack()
+        start = threading.Barrier(producers + 1)
+        done = threading.Event()
+
+        def produce(thread_id: int) -> None:
+            start.wait()
+            for i in range(per_thread):
+                bus.emit(EV_ACQUIRED, thread_id, i, s)
+
+        drained_count = 0
+        violations = []
+        monotone = []
+
+        def consume() -> None:
+            nonlocal drained_count
+            last_enqueued = last_drained = 0
+            start.wait()
+            while not done.is_set() or bus:
+                drained = bus.total_drained  # consumer-owned, stable here
+                backlog = bus.peek_size()
+                enqueued = bus.total_enqueued
+                if backlog > enqueued - drained:
+                    violations.append((backlog, enqueued, drained))
+                if enqueued < last_enqueued or drained < last_drained:
+                    monotone.append((enqueued, drained))
+                last_enqueued, last_drained = enqueued, drained
+                drained_count += len(bus.drain_raw(limit=64))
+
+        pool = [threading.Thread(target=produce, args=(tid,))
+                for tid in range(1, producers + 1)]
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        done.set()
+        consumer.join()
+
+        assert not violations, violations[:5]
+        assert not monotone, monotone[:5]
+        assert drained_count == producers * per_thread
+        assert bus.peek_size() == 0
+        assert bus.total_enqueued - bus.total_drained == 0
+
+    def test_dead_thread_rings_are_retired_but_counters_survive(self):
+        """Rings of terminated threads are retired during drain, and a
+        later thread (which may recycle the OS ident) starts from fresh
+        counters while the bus-level lifetime totals keep the retired
+        rings' contributions.  Pre-PR-7, rings were keyed by ident and
+        lived (and leaked) forever."""
+        bus = EventBus(ring_capacity=4)
+        s = stack()
+
+        def burst(thread_id: int) -> None:
+            for i in range(6):  # 4 land, 2 drop
+                bus.emit(EV_REQUEST, thread_id, i, s)
+
+        for generation in range(5):
+            thread = threading.Thread(target=burst, args=(generation,))
+            thread.start()
+            thread.join()
+            assert len(bus.drain_raw()) == 4
+        # All producer threads are dead and drained: every ring retires.
+        bus.drain_raw()
+        assert bus.ring_count == 0
+        # Lifetime counters still include the retired rings.
+        assert bus.total_enqueued == 20
+        assert bus.dropped == 10
+        assert bus.total_drained == 20
+        assert bus.high_water_mark == 20  # 5 rings x high-water 4
 
 
 class TestLegacyQueueCompat:
