@@ -28,9 +28,11 @@ from .aio import (AioSimLock, alog, asleep, async_program,
                   new_aio_lock, perform)
 from .backends import (DimmunixBackend, NullBackend, SchedulerBackend)
 from .explore import (DeadlockFinding, ExplorationResult, Explorer,
-                      ImmunityChecker, ImmunityReport, SCENARIOS,
-                      build_philosophers, build_two_lock_inversion)
+                      FrontierNode, ImmunityChecker, ImmunityReport,
+                      SCENARIOS, STRATEGIES, build_philosophers,
+                      build_two_lock_inversion)
 from .locks import SimLock, SimRWLock, SimSemaphore
+from .parexplore import ParallelExplorer
 from .result import SimResult
 from .schedule import (FirstReadyPolicy, RandomPolicy, ReplayPolicy,
                        SchedulePolicy, ScheduleTrace)
@@ -48,14 +50,17 @@ __all__ = [
     "ExplorationResult",
     "Explorer",
     "FirstReadyPolicy",
+    "FrontierNode",
     "ImmunityChecker",
     "ImmunityReport",
     "Log",
     "NullBackend",
+    "ParallelExplorer",
     "RandomPolicy",
     "Release",
     "ReplayPolicy",
     "SCENARIOS",
+    "STRATEGIES",
     "SchedulePolicy",
     "SchedulerBackend",
     "ScheduleTrace",

@@ -11,7 +11,7 @@ as captured stacks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Union
+from typing import Optional, Sequence, Tuple, Union
 
 from ..core.callstack import CallStack
 from ..core.signature import EXCLUSIVE, SHARED
@@ -95,3 +95,21 @@ class Log:
 
     message: str = ""
     payload: dict = field(default_factory=dict)
+
+
+def action_footprint(action) -> Optional[Tuple[int, str]]:
+    """The ``(lock_id, mode)`` pair an action touches, or ``None``.
+
+    This is the per-step input to the dependence relation in
+    :mod:`repro.sim.dpor`: two steps can only interfere through a shared
+    resource, and the mode decides whether same-resource steps commute
+    (two SHARED acquisitions do; anything involving EXCLUSIVE may not).
+    Local steps (:class:`Compute`, :class:`Log`, thread exit) have no
+    footprint and commute with everything.  ``Release`` carries no mode
+    field — the scheduler releases whatever grant is held — so its
+    footprint reports EXCLUSIVE, the conservative choice.
+    """
+    lock = getattr(action, "lock", None)
+    if lock is None:
+        return None
+    return lock.lock_id, getattr(action, "mode", EXCLUSIVE)

@@ -36,13 +36,17 @@ as such — the search is then complete only w.r.t. the bound.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..core.errors import ReplayDivergenceError
+from ..core.errors import ReplayDivergenceError, SimulationError
+from .actions import Acquire, TryAcquire, action_footprint
 from .aio import build_aio_philosophers, build_aio_two_lock_inversion
 from .backends import NullBackend, SchedulerBackend
+from .dpor import (ACQUIRE, BLOCK, RELEASE, TRY, YIELD, BacktrackBook,
+                   RunObservation, admit_wave)
 from .locks import SimRWLock, SimSemaphore
 from .programs import (lock_order_program, philosopher_program,
                        rwlock_upgrade_program, sem_pool_program)
@@ -70,13 +74,63 @@ class _CutRun(Exception):
 
 
 @dataclass
-class _Node:
-    """One frontier entry of the DFS: a forced prefix plus sleep insertions."""
+class FrontierNode:
+    """One frontier entry: a forced choice prefix plus sleep insertions.
+
+    A node is a *subtree root*: re-driving its ``choices`` through a fresh
+    scenario instance reaches the exact scheduler state the node denotes,
+    and exploration branches at the first free choice point after the
+    prefix.  Nodes serialize to a stable JSON form (:meth:`to_dict` /
+    :meth:`dumps`) so the parallel explorer can hand subtrees to OS worker
+    processes as plain records — the payload is a
+    :class:`~repro.sim.schedule.ScheduleTrace` prefix plus the sleep
+    entries that travel with it.
+    """
 
     choices: Tuple[int, ...]
     #: choice-point position -> sleep entries ((slot, lock footprint), ...)
     #: inserted when the replay reaches that position.
     sleep_at: Dict[int, Tuple[Tuple[int, Optional[int]], ...]]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data payload; equal nodes produce equal payloads."""
+        return {
+            "choices": list(self.choices),
+            "sleep_at": {
+                str(position): [[slot, lock] for slot, lock in entries]
+                for position, entries in sorted(self.sleep_at.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FrontierNode":
+        """Inverse of :meth:`to_dict`; validates the shape."""
+        try:
+            choices = tuple(int(c) for c in payload["choices"])
+            sleep_at = {
+                int(position): tuple((int(slot),
+                                      None if lock is None else int(lock))
+                                     for slot, lock in entries)
+                for position, entries in payload.get("sleep_at", {}).items()
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(
+                f"malformed frontier-node payload: {payload!r}") from exc
+        return cls(choices=choices, sleep_at=sleep_at)
+
+    def dumps(self) -> str:
+        """Stable JSON encoding: equal nodes serialize to equal bytes."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def loads(cls, data: str) -> "FrontierNode":
+        """Inverse of :meth:`dumps`."""
+        return cls.from_dict(json.loads(data))
+
+
+#: Backward-compatible private alias (pre-parallel name).
+_Node = FrontierNode
 
 
 @dataclass
@@ -100,18 +154,37 @@ class _DfsPolicy(SchedulePolicy):
     name = "dfs"
 
     def __init__(self, node: _Node, max_depth: Optional[int],
-                 visible_only: bool, sleep_enabled: bool):
+                 visible_only: bool, sleep_enabled: bool,
+                 observation: Optional[RunObservation] = None):
         self.forced = node.choices
         self.sleep_in = node.sleep_at
         self.max_depth = max_depth
         self.visible_only = visible_only
         self.sleep_enabled = sleep_enabled
+        self.observation = observation
         self.sleep: Dict[int, Optional[int]] = {}
         self.taken: List[int] = []
+        if observation is not None:
+            observation.taken = self.taken  # shared: grows with the run
         self.records: List[_ChoiceRecord] = []
         self.position = 0
         self.prev_slot: Optional[int] = None
         self.preemptions = 0
+        #: Choice position of the step about to execute (handed from
+        #: ``choose`` to the immediately following ``observe``).
+        self._step_position: Optional[int] = None
+
+    def _note_choice(self, position: int, chosen: int, by_slot, slots) -> None:
+        """Record a choice point for DPOR race analysis (collect mode)."""
+        self._step_position = position
+        if self.observation is None:
+            return
+        pool = tuple((s, by_slot[s][1]) for s in slots)
+        if all(lock is not None for _s, lock in pool):
+            # Only states with an all-visible candidate pool are seedable:
+            # with invisible moves pending, the policy's normal form runs
+            # them first, so no visible branch exists *at this state*.
+            self.observation.choices_at[position] = (chosen, pool)
 
     def choose(self, candidates, scheduler):
         position = self.position
@@ -140,6 +213,7 @@ class _DfsPolicy(SchedulePolicy):
                     f"DFS prefix diverged at choice point {position}: slot "
                     f"{slot} is not runnable (candidates: {slots})",
                     position=position)
+            self._note_choice(position, slot, by_slot, slots)
             return self._take(slot, entry[0], slots,
                               visible=entry[1] is not None)
 
@@ -150,6 +224,7 @@ class _DfsPolicy(SchedulePolicy):
                 # never branch over their order (and never charge the
                 # reduction-imposed switch as a preemption).
                 slot = self.prev_slot if self.prev_slot in invisible else invisible[0]
+                self._step_position = position
                 return self._take(slot, by_slot[slot][0], slots, visible=False)
             pool = [s for s in slots if by_slot[s][1] is not None]
         else:
@@ -158,6 +233,7 @@ class _DfsPolicy(SchedulePolicy):
         if not branchable:
             raise _CutRun("sleep")
         chosen = self.prev_slot if self.prev_slot in branchable else branchable[0]
+        self._note_choice(position, chosen, by_slot, slots)
         alternatives = [(s, by_slot[s][1]) for s in branchable if s != chosen]
         if alternatives:
             self.records.append(_ChoiceRecord(
@@ -186,28 +262,88 @@ class _DfsPolicy(SchedulePolicy):
 
     def observe(self, scheduler, thread, action) -> None:
         slot = scheduler.slot_of(thread.thread_id)
-        if lock_footprint(action) is not None:
+        position = self._step_position
+        self._step_position = None
+        footprint = action_footprint(action)
+        lock = None
+        if footprint is not None:
+            lock_id, mode = footprint
+            lock = scheduler.lock_slot_of(lock_id)
             self.prev_slot = slot
+            if self.observation is not None:
+                if isinstance(action, TryAcquire):
+                    kind = TRY
+                elif isinstance(action, Acquire):
+                    # Distinguish a grant from a parking attempt: blocked
+                    # attempts commute with releases, so race analysis
+                    # must know which one is about to execute.
+                    kind = (ACQUIRE
+                            if action.lock.can_grant(thread.thread_id, mode)
+                            else BLOCK)
+                else:
+                    kind = RELEASE
+                self.observation.events.append(
+                    (slot, lock, position, kind, mode))
         if not self.sleep_enabled or not self.sleep:
             return
         # A sleep entry dissolves when a dependent step executes: any step
         # touching the same lock, or the sleeping thread itself moving.
         self.sleep.pop(slot, None)
-        lock = lock_footprint(action)
         if lock is not None:
-            lock = scheduler.lock_slot_of(lock)
-            for sleeping in [s for s, slot in self.sleep.items()
-                             if slot == lock]:
+            for sleeping in [s for s, asleep_on in self.sleep.items()
+                             if asleep_on == lock]:
                 del self.sleep[sleeping]
+
+    def observe_grant(self, scheduler, thread, lock, mode: str) -> None:
+        """Record a FIFO hand-over as an acquisition event (collect mode).
+
+        The grant happens inside the releaser's step, so it carries no
+        choice position (``None`` — nothing to reverse there), but race
+        analysis needs the event for its happens-before clocks: without
+        it the waiter's later steps look concurrent with the release that
+        unblocked them, and every release/release pair on a contended
+        lock seeds a spurious reversal.
+        """
+        if self.observation is not None:
+            slot = scheduler.slot_of(thread.thread_id)
+            self.observation.events.append(
+                (slot, scheduler.lock_slot_of(lock.lock_id), None, ACQUIRE,
+                 mode))
+
+    def observe_yield(self, scheduler, thread, lock) -> None:
+        """Reclassify the step just observed as an avoidance yield.
+
+        ``observe`` runs before the scheduler consults the backend, so it
+        records the attempt as ACQUIRE/BLOCK/TRY; when the avoidance
+        engine then denies it, the event must become a YIELD.  Yields are
+        globally dependent: the deny is a function of the holders of
+        every lock in the matched signature, which no per-lock footprint
+        captures, so race analysis must order it against all other steps.
+        """
+        if self.observation is None or not self.observation.events:
+            return
+        slot = scheduler.slot_of(thread.thread_id)
+        lock_slot = scheduler.lock_slot_of(lock.lock_id)
+        last = self.observation.events[-1]
+        if last[0] == slot and last[1] == lock_slot:
+            self.observation.events[-1] = (slot, lock_slot, last[2], YIELD,
+                                           last[4])
 
 
 @dataclass
 class DeadlockFinding:
-    """One deadlocking interleaving discovered by the explorer."""
+    """One deadlocking interleaving discovered by the explorer.
+
+    ``result`` is ``None`` for findings merged back from a parallel
+    worker process — the full :class:`SimResult` does not travel across
+    the process boundary; replaying ``trace`` reconstructs it.
+    """
 
     trace: ScheduleTrace
-    result: SimResult
-    #: Sorted (slot, lock id) wait pairs of the stall — the deduplication key.
+    result: Optional[SimResult]
+    #: Sorted (slot, lock slot) wait pairs of the stall — the
+    #: deduplication key and the deadlock's *signature* for differential
+    #: equivalence checks (stable across runs and processes).
     footprint: Tuple[Tuple[int, int], ...]
 
 
@@ -216,6 +352,9 @@ class ExplorationResult:
     """Aggregate outcome of one exploration (DFS or random walk)."""
 
     mode: str
+    #: Reduction strategy that produced this result ("dfs" = unreduced,
+    #: "sleep", "dpor", "random"; parallel runs append "+parallel-N").
+    strategy: str = "dfs"
     runs: int = 0
     steps: int = 0
     completed: int = 0
@@ -246,10 +385,42 @@ class ExplorationResult:
             return 0.0
         return self.steps / self.elapsed
 
+    def canonical(self) -> Dict:
+        """Timing-free, process-independent view of the exploration.
+
+        Two explorations of the same scenario with the same strategy and
+        bounds must produce *identical* canonical forms — this is the
+        contract the parallel explorer is tested against (worker count
+        must not change what was explored, in what order, or what was
+        found).  Wall-clock fields (``elapsed``, ``states_per_second``)
+        and the strategy label are deliberately excluded.
+        """
+        return {
+            "mode": self.mode,
+            "runs": self.runs,
+            "steps": self.steps,
+            "completed": self.completed,
+            "deadlocks": [
+                {"choices": list(finding.trace.choices),
+                 "footprint": [list(pair) for pair in finding.footprint]}
+                for finding in self.deadlocks],
+            "unique_deadlocks": self.unique_deadlocks,
+            "pruned_sleep": self.pruned_sleep,
+            "cut_depth": self.cut_depth,
+            "skipped_preemption": self.skipped_preemption,
+            "exhausted": self.exhausted,
+        }
+
+    def canonical_bytes(self) -> str:
+        """Stable serialization of :meth:`canonical` (byte-equality checks)."""
+        return json.dumps(self.canonical(), sort_keys=True,
+                          separators=(",", ":"))
+
     def summary(self) -> Dict:
         """Flat dictionary of all counters (for printing and reports)."""
         return {
             "mode": self.mode,
+            "strategy": self.strategy,
             "runs": self.runs,
             "steps": self.steps,
             "completed": self.completed,
@@ -264,6 +435,10 @@ class ExplorationResult:
         }
 
 
+#: Recognized exploration strategies (see :meth:`Explorer.resolve_strategy`).
+STRATEGIES = ("dfs", "sleep", "dpor")
+
+
 class Explorer:
     """Bounded systematic exploration of a scenario's schedule tree.
 
@@ -271,21 +446,38 @@ class Explorer:
     configured :class:`SimScheduler`; each run gets its own scheduler (and
     backend — use :meth:`SchedulerBackend.fork` for stateful backends).
 
-    Bounds: ``max_runs`` caps the number of executions, ``max_depth`` the
-    choice points per run, ``preemption_bound`` the preemptive context
-    switches per schedule (``None`` = unbounded; switches counted at
-    visible lock operations only).  ``sleep_sets=None`` enables sleep-set
-    pruning automatically when the scenario runs on a
-    :class:`NullBackend` (where per-lock independence is exact); setting
-    a preemption bound forces sleep sets off, since the two reductions
-    are unsound in combination.
+    ``strategy`` selects the reduction:
+
+    * ``"dfs"`` — unreduced exhaustive DFS (every alternative at every
+      free choice point);
+    * ``"sleep"`` — DFS with sleep-set pruning (per-resource footprints);
+    * ``"dpor"`` — source-DPOR race reversal (:mod:`repro.sim.dpor`),
+      the default: strictly stronger pruning than sleep sets and — unlike
+      them — applied to *engine-backed* exploration too, with the
+      equivalence of its deadlock coverage re-proven per scenario by the
+      differential suite (``tests/explore/``);
+    * ``None``/``"auto"`` — ``"dpor"``, unless a ``preemption_bound`` is
+      set, which forces ``"dfs"``: reductions prune an ordering because
+      an equivalent branch covers it, but preemption counts are not
+      invariant across equivalent orderings, so with a bound the covering
+      branch may be skipped while the pruned one was within it (CHESS
+      likewise bounds without reduction).
+
+    The legacy ``sleep_sets`` flag maps onto strategies (``True`` →
+    ``"sleep"``, ``False`` → ``"dfs"``) and is overridden by an explicit
+    ``strategy``.  Other bounds: ``max_runs`` caps the number of
+    executions, ``max_depth`` the choice points per run,
+    ``preemption_bound`` the preemptive context switches per schedule
+    (``None`` = unbounded; switches counted at visible lock operations
+    only).
     """
 
     def __init__(self, scenario: ScenarioFactory, *, name: str = "scenario",
                  max_runs: int = 10_000, max_depth: Optional[int] = None,
                  preemption_bound: Optional[int] = None,
                  visible_only: bool = True,
-                 sleep_sets: Optional[bool] = None):
+                 sleep_sets: Optional[bool] = None,
+                 strategy: Optional[str] = None):
         self.scenario = scenario
         self.name = name
         self.max_runs = max_runs
@@ -293,6 +485,12 @@ class Explorer:
         self.preemption_bound = preemption_bound
         self.visible_only = visible_only
         self.sleep_sets = sleep_sets
+        if strategy is not None and strategy != "auto" \
+                and strategy not in STRATEGIES:
+            raise SimulationError(
+                f"unknown exploration strategy {strategy!r} "
+                f"(expected one of {STRATEGIES} or 'auto')")
+        self.strategy = strategy
 
     # -- run plumbing ----------------------------------------------------------------------
 
@@ -301,18 +499,37 @@ class Explorer:
         scheduler.policy = policy
         return scheduler
 
-    def _sleep_enabled(self, scheduler: SimScheduler) -> bool:
+    def resolve_strategy(self) -> str:
+        """The concrete strategy this explorer will run (never "auto")."""
+        requested = self.strategy
+        if requested is None or requested == "auto":
+            if self.sleep_sets is True:
+                requested = "sleep"
+            elif self.sleep_sets is False:
+                requested = "dfs"
+            else:
+                requested = "dpor"
         if self.preemption_bound is not None:
-            # Sleep sets prune an ordering because an equivalent sibling
-            # branch covers it — but preemption counts are not invariant
-            # across equivalent orderings, so with a bound the covering
-            # branch may be skipped (over the bound) while the pruned one
-            # was within it, silently losing schedules.  Bounded search
-            # therefore always runs without sleep sets (as CHESS does).
-            return False
-        if self.sleep_sets is not None:
-            return self.sleep_sets
-        return isinstance(scheduler.backend, NullBackend)
+            # No reduction composes with preemption bounding (see class
+            # docstring); bounded search always runs the plain DFS.
+            return "dfs"
+        return requested
+
+    def _run_node(self, node: FrontierNode, sleep_enabled: bool,
+                  collect: bool = False):
+        """Execute one frontier node; returns (scheduler, result, cut, policy)."""
+        scheduler = self.scenario()
+        observation = RunObservation() if collect else None
+        policy = _DfsPolicy(node, self.max_depth, self.visible_only,
+                            sleep_enabled, observation)
+        scheduler.policy = policy
+        try:
+            result = scheduler.run()
+            cut = None
+        except _CutRun as cut_run:
+            result = None
+            cut = cut_run.reason
+        return scheduler, result, cut, policy
 
     def _record_outcome(self, res: ExplorationResult, scheduler: SimScheduler,
                         result: SimResult, seen: set) -> None:
@@ -336,29 +553,52 @@ class Explorer:
     # -- bounded exhaustive DFS ------------------------------------------------------------
 
     def explore(self, stop_on_first_deadlock: bool = False) -> ExplorationResult:
-        """Depth-first enumeration of the bounded schedule tree."""
-        res = ExplorationResult(mode="dfs")
+        """Systematic enumeration of the bounded schedule tree.
+
+        Dispatches on :meth:`resolve_strategy`: plain or sleep-set DFS
+        over a stack frontier, or wave-based source-DPOR.
+        """
+        strategy = self.resolve_strategy()
+        if strategy == "dpor":
+            return self._explore_dpor(stop_on_first_deadlock)
+        return self._explore_dfs(strategy, stop_on_first_deadlock)
+
+    def _explore_dfs(self, strategy: str, stop_on_first_deadlock: bool,
+                     initial: Optional[List[FrontierNode]] = None,
+                     stop_at_width: Optional[int] = None,
+                     ) -> ExplorationResult:
+        """Stack-DFS over ``initial`` (default: the root), optionally pausing.
+
+        Returns the result; when ``stop_at_width`` is set the loop stops
+        *before* popping once the frontier holds at least that many nodes,
+        and the unprocessed frontier is left in ``result`` via the second
+        element of the internal return — :meth:`expand` exposes it.
+        """
+        res = ExplorationResult(mode="dfs", strategy=strategy)
+        sleep_enabled = strategy == "sleep"
         seen: set = set()
         started = time.perf_counter()
-        frontier: List[_Node] = [_Node(choices=(), sleep_at={})]
+        if initial is None:
+            frontier: List[FrontierNode] = [FrontierNode(choices=(),
+                                                         sleep_at={})]
+        else:
+            # Process the given subtree roots in the given order: the
+            # stack pops from the end, so push them reversed.
+            frontier = list(reversed(initial))
         exhausted = True
         while frontier:
             if res.runs >= self.max_runs:
                 exhausted = False
                 break
+            if stop_at_width is not None and len(frontier) >= stop_at_width:
+                break
             node = frontier.pop()
-            scheduler = self.scenario()
-            sleep_enabled = self._sleep_enabled(scheduler)
-            policy = _DfsPolicy(node, self.max_depth, self.visible_only,
-                                sleep_enabled)
-            scheduler.policy = policy
+            scheduler, result, cut, policy = self._run_node(node,
+                                                            sleep_enabled)
             res.runs += 1
-            try:
-                result = scheduler.run()
-            except _CutRun as cut:
-                result = None
+            if cut is not None:
                 res.steps += scheduler.result.steps
-                if cut.reason == "depth":
+                if cut == "depth":
                     res.cut_depth += 1
                     exhausted = False
                 else:
@@ -369,7 +609,7 @@ class Explorer:
             # this run; reversed-within-record so the leftmost alternative
             # of the deepest record ends up on top (depth-first order).
             for record in policy.records:
-                pushes: List[_Node] = []
+                pushes: List[FrontierNode] = []
                 asleep: List[Tuple[int, Optional[int]]] = [
                     (record.chosen_slot, record.chosen_lock)]
                 for alt_slot, alt_lock in record.alternatives:
@@ -388,7 +628,7 @@ class Explorer:
                     sleep_at = dict(node.sleep_at)
                     if sleep_enabled:
                         sleep_at[record.position] = tuple(asleep)
-                    pushes.append(_Node(
+                    pushes.append(FrontierNode(
                         choices=tuple(record.taken_before) + (alt_slot,),
                         sleep_at=sleep_at))
                     asleep.append((alt_slot, alt_lock))
@@ -397,6 +637,96 @@ class Explorer:
                 exhausted = not frontier
                 break
         res.exhausted = exhausted and not frontier
+        res.elapsed = time.perf_counter() - started
+        self._paused_frontier = list(reversed(frontier))
+        return res
+
+    def expand(self, min_nodes: int,
+               strategy: Optional[str] = None,
+               ) -> Tuple[ExplorationResult, List[FrontierNode]]:
+        """Run the DFS until the frontier holds ``min_nodes`` subtree roots.
+
+        Returns the partial result plus the pending subtree roots **in
+        processing order**: exploring them sequentially (each to
+        completion) continues exactly where the serial DFS would have —
+        this is the deterministic split point the parallel explorer
+        distributes across workers.  Only meaningful for the stack
+        strategies ("dfs"/"sleep"); DPOR parallelizes by waves instead.
+        """
+        strategy = strategy or self.resolve_strategy()
+        if strategy == "dpor":
+            raise SimulationError(
+                "expand() splits a DFS stack; DPOR parallelizes by waves")
+        res = self._explore_dfs(strategy, stop_on_first_deadlock=False,
+                                stop_at_width=min_nodes)
+        return res, self._paused_frontier
+
+    def explore_frontier(self, nodes: List[FrontierNode],
+                         strategy: Optional[str] = None) -> ExplorationResult:
+        """Explore the subtrees rooted at ``nodes`` (in order) to completion.
+
+        This is the worker half of :meth:`expand`: sibling pushes during a
+        subtree run always extend that subtree's own prefix, so disjoint
+        node lists explore disjoint run sets and the per-node results can
+        be merged deterministically regardless of which process ran them.
+        """
+        strategy = strategy or self.resolve_strategy()
+        if strategy == "dpor":
+            raise SimulationError(
+                "explore_frontier() runs DFS subtrees; DPOR parallelizes "
+                "by waves")
+        return self._explore_dfs(strategy, stop_on_first_deadlock=False,
+                                 initial=nodes)
+
+    # -- source-DPOR (wave-based race reversal) --------------------------------------------
+
+    def _explore_dpor(self, stop_on_first_deadlock: bool = False,
+                      ) -> ExplorationResult:
+        """Source-DPOR by deterministic waves (see :mod:`repro.sim.dpor`).
+
+        Each wave runs every frontier node (collecting visible events),
+        then — after the whole wave — marks the explored branches and
+        admits the discovered race reversals in run/event order.  The
+        wave barrier makes the explored set a pure fixpoint: the parallel
+        explorer distributes a wave across OS processes and merges to a
+        byte-identical :meth:`ExplorationResult.canonical`.
+        """
+        res = ExplorationResult(mode="dfs", strategy="dpor")
+        seen: set = set()
+        started = time.perf_counter()
+        book = BacktrackBook()
+        wave: List[FrontierNode] = [FrontierNode(choices=(), sleep_at={})]
+        exhausted = True
+        stopped = False
+        while wave and not stopped:
+            observations: List[RunObservation] = []
+            for node in wave:
+                if res.runs >= self.max_runs:
+                    exhausted = False
+                    stopped = True
+                    break
+                scheduler, result, cut, policy = self._run_node(
+                    node, sleep_enabled=True, collect=True)
+                res.runs += 1
+                if cut is not None:
+                    res.steps += scheduler.result.steps
+                    if cut == "depth":
+                        res.cut_depth += 1
+                        exhausted = False
+                    else:
+                        res.pruned_sleep += 1
+                if result is not None:
+                    self._record_outcome(res, scheduler, result, seen)
+                observations.append(policy.observation)
+                if stop_on_first_deadlock and res.deadlocks:
+                    exhausted = False
+                    stopped = True
+                    break
+            if stopped:
+                break
+            wave = [FrontierNode(choices=choices, sleep_at=dict(sleep_at))
+                    for choices, sleep_at in admit_wave(book, observations)]
+        res.exhausted = exhausted and not wave
         res.elapsed = time.perf_counter() - started
         return res
 
@@ -547,7 +877,8 @@ class ImmunityChecker:
                  max_depth: Optional[int] = None,
                  preemption_bound: Optional[int] = None,
                  backend_prototype: Optional[SchedulerBackend] = None,
-                 shrink: bool = True):
+                 shrink: bool = True,
+                 strategy: Optional[str] = None):
         self.scenario = scenario
         self.name = name
         self.max_runs = max_runs
@@ -555,11 +886,13 @@ class ImmunityChecker:
         self.preemption_bound = preemption_bound
         self.backend_prototype = backend_prototype
         self.do_shrink = shrink
+        self.strategy = strategy
 
     def _explorer(self, factory: ScenarioFactory) -> Explorer:
         return Explorer(factory, name=self.name, max_runs=self.max_runs,
                         max_depth=self.max_depth,
-                        preemption_bound=self.preemption_bound)
+                        preemption_bound=self.preemption_bound,
+                        strategy=self.strategy)
 
     def _fresh_prototype(self, history=None) -> SchedulerBackend:
         from ..core.config import DimmunixConfig
@@ -731,6 +1064,11 @@ def build_rwlock_upgrade_inversion(backend: SchedulerBackend,
 SCENARIOS: Dict[str, Callable[[SchedulerBackend], SimScheduler]] = {
     "two-lock-inversion": build_two_lock_inversion,
     "philosophers-3": lambda backend: build_philosophers(backend, seats=3),
+    # Zero eat time removes the virtual-time serialization between the
+    # two forks, yielding the full 1239-run unreduced tree — the
+    # reduction benchmarks' and differential suite's stress scenario.
+    "philosophers-3-eat0":
+        lambda backend: build_philosophers(backend, seats=3, eat_time=0.0),
     "aio-two-lock-inversion": build_aio_two_lock_inversion,
     "aio-philosophers-3":
         lambda backend: build_aio_philosophers(backend, seats=3),

@@ -55,6 +55,25 @@ class SchedulePolicy:
     def observe(self, scheduler, thread, action) -> None:
         """Hook invoked with every action about to execute (default: no-op)."""
 
+    def observe_grant(self, scheduler, thread, lock, mode: str) -> None:
+        """Hook invoked when a blocked waiter is granted a resource.
+
+        A FIFO hand-over completes the waiter's acquisition *inside the
+        releaser's step* — no step of the waiter's own ever shows the
+        grant.  Policies that track happens-before (DPOR race analysis)
+        need this edge: the grant is ordered after the release that freed
+        the capacity.  Default: no-op.
+        """
+
+    def observe_yield(self, scheduler, thread, lock) -> None:
+        """Hook invoked when the avoidance engine denies an acquisition.
+
+        A yield couples the denied thread to the holders of *every* lock
+        in the matched signature — state no per-lock footprint can see.
+        Policies doing dependence analysis treat yields as globally
+        dependent.  Default: no-op.
+        """
+
 
 class RandomPolicy(SchedulePolicy):
     """Seeded uniform-random choice — the scheduler's historical behaviour."""
@@ -104,6 +123,17 @@ class ScheduleTrace:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ScheduleTrace {self.choices!r}>"
+
+    def prefix(self, length: int) -> "ScheduleTrace":
+        """The first ``length`` choices as a new trace (meta is copied).
+
+        Subtree roots handed to parallel workers are exactly trace
+        prefixes; keeping the metadata lets a worker know which scenario
+        the prefix belongs to without a side channel.
+        """
+        if length < 0:
+            raise SimulationError("trace prefix length must be non-negative")
+        return ScheduleTrace(self.choices[:length], meta=dict(self.meta))
 
     # -- serialization -------------------------------------------------------------------
 

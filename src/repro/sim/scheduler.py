@@ -322,6 +322,7 @@ class SimScheduler:
                 self.result.yields += 1
             thread.pending = action
             thread.state = ThreadState.YIELDING
+            self.policy.observe_yield(self, thread, lock)
             return
         if lock.can_grant(thread.thread_id, mode):
             self._grant(thread, lock, stack, mode)
@@ -345,6 +346,8 @@ class SimScheduler:
             self._grant(thread, lock, stack, mode)
             thread.last_result = True
         else:
+            if not go:
+                self.policy.observe_yield(self, thread, lock)
             self.backend.cancel(thread.thread_id, lock.lock_id)
             thread.last_result = False
             self.result.failed_trylocks += 1
@@ -406,6 +409,7 @@ class SimScheduler:
                 lock.waiters.appendleft(waiter_id)
                 return
             self._grant(waiter, lock, action.stack(), mode)
+            self.policy.observe_grant(self, waiter, lock, mode)
             waiter.pending = None
             waiter.state = ThreadState.READY
             waiter.ready_at = max(waiter.ready_at, self.clock.now())

@@ -451,3 +451,23 @@ class TestHarnessMatrix:
         row = rows[0].as_dict()
         assert row["immune"] is True
         assert row["states"] > 0
+        # The matrix must say how coverage was obtained: strategy,
+        # exhaustiveness of both phases, and the reduction ratio against
+        # the measured unreduced tree.
+        assert row["strategy"] == "dpor"
+        assert row["vulnerable_exhausted"] is True
+        assert row["immune_exhausted"] is True
+        assert row["full_interleavings"] == 14
+        assert 0 < row["reduction"] <= 1
+
+    def test_matrix_reports_requested_strategy_without_reduction_probe(self):
+        from repro.harness import run_exploration_matrix
+        from repro.sim.explore import SCENARIOS
+        rows = run_exploration_matrix(
+            scenarios={"two-lock-inversion": SCENARIOS["two-lock-inversion"]},
+            max_runs=1_000, strategy="dfs")
+        row = rows[0].as_dict()
+        assert row["strategy"] == "dfs"
+        # An unreduced run measures nothing extra: the ratio is moot.
+        assert row["full_interleavings"] is None
+        assert row["reduction"] is None
