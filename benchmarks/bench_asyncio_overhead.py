@@ -121,6 +121,8 @@ def run_grid(task_counts=TASK_COUNTS, history_sizes=HISTORY_SIZES,
     The last row is the stack-capture before/after measurement (see
     :func:`bench_stack_capture`), tagged ``history_size="capture"``.
     """
+    from quickbench import deferral_fields
+
     rows = []
     for tasks in task_counts:
         native_elapsed = asyncio.run(_hammer_native_locks(tasks, ops_per_task))
@@ -144,13 +146,16 @@ def run_grid(task_counts=TASK_COUNTS, history_sizes=HISTORY_SIZES,
                 "history_size": history_size,
                 "ops_per_sec": ops,
                 "overhead_x": native_ops / ops if ops else float("inf"),
+                # All worker stacks miss the signature index, so even the
+                # populated-history cells should defer ~every capture.
+                **deferral_fields(runtime.dimmunix.stats.snapshot()),
             })
     rows.append({"history_size": "capture", **bench_stack_capture()})
     return rows
 
 
 def format_rows(rows) -> str:
-    lines = ["tasks  history  ops/sec     overhead", "-" * 40]
+    lines = ["tasks  history  ops/sec     overhead  deferral", "-" * 48]
     for row in rows:
         if row.get("history_size") == "capture":
             lines.append(
@@ -158,8 +163,10 @@ def format_rows(rows) -> str:
                 f"-> {row['cached_us']:.1f}us cached "
                 f"({row['speedup_x']:.1f}x, per-call-site cache)")
             continue
+        ratio = row.get("capture_deferral_ratio")
         lines.append(f"{row['tasks']:>5}  {str(row['history_size']):>7}  "
-                     f"{row['ops_per_sec']:>10.0f}  {row['overhead_x']:>7.2f}x")
+                     f"{row['ops_per_sec']:>10.0f}  {row['overhead_x']:>7.2f}x  "
+                     f"{'-' if ratio is None else f'{ratio:7.1%}'}")
     return "\n".join(lines)
 
 

@@ -56,7 +56,15 @@ def _worker_stack(worker: int) -> CallStack:
 
 def run_grid(thread_counts=THREAD_COUNTS, history_sizes=HISTORY_SIZES,
              ops_per_thread=OPS_PER_THREAD):
-    """Run the full grid; returns a list of result dictionaries."""
+    """Run the full grid; returns a list of result dictionaries.
+
+    This benchmark drives the engine with symbolic (pre-built) stacks, so
+    there are no capture sites: the deferral counters are reported for
+    payload-shape parity with the overhead benchmarks, but the ratio is
+    ``None`` — zero captures were deferred because zero happened at all.
+    """
+    from quickbench import deferral_fields
+
     rows = []
     for history_size in history_sizes:
         for threads in thread_counts:
@@ -88,6 +96,7 @@ def run_grid(thread_counts=THREAD_COUNTS, history_sizes=HISTORY_SIZES,
                 "total_ops": total_ops,
                 "elapsed_s": elapsed,
                 "ops_per_sec": total_ops / elapsed if elapsed > 0 else float("inf"),
+                **deferral_fields(engine.stats.snapshot()),
             })
     return rows
 

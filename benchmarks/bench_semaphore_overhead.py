@@ -81,7 +81,14 @@ async def _hammer_aio_sems(tasks: int, make_sem) -> float:
 
 
 def run_grid(thread_counts=THREAD_COUNTS, task_counts=TASK_COUNTS):
-    """Run both grids; returns a list of result dictionaries."""
+    """Run both grids; returns a list of result dictionaries.
+
+    Each tracked row carries the lazy-capture counters of its run: on
+    this all-miss workload the deferral ratio should be ~1.0 (no request
+    ever forces the deep stack walk).
+    """
+    from quickbench import deferral_fields
+
     rows = []
     for workers in thread_counts:
         native = _hammer_thread_sems(
@@ -97,7 +104,8 @@ def run_grid(thread_counts=THREAD_COUNTS, task_counts=TASK_COUNTS):
         tracked_ops = workers * OPS_PER_WORKER / tracked
         rows.append({"runtime": "thread", "workers": workers,
                      "native_ops": native_ops, "tracked_ops": tracked_ops,
-                     "overhead_x": native_ops / tracked_ops})
+                     "overhead_x": native_ops / tracked_ops,
+                     **deferral_fields(runtime.dimmunix.stats.snapshot())})
     for tasks in task_counts:
         native = asyncio.run(_hammer_aio_sems(
             tasks, lambda i: asyncio.Semaphore(PERMITS)))
@@ -115,17 +123,20 @@ def run_grid(thread_counts=THREAD_COUNTS, task_counts=TASK_COUNTS):
         tracked_ops = tasks * OPS_PER_WORKER / tracked
         rows.append({"runtime": "asyncio", "workers": tasks,
                      "native_ops": native_ops, "tracked_ops": tracked_ops,
-                     "overhead_x": native_ops / tracked_ops})
+                     "overhead_x": native_ops / tracked_ops,
+                     **deferral_fields(dimmunix.stats.snapshot())})
     return rows
 
 
 def format_rows(rows) -> str:
-    lines = ["runtime  workers  native ops/s  tracked ops/s  overhead",
-             "-" * 56]
+    lines = ["runtime  workers  native ops/s  tracked ops/s  overhead  deferral",
+             "-" * 66]
     for row in rows:
+        ratio = row.get("capture_deferral_ratio")
         lines.append(f"{row['runtime']:>7}  {row['workers']:>7}  "
                      f"{row['native_ops']:>12.0f}  {row['tracked_ops']:>13.0f}  "
-                     f"{row['overhead_x']:>7.2f}x")
+                     f"{row['overhead_x']:>7.2f}x  "
+                     f"{'-' if ratio is None else f'{ratio:7.1%}'}")
     return "\n".join(lines)
 
 

@@ -41,6 +41,26 @@ def _gil_enabled() -> bool:
     return bool(probe()) if callable(probe) else True
 
 
+def deferral_fields(stats_snapshot: Dict[str, int]) -> Dict[str, Any]:
+    """Lazy-capture observability fields for a benchmark result row.
+
+    Every overhead benchmark reports how many acquire-path captures
+    deferred the deep stack walk (``capture_deferred``), how many were
+    later forced to materialize (``capture_materialized``), and the
+    resulting deferral ratio.  A workload with no capture sites at all —
+    the engine-direct hot-path benchmark runs on symbolic stacks — has
+    zero deferrals and reports a ``None`` ratio rather than a fake 1.0.
+    """
+    deferred = int(stats_snapshot.get("capture_deferred", 0))
+    materialized = int(stats_snapshot.get("capture_materialized", 0))
+    ratio = (1.0 - materialized / deferred) if deferred else None
+    return {
+        "capture_deferred": deferred,
+        "capture_materialized": materialized,
+        "capture_deferral_ratio": ratio,
+    }
+
+
 def jsonable(value: Any) -> Any:
     """Best-effort conversion of benchmark results to JSON-friendly data.
 

@@ -201,11 +201,23 @@ class AvoidanceEngine:
         now = self.clock.now()
         self.stats.bump("requests")
         self._learn_spec(lock_id, mode, capacity)
-        self.events.emit(EV_REQUEST, thread_id, lock_id, stack, (), now,
-                         mode, capacity)
         slot = self._slot(thread_id)
+        history_empty = len(self.history) == 0
+        if self.cache.track_allowed is history_empty:
+            # The Allowed-set stack index only feeds the exact-cover
+            # search, which never runs while the history is empty — so
+            # its maintenance is switched off until the first signature
+            # arrives.  Write the shared flag only on the transition, so
+            # the hot path never ping-pongs the cache line.  On the
+            # empty->non-empty transition, re-index the bindings taken
+            # while tracking was off: a hold predating a mid-run archive
+            # (or a remote install from the sharing pool) must be visible
+            # to the cover search immediately, without a restart.
+            self.cache.track_allowed = not history_empty
+            if not history_empty:
+                self.cache.rebuild_allowed()
 
-        if self._should_bypass(slot, thread_id, lock_id, stack):
+        if self._should_bypass(slot, thread_id, lock_id, stack, history_empty):
             return self._grant(slot, thread_id, lock_id, stack, now,
                                mode=mode, capacity=capacity)
 
@@ -216,6 +228,14 @@ class AvoidanceEngine:
         if not candidates:
             return self._grant(slot, thread_id, lock_id, stack, now,
                                mode=mode, capacity=capacity)
+
+        # The request is entering the cover search and may park, so now —
+        # and only now — publish the REQUEST edge.  On the granted fast
+        # path the edge would be dissolved by the ALLOW that follows in
+        # the same call (the RAG's ALLOW handler fully supersedes it), so
+        # emitting it would only tax the ring and the monitor.
+        self.events.emit(EV_REQUEST, thread_id, lock_id, stack, (), now,
+                         mode, capacity)
 
         with self._match_mutex:
             while True:
@@ -235,6 +255,17 @@ class AvoidanceEngine:
                     # re-match so the thread is not parked on a dead cause.
                     self.cache.clear_yield_cause(thread_id)
                     continue
+                # The thread is about to park: its request stack and every
+                # hold stack it contributes to the danger group must be
+                # fully materialized *now*, in-thread, because signatures
+                # archived from this episode will read them and — in the
+                # asyncio runtime — the task's frames leave the OS
+                # thread's stack the moment it suspends.  The request
+                # stack is typically already deep (the cover search read
+                # its frames); held stacks may still be deferred.
+                stack.materialize()
+                for held_stack in self.cache.held_stacks(thread_id):
+                    held_stack.materialize()
                 slot.yield_state = _YieldState(
                     signature=signature, lock_id=lock_id, stack=stack,
                     causes=causes, since=now)
@@ -252,7 +283,7 @@ class AvoidanceEngine:
                                       causes=causes)
 
     def _should_bypass(self, slot: _ThreadSlot, thread_id: int, lock_id: int,
-                       stack: CallStack) -> bool:
+                       stack: CallStack, history_empty: bool) -> bool:
         """Cases in which no history matching is performed."""
         if self.mode == MODE_UPDATES_ONLY or self.config.detection_only:
             return True
@@ -267,7 +298,7 @@ class AvoidanceEngine:
             # taking a second semaphore permit, or upgrading a read hold
             # to a write hold, can absolutely complete a cycle.
             return True
-        if len(self.history) == 0:
+        if history_empty:
             return True
         top = stack.top()
         if top is not None and top.function in self._external_names:
@@ -282,7 +313,9 @@ class AvoidanceEngine:
         self.cache.add_allow(thread_id, lock_id, stack)
         self.cache.clear_yield_cause(thread_id)
         slot.yield_state = None
-        self.stats.bump("go_decisions")
+        # No go_decisions bump: every request ends in a grant or a YIELD,
+        # so EngineStats derives go_decisions = requests - yield_decisions
+        # and the hot path saves a sharded counter write.
         self.events.emit(EV_ALLOW, thread_id, lock_id, stack, (), now,
                          mode, capacity)
         return GO_OUTCOME
@@ -367,6 +400,35 @@ class AvoidanceEngine:
                 depths.append(depth)
         return depths
 
+    # ------------------------------------------------------------------ blocking --
+
+    def note_blocked(self, thread_id: int) -> None:
+        """The thread is about to *natively* block waiting for its resource.
+
+        Called by the lock wrappers after a failed non-blocking attempt,
+        just before parking on the native primitive (or awaiting a permit
+        future).  Materializes every lazily captured stack the thread
+        could contribute to a deadlock signature — its request/allowed
+        stack and all of its hold stacks — while the thread can still
+        walk its own frames.  This is the contract that keeps lazy
+        capture byte-identical to eager capture in every archive: *no
+        stack belonging to a blocked thread is ever lazy.*  A blocked
+        real thread's frames do stay live (the monitor could walk them
+        cross-thread), but a blocked asyncio task's frames leave the OS
+        thread's stack on suspension — materializing here, in-thread,
+        closes that gap for all runtimes uniformly.
+
+        Cheap when nothing is deferred (a handful of no-op calls), and
+        never on the uncontended fast path, which doesn't block at all.
+        """
+        if self.mode == MODE_INSTRUMENTATION_ONLY:
+            return
+        waiting = self.cache.waiting_of(thread_id)
+        if waiting is not None:
+            waiting[1].materialize()
+        for held_stack in self.cache.held_stacks(thread_id):
+            held_stack.materialize()
+
     # --------------------------------------------------------------------- acquired --
 
     def acquired(self, thread_id: int, lock_id: int,
@@ -380,7 +442,8 @@ class AvoidanceEngine:
         if stack is None:
             waiting = self.cache.waiting_of(thread_id)
             stack = waiting[1] if waiting is not None else CallStack(())
-        held_before = tuple(self.cache.locks_held_by(thread_id))
+        held_before = (tuple(self.cache.locks_held_by(thread_id))
+                       if self.calibrator is not None else ())
         self.cache.add_hold(thread_id, lock_id, stack, mode=mode,
                             capacity=capacity)
         self._slot(thread_id).yield_state = None
@@ -408,8 +471,19 @@ class AvoidanceEngine:
             # A reentrant partial release of a mutex frees nothing.  A
             # multi-holder resource, however, frees a permit on *every*
             # release, so its wake scan runs regardless.
+            if stack is not None:
+                stack.discard_origin()
             return []
-        return self.cache.threads_to_wake(thread_id, lock_id, stack)
+        woken = self.cache.threads_to_wake(thread_id, lock_id, stack)
+        if stack is not None:
+            # The hold is gone; this stack can no longer enter a signature
+            # (archives only read stacks of *current* holds and waits), so
+            # stop pinning the interpreter frame it was captured from.  A
+            # late materialization — e.g. the monitor decoding old ring
+            # records — falls back to the one-frame stack, which is benign
+            # by the matching contract.
+            stack.discard_origin()
+        return woken
 
     # ----------------------------------------------------------------------- cancel --
 
@@ -418,11 +492,15 @@ class AvoidanceEngine:
         if self.mode == MODE_INSTRUMENTATION_ONLY:
             return
         now = self.clock.now()
-        self.cache.remove_allow(thread_id)
+        previous = self.cache.remove_allow(thread_id)
         self.cache.clear_yield_cause(thread_id)
         self._slot(thread_id).yield_state = None
         self.stats.bump("cancels")
         self.events.emit(EV_CANCEL, thread_id, lock_id, timestamp=now)
+        if previous is not None:
+            # The allow edge is gone; the request stack can no longer be
+            # drafted into a signature, so release its captured frame.
+            previous[1].discard_origin()
 
     # ---------------------------------------------------------- yield management --
 

@@ -109,6 +109,13 @@ class AvoidanceCache:
             raise AvoidanceError("stripe count must be >= 1")
         self._use_peterson = use_peterson
         self._peterson_capacity = peterson_capacity
+        #: When False, the per-stack Allowed-set index (the stripes'
+        #: ``allowed`` maps) is not maintained.  The index exists solely
+        #: for :meth:`candidates_matching`, which the engine only calls
+        #: while its history is non-empty — so the engine clears this
+        #: flag while there are no signatures and restores it when the
+        #: first one arrives.  Waiting/hold bookkeeping is unaffected.
+        self.track_allowed = True
         self._stripes: List[_Stripe] = [_Stripe() for _ in range(stripes)]
         self._slots: SlotRegistry[_ThreadSlot] = SlotRegistry(_ThreadSlot)
         #: Slots of currently yielding threads only, so release-side wake
@@ -248,6 +255,21 @@ class AvoidanceCache:
         slot = self._slots.peek(thread_id)
         return list(slot.holds) if slot is not None else []
 
+    def held_stacks(self, thread_id: int) -> List[CallStack]:
+        """Every acquisition stack behind ``thread_id``'s current hold edges.
+
+        Reentrant holds contribute one stack per edge.  Used by the
+        engine's about-to-block hook to materialize lazy stacks in-thread:
+        a blocked thread's hold stacks are exactly what a deadlock
+        signature would archive, so none of them may still be deferred
+        once the thread can no longer walk its own frames.
+        """
+        slot = self._slots.peek(thread_id)
+        if slot is None:
+            return []
+        return [stack for stacks in list(slot.holds.values())
+                for stack in list(stacks)]
+
     def total_holds(self, thread_id: int) -> int:
         """Number of hold edges of ``thread_id`` (reentrant holds counted)."""
         slot = self._slots.peek(thread_id)
@@ -383,12 +405,41 @@ class AvoidanceCache:
         with self._yielding_lock:
             self._yielding.clear()
 
+    def rebuild_allowed(self) -> None:
+        """Re-index every live waiting/hold binding into the Allowed sets.
+
+        The engine calls this when its history transitions from empty to
+        non-empty mid-run (first local archive, or a signature installed
+        by the sharing pool): while the history was empty the per-stack
+        index was not maintained, yet the cover search must see bindings
+        that predate the transition — a hold taken before a remote
+        install is exactly the binding the installed signature needs.
+        Racing releases can leave a just-released binding indexed; the
+        engine re-validates every instantiation with ``binding_live``
+        before parking a thread, so a stale entry costs one wasted
+        candidate, never a wrong yield.
+        """
+        for thread_id, slot in self._slots.items():
+            waiting = slot.waiting
+            if waiting is not None:
+                self._add_allowed(waiting[1], thread_id, waiting[0])
+            for lock_id, stacks in list(slot.holds.items()):
+                for stack in list(stacks):
+                    self._add_allowed(stack, thread_id, lock_id)
+
     def _add_allowed(self, stack: CallStack, thread_id: int, lock_id: int) -> None:
+        if not self.track_allowed:
+            return
         stripe = self._stack_stripe(stack)
         with stripe.mutex:
             stripe.allowed.setdefault(stack, set()).add((thread_id, lock_id))
 
     def _discard_allowed(self, stack: CallStack, thread_id: int, lock_id: int) -> None:
+        # Runs even when tracking is off: entries indexed while tracking
+        # was on must still be retired, and discarding a never-indexed
+        # binding is a tolerated no-op.  Stale survivors are harmless
+        # anyway — the engine re-validates every instantiation with
+        # ``binding_live`` before parking a thread on it.
         stripe = self._stack_stripe(stack)
         with stripe.mutex:
             pairs = stripe.allowed.get(stack)

@@ -15,6 +15,7 @@ descriptions (used by the deterministic simulator and by tests).
 from __future__ import annotations
 
 import sys
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
@@ -169,7 +170,7 @@ class CallStack:
                     # Bound the per-code-object caches too: dynamically
                     # generated code (exec, reloads) must not pin code
                     # objects forever.
-                    _internal_code_cache.clear()
+                    _evict_half(_internal_code_cache)
                 _internal_code_cache[code] = internal
             if not internal:
                 key.append(code)
@@ -183,19 +184,72 @@ class CallStack:
             return hit
         frames = []
         for code, lineno in raw:
-            short = _short_name_cache.get(code)
-            if short is None:
-                short = _shorten(code.co_filename)
-                if len(_short_name_cache) >= _CAPTURE_CACHE_LIMIT:
-                    _short_name_cache.clear()
-                _short_name_cache[code] = short
-            frames.append(Frame(function=code.co_name, filename=short,
+            frames.append(Frame(function=code.co_name,
+                                filename=_short_name_of(code),
                                 lineno=lineno))
         stack = cls(frames)
         if len(_capture_cache) >= _CAPTURE_CACHE_LIMIT:
-            _capture_cache.clear()
+            _evict_half(_capture_cache)
         _capture_cache[cache_key] = stack
         return stack
+
+    @classmethod
+    def capture_lazy(cls, skip: int = 1, limit: int = 10,
+                     stats=None) -> "CallStack":
+        """Capture only the caller's top application frame, deferring the walk.
+
+        The hot path of both lock runtimes throws away almost every stack
+        it captures: in the paper's 99.99% production case the request
+        misses the signature index's top-frame filter and the engine
+        decides GO without ever reading ``frames[1:]``.  This constructor
+        therefore records just the innermost non-internal frame — one
+        interned :class:`Frame` keyed by ``(code object, f_lasti)`` — plus
+        a strong reference to the live frame object so the rest of the
+        stack can be reconstructed *later*, on demand, by
+        :meth:`LazyCallStack.materialize`.
+
+        Returns a :class:`LazyCallStack` (or an eager empty stack when no
+        application frame is on the stack, mirroring :meth:`capture`).
+        ``stats``, when given, receives a ``capture_deferred`` bump here
+        and a ``capture_materialized`` bump if/when the deep walk happens,
+        so the deferral ratio is observable.
+        """
+        if not _capture_cache_enabled:
+            # Cache toggle off means "measure/behave uncached": fall back
+            # to a plain eager capture so no interning dicts are touched.
+            return cls.capture(skip + 1, limit)
+        try:
+            frame = sys._getframe(skip + 1)
+        except ValueError:  # not enough frames
+            return EMPTY_STACK
+        while frame is not None:
+            code = frame.f_code
+            internal = _internal_code_cache.get(code)
+            if internal is None:
+                internal = _is_internal(code.co_filename)
+                if len(_internal_code_cache) >= _CAPTURE_CACHE_LIMIT:
+                    _evict_half(_internal_code_cache)
+                _internal_code_cache[code] = internal
+            if not internal:
+                break
+            frame = frame.f_back
+        if frame is None:
+            return EMPTY_STACK
+        code = frame.f_code
+        lasti = frame.f_lasti
+        top_key = (code, lasti)
+        top = _top_frame_cache.get(top_key)
+        if top is None:
+            top = Frame(function=code.co_name,
+                        filename=_short_name_of(code),
+                        lineno=frame.f_lineno)
+            if len(_top_frame_cache) >= _CAPTURE_CACHE_LIMIT:
+                _evict_half(_top_frame_cache)
+            _top_frame_cache[top_key] = top
+        if stats is not None:
+            stats.bump("capture_deferred")
+        return LazyCallStack(top, frame, lasti, threading.get_ident(),
+                             limit, stats)
 
     # -- sequence protocol ---------------------------------------------------------
 
@@ -214,6 +268,12 @@ class CallStack:
         return bool(self._frames)
 
     def __eq__(self, other) -> bool:
+        # Identity first: the engine threads the *same* stack object from
+        # request through acquired to release, and the fast path must not
+        # force a LazyCallStack to materialize just to compare it with
+        # itself.
+        if self is other:
+            return True
         if not isinstance(other, CallStack):
             return NotImplemented
         return self._frames == other._frames
@@ -251,14 +311,44 @@ class CallStack:
         If either stack is shorter than ``depth``, both must have the same
         length and agree on all their frames — a shorter stack cannot
         silently match a longer one at a depth it does not reach.
+
+        The one exception is a *single-frame* stack: it matches any stack
+        with the same innermost frame.  A one-frame stack is the shape of
+        a degraded lazy capture — a hold whose acquiring frame returned
+        before the stack was ever needed, leaving only the interned top
+        frame (see :meth:`LazyCallStack.materialize`) — and it must keep
+        matching the deep stacks the same position produces when it *is*
+        materialized in time, or a signature archived from a degraded
+        stack could never fire again.  The loosening is conservative:
+        it can only turn a missed avoidance into a spurious yield, never
+        the other way around.
         """
         mine = self._frames[:depth]
         theirs = other._frames[:depth]
-        return mine == theirs
+        if mine == theirs:
+            return True
+        if len(self._frames) == 1 or len(other._frames) == 1:
+            return mine[:1] == theirs[:1]
+        return False
 
     def truncate(self, limit: int) -> "CallStack":
         """Alias of :meth:`suffix`, used when enforcing ``max_stack_depth``."""
         return self.suffix(limit)
+
+    # -- laziness hooks (no-ops on eager stacks) ---------------------------------
+
+    def materialize(self) -> "CallStack":
+        """Force the full frame tuple to exist; eager stacks already have it."""
+        return self
+
+    def discard_origin(self) -> None:
+        """Drop any reference to the live frame this stack was captured from.
+
+        Called by the engine when the owning hold/request is released or
+        cancelled, so a deferred capture never pins interpreter frames
+        beyond the window in which its deep stack could still be needed.
+        No-op on eager stacks.
+        """
 
     # -- serialization -----------------------------------------------------------------
 
@@ -276,6 +366,171 @@ class CallStack:
         return [frame.label() for frame in self._frames]
 
 
+class LazyCallStack(CallStack):
+    """A call stack captured as one top frame plus a deferred deep walk.
+
+    Built by :meth:`CallStack.capture_lazy` on the lock-acquisition hot
+    path.  Until something reads ``frames`` (or any API that needs them),
+    the object holds only the interned top :class:`Frame`, the captured
+    ``f_lasti``/``f_lineno`` of the originating frame, a strong reference
+    to that live frame object, and the OS thread ident it was captured on.
+    The first read triggers :meth:`materialize`, which rebuilds the exact
+    frame tuple an eager ``capture_cached`` would have produced — provided
+    the originating *invocation* is still on its thread's stack.
+
+    Liveness is decided by scanning the owning thread's live frame chain
+    for the origin frame object (in-thread via ``sys._getframe``, cross-
+    thread via ``sys._current_frames``).  While the invocation is live,
+    every parent frame is suspended at the very call instruction it was at
+    when the capture happened, so walking ``f_back`` now is faithful to a
+    walk then; the origin frame itself may have advanced, which is why its
+    captured ``f_lasti``/``f_lineno`` are used instead of current values.
+    If the invocation has returned (or an asyncio task's frames left the
+    thread's stack on suspension), the walk falls back to the one-frame
+    stack ``(top,)``.  The engine arranges for that fallback to be benign:
+    every stack that can enter a signature — a blocked thread's request
+    stack and held stacks, and a yielder's cause stacks — is materialized
+    in-thread *before* the thread blocks or parks (see
+    ``AvoidanceEngine.note_blocked`` and the YIELD branch of ``request``),
+    so the fallback only ever appears where a shorter stack merely makes a
+    match *fail* (a benign false negative, same contract as the top-frame
+    miss filter's publication order).
+
+    Hashing is by object identity, fixed at construction and never
+    revisited by :meth:`materialize`: the engine's caches key holds and
+    allowed-sets by the very object they inserted, and a hash that changed
+    upon materialization would corrupt those dicts.  Content-equality
+    (``__eq__``) still materializes and compares frames, so two equal
+    stacks may hash differently across the lazy/eager representations —
+    all cross-stack *matching* in the engine is content-based
+    (fingerprints, ``matches``), never dict-lookup-based, so this is safe.
+    """
+
+    __slots__ = ("_top", "_origin", "_origin_lasti", "_origin_lineno",
+                 "_origin_thread", "_limit", "_stats")
+
+    def __init__(self, top: Frame, origin, lasti: int, thread_ident: int,
+                 limit: int, stats=None):
+        # No super().__init__: the _frames slot stays unset until
+        # materialize(); any read of it routes through __getattr__.
+        self._top = top
+        self._origin = origin
+        self._origin_lasti = lasti
+        self._origin_lineno = top.lineno
+        self._origin_thread = thread_ident
+        self._limit = limit
+        self._stats = stats
+        self._hash = object.__hash__(self)
+
+    def __getattr__(self, name):
+        # Only ever fires for slot names that are still unset — i.e. for
+        # ``_frames`` before materialization (CallStack methods read it
+        # directly).  Everything else is a genuine miss.
+        if name == "_frames":
+            self.materialize()
+            return object.__getattribute__(self, "_frames")
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}")
+
+    def top(self) -> Optional[Frame]:
+        """The innermost frame — available without materializing."""
+        return self._top
+
+    def __bool__(self) -> bool:
+        # A lazy stack always has at least its top frame.
+        return True
+
+    def materialized(self) -> bool:
+        """Whether the deep walk has already happened (no side effects)."""
+        try:
+            object.__getattribute__(self, "_frames")
+            return True
+        except AttributeError:
+            return False
+
+    def materialize(self) -> "CallStack":
+        """Build the full frame tuple; idempotent, callable from any thread.
+
+        Publication order (see docs/architecture.md, "The memory model"):
+        the reader loads ``_origin`` *before* probing ``_frames``, and the
+        writer stores ``_frames`` *before* clearing ``_origin``.  A second
+        thread racing the first materializer therefore either sees the
+        finished tuple, or recomputes from a still-valid origin and stores
+        an identical tuple — never a post-discard fallback overwriting a
+        completed deep walk.
+        """
+        origin = self._origin
+        try:
+            object.__getattribute__(self, "_frames")
+            return self
+        except AttributeError:
+            pass
+        frames = self._deep_frames(origin)
+        self._frames = frames
+        self._origin = None
+        stats = self._stats
+        if stats is not None:
+            stats.bump("capture_materialized")
+        return self
+
+    def discard_origin(self) -> None:
+        self._origin = None
+
+    def _deep_frames(self, origin) -> Tuple[Frame, ...]:
+        top = self._top
+        if origin is None:
+            return (top,)
+        # Liveness check: the origin invocation must still be on its
+        # capturing thread's stack, else parent f_lasti values are stale.
+        if threading.get_ident() == self._origin_thread:
+            probe = sys._getframe()
+        else:
+            probe = sys._current_frames().get(self._origin_thread)
+        while probe is not None and probe is not origin:
+            probe = probe.f_back
+        if probe is None:
+            return (top,)
+        # The invocation is live: parents sit suspended at the same call
+        # instructions as at capture time.  Build the same interleaved
+        # (code, f_lasti) key capture_cached would have built — captured
+        # lasti for the origin (it may have advanced since), current lasti
+        # for the parents — so both capture paths share one memo entry.
+        limit = self._limit
+        key = [origin.f_code, self._origin_lasti]
+        raw = []
+        collected = 1
+        frame = origin.f_back
+        while frame is not None and collected < limit:
+            code = frame.f_code
+            internal = _internal_code_cache.get(code)
+            if internal is None:
+                internal = _is_internal(code.co_filename)
+                if len(_internal_code_cache) >= _CAPTURE_CACHE_LIMIT:
+                    _evict_half(_internal_code_cache)
+                _internal_code_cache[code] = internal
+            if not internal:
+                key.append(code)
+                key.append(frame.f_lasti)
+                raw.append((code, frame.f_lineno))
+                collected += 1
+            frame = frame.f_back
+        if _capture_cache_enabled:
+            hit = _capture_cache.get(tuple(key))
+            if hit is not None:
+                return hit.frames
+        frames = [top]
+        for code, lineno in raw:
+            frames.append(Frame(function=code.co_name,
+                                filename=_short_name_of(code),
+                                lineno=lineno))
+        result = tuple(frames)
+        if _capture_cache_enabled:
+            if len(_capture_cache) >= _CAPTURE_CACHE_LIMIT:
+                _evict_half(_capture_cache)
+            _capture_cache[tuple(key)] = CallStack(result)
+        return result
+
+
 EMPTY_STACK = CallStack(())
 
 #: Per-call-site capture cache: key is a tuple of interleaved (code
@@ -287,8 +542,51 @@ EMPTY_STACK = CallStack(())
 _capture_cache: dict = {}
 _internal_code_cache: dict = {}
 _short_name_cache: dict = {}
+#: Interned top frames for lazy capture, keyed by (code object, f_lasti).
+#: f_lineno is a pure function of f_lasti, so the cached Frame is exact.
+_top_frame_cache: dict = {}
 _CAPTURE_CACHE_LIMIT = 8192
 _capture_cache_enabled = True
+
+
+def _evict_half(cache: dict) -> None:
+    """Evict the oldest half of a bounded cache in place.
+
+    Python dicts iterate in insertion order, so dropping the first half
+    sheds the entries least likely to be re-keyed by current call sites.
+    Unlike the wholesale ``clear()`` this replaces, the working set
+    survives the eviction: a capture-heavy workload crossing the limit no
+    longer takes a periodic whole-cache cold restart and the latency
+    spike that came with rebuilding every hot call path at once.  Cost is
+    O(n) once per n/2 insertions — amortized constant per insert.
+    """
+    drop = len(cache) // 2
+    if drop <= 0:
+        cache.clear()
+        return
+    try:
+        victims = []
+        for key in cache:
+            victims.append(key)
+            if len(victims) >= drop:
+                break
+        for key in victims:
+            cache.pop(key, None)
+    except RuntimeError:
+        # Concurrent insert during iteration (free-threaded builds):
+        # fall back to the coarse but safe wholesale clear.
+        cache.clear()
+
+
+def _short_name_of(code) -> str:
+    """The shortened filename for a code object, memoized per code object."""
+    short = _short_name_cache.get(code)
+    if short is None:
+        short = _shorten(code.co_filename)
+        if len(_short_name_cache) >= _CAPTURE_CACHE_LIMIT:
+            _evict_half(_short_name_cache)
+        _short_name_cache[code] = short
+    return short
 
 
 def set_capture_cache_enabled(enabled: bool) -> bool:
@@ -306,6 +604,7 @@ def set_capture_cache_enabled(enabled: bool) -> bool:
         _capture_cache.clear()
         _internal_code_cache.clear()
         _short_name_cache.clear()
+        _top_frame_cache.clear()
     return previous
 
 

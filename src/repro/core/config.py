@@ -92,6 +92,20 @@ class DimmunixConfig:
         When True, captured stacks include the thread name as the outermost
         frame; useful for debugging, disabled by default because it makes
         signatures less portable.
+    lazy_capture:
+        When True (the default), the lock runtimes capture only the
+        caller's top frame on the acquire path and defer the full stack
+        walk until the signature index's top-frame filter hits or the
+        event matters (YIELD, blocking, deadlock archival).  Histories and
+        signatures are byte-identical to eager capture; disable only to
+        debug the capture layer itself or to compare overheads.
+    adaptive_capture_depth:
+        When True, eager stack captures bound their frame walk at the
+        deepest matching depth any indexed signature currently uses
+        (``SignatureIndex.max_depth()``) instead of ``max_stack_depth``.
+        Cheaper walks, but archived stacks may then be shorter than a
+        default-depth run would record — histories are no longer
+        byte-identical across the toggle — so it is off by default.
     """
 
     history_path: Optional[str] = None
@@ -111,6 +125,8 @@ class DimmunixConfig:
     thread_name_stacks: bool = False
     event_ring_size: int = 65536
     event_gap_timeout: float = 0.05
+    lazy_capture: bool = True
+    adaptive_capture_depth: bool = False
 
     def validate(self) -> "DimmunixConfig":
         """Check parameter ranges and return ``self`` for chaining."""

@@ -183,6 +183,17 @@ class RuntimeCore:
         """Roll back a previously allowed request (trylock / timed lock)."""
         self.dimmunix.engine.cancel(thread_id, lock_id)
 
+    def note_blocked(self, thread_id: int) -> None:
+        """The thread is about to block natively on its requested resource.
+
+        Lock wrappers call this after a failed non-blocking attempt, just
+        before the real park/await, so the engine can materialize any
+        lazily captured stacks the blocked thread might contribute to a
+        deadlock signature while the thread can still walk its own
+        frames.  Cheap no-op when nothing is deferred.
+        """
+        self.dimmunix.engine.note_blocked(thread_id)
+
     def park(self, thread_id: int, timeout: Optional[float]) -> bool:
         """Park a thread that received YIELD; True when woken in time."""
         return self.parker.park(thread_id, timeout)

@@ -36,6 +36,19 @@ Buckets = Dict[int, Dict[Tuple, Tuple[Signature, ...]]]
 _EMPTY_TOP = object()
 
 
+def _stack_depth(sig_stack: CallStack, depth: int) -> int:
+    """The bucket depth a signature stack is indexed under.
+
+    Single-frame stacks — the shape of a degraded lazy capture, which
+    :meth:`~repro.core.callstack.CallStack.matches` lets match any stack
+    sharing their innermost frame — go into the depth-1 bucket so a deep
+    request's ``frames[:depth]`` probe can still reach them.  Everything
+    else is indexed under the signature's matching depth, where the probe
+    key and the bucket key agree exactly.
+    """
+    return 1 if len(sig_stack.frames) == 1 else depth
+
+
 class SignatureIndex:
     """Read-mostly suffix index over the enabled signatures of a history.
 
@@ -95,13 +108,20 @@ class SignatureIndex:
         reads one published snapshot of the top-frame filter and one of the
         buckets.  A call site absent from the filter — the common case in
         production — returns immediately without touching the buckets.
+
+        The filter is probed with ``stack.top()`` *before* ``stack.frames``
+        is read: a :class:`~repro.core.callstack.LazyCallStack` answers
+        ``top()`` from its captured frame without materializing, so the
+        miss path never pays the deep stack walk.  Only a filter hit — the
+        paper's rare case — forces the full frame tuple into existence.
         """
-        frames = stack.frames
-        if (frames[0] if frames else _EMPTY_TOP) not in self._top_filter:
+        top = stack.top()
+        if (top if top is not None else _EMPTY_TOP) not in self._top_filter:
             return []
         buckets = self._buckets
         if not buckets:
             return []
+        frames = stack.frames
         found: List[Signature] = []
         seen = set()
         for depth, bucket in buckets.items():
@@ -116,6 +136,20 @@ class SignatureIndex:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def max_depth(self) -> int:
+        """The deepest matching depth any indexed signature currently uses.
+
+        Lock-free and incremental: the bucket dictionary is keyed by depth
+        and published copy-on-write, so one ``max`` over its (at most a
+        handful of) keys reflects every add/remove/recalibration without a
+        history scan.  Capture sites use this to bound their frame walks
+        when ``adaptive_capture_depth`` is enabled — frames deeper than
+        the deepest indexed suffix can never influence a match.  Returns
+        0 for an empty index.
+        """
+        buckets = self._buckets
+        return max(buckets) if buckets else 0
 
     def indexed_depth_of(self, fingerprint: str) -> Optional[int]:
         """The depth a signature is currently indexed under, or ``None``."""
@@ -179,9 +213,10 @@ class SignatureIndex:
                 depth = signature.matching_depth
                 entries[signature.fingerprint] = signature
                 depths[signature.fingerprint] = depth
-                bucket = buckets.setdefault(depth, {})
                 for sig_stack in signature.stacks:
-                    key = sig_stack.frames[:depth]
+                    stack_depth = _stack_depth(sig_stack, depth)
+                    bucket = buckets.setdefault(stack_depth, {})
+                    key = sig_stack.frames[:stack_depth]
                     existing = bucket.get(key, ())
                     if signature not in existing:
                         if not existing:
@@ -223,16 +258,21 @@ class SignatureIndex:
     def _insert(self, signature: Signature) -> None:
         depth = signature.matching_depth
         new_buckets = dict(self._buckets)
-        bucket = dict(new_buckets.get(depth, {}))
+        copied: Dict[int, Dict[Tuple, Tuple[Signature, ...]]] = {}
         for sig_stack in signature.stacks:
-            key = sig_stack.frames[:depth]
+            stack_depth = _stack_depth(sig_stack, depth)
+            bucket = copied.get(stack_depth)
+            if bucket is None:
+                bucket = dict(new_buckets.get(stack_depth, {}))
+                copied[stack_depth] = bucket
+                new_buckets[stack_depth] = bucket
+            key = sig_stack.frames[:stack_depth]
             existing = bucket.get(key, ())
             if signature not in existing:
                 if not existing:
                     top = key[0] if key else _EMPTY_TOP
                     self._top_counts[top] = self._top_counts.get(top, 0) + 1
                 bucket[key] = existing + (signature,)
-        new_buckets[depth] = bucket
         # Publish the filter before the buckets: a racing reader must never
         # see a bucket key whose top frame the filter would reject.
         self._top_filter = frozenset(self._top_counts)
@@ -245,9 +285,15 @@ class SignatureIndex:
         depth = self._depths.pop(fingerprint, None)
         if signature is None or depth is None:
             return
-        bucket = dict(self._buckets.get(depth, {}))
+        new_buckets = dict(self._buckets)
+        copied: Dict[int, Dict[Tuple, Tuple[Signature, ...]]] = {}
         for sig_stack in signature.stacks:
-            key = sig_stack.frames[:depth]
+            stack_depth = _stack_depth(sig_stack, depth)
+            bucket = copied.get(stack_depth)
+            if bucket is None:
+                bucket = dict(new_buckets.get(stack_depth, {}))
+                copied[stack_depth] = bucket
+            key = sig_stack.frames[:stack_depth]
             existing = bucket.get(key)
             if not existing:
                 continue
@@ -263,11 +309,11 @@ class SignatureIndex:
                     self._top_counts[top] = count
                 else:
                     self._top_counts.pop(top, None)
-        new_buckets = dict(self._buckets)
-        if bucket:
-            new_buckets[depth] = bucket
-        else:
-            new_buckets.pop(depth, None)
+        for stack_depth, bucket in copied.items():
+            if bucket:
+                new_buckets[stack_depth] = bucket
+            else:
+                new_buckets.pop(stack_depth, None)
         # Publish the buckets before shrinking the filter: a racing reader
         # may briefly pass a stale filter and find no candidates, never the
         # reverse.

@@ -5,8 +5,9 @@ and end users can observe what Dimmunix is doing (number of yields, GO
 decisions, detected deadlocks, starvation breaks, false positives, ...).
 
 Counters are sharded per thread: :meth:`EngineStats.bump` writes into a
-dictionary owned by the calling thread, so the hot path (four bumps per
-request/acquire/release triple) never takes a lock and never contends
+dictionary owned by the calling thread, so the hot path (three bumps per
+request/acquire/release triple; ``go_decisions`` is derived at read time
+rather than bumped per grant) never takes a lock and never contends
 with other threads — which matters both under the GIL (the old global
 lock showed up in hot-path profiles) and on free-threaded builds (where
 a shared lock serializes every core).  Reads aggregate the shards:
@@ -39,6 +40,12 @@ _COUNTER_NAMES = (
     "starvations_detected", "starvations_broken", "signatures_added",
     "restarts_requested", "false_positives", "true_positives",
     "monitor_wakeups", "events_processed",
+    # Lazy capture observability: how many acquire-path captures deferred
+    # the deep stack walk, and how many of those were later forced to
+    # materialize (filter hit, YIELD, block, archive).  The ratio
+    # 1 - materialized/deferred is the capture deferral ratio the
+    # overhead benchmarks report.
+    "capture_deferred", "capture_materialized",
 )
 
 _COUNTER_SET = frozenset(_COUNTER_NAMES)
@@ -111,6 +118,14 @@ class EngineStats:
         """The aggregated value of one counter across all thread shards."""
         if name not in _COUNTER_SET:
             raise KeyError(name)
+        if name == "go_decisions":
+            # Derived, not bumped: every request ends in a grant or a
+            # YIELD, so the engine skips a per-grant shard write on the
+            # hot path and the value is reconstructed here.  The max()
+            # only matters mid-flight, when the two underlying counters
+            # are read a few increments apart.
+            return max(0, self.value_of("requests")
+                       - self.value_of("yield_decisions"))
         epoch = self._epoch
         total = 0
         for shard in self._shards:
@@ -136,6 +151,9 @@ class EngineStats:
                 continue
             for name, value in list(shard.counts.items()):
                 totals[name] += value
+        # go_decisions is derived (see value_of): grants do not bump it.
+        totals["go_decisions"] = max(
+            0, totals["requests"] - totals["yield_decisions"])
         return totals
 
     def reset(self) -> None:

@@ -274,14 +274,27 @@ class AsyncioRuntime:
         While a task runs, its coroutine frames (and those of the
         coroutines it awaits) are live on the interpreter stack, so the
         same frame capture as the thread runtime applies; Dimmunix's own
-        frames are dropped as internal.  The capture goes through the
-        per-call-site cache (:meth:`CallStack.capture_cached`) — the
-        ROADMAP measured per-acquire capture as the dominant ~70µs/op
-        cost of the aio fast path, and repeated acquisitions from one
-        call path now reuse a single memoized stack.
+        frames are dropped as internal.  With ``lazy_capture`` (the
+        default) only the caller's top frame is recorded here; the deep
+        coroutine stack materializes behind the signature index's
+        top-frame filter, or in :meth:`RuntimeCore.note_blocked` just
+        before the task suspends — the last moment its frames are still
+        reachable from this OS thread.  With the knob off, the eager
+        per-call-site cache (:meth:`CallStack.capture_cached`) is used —
+        the ROADMAP measured per-acquire capture as the dominant ~70µs/op
+        cost of the aio fast path.
         """
-        stack = CallStack.capture_cached(
-            skip=1, limit=self.dimmunix.config.max_stack_depth)
+        config = self.dimmunix.config
+        limit = config.max_stack_depth
+        if config.adaptive_capture_depth:
+            indexed = self.dimmunix.engine.index.max_depth()
+            if indexed:
+                limit = min(limit, indexed)
+        if config.lazy_capture:
+            stack = CallStack.capture_lazy(
+                skip=1, limit=limit, stats=self.dimmunix.stats)
+        else:
+            stack = CallStack.capture_cached(skip=1, limit=limit)
         if not stack:
             try:
                 task = asyncio.current_task()
@@ -329,6 +342,17 @@ class _PermitQueue:
     def locked(self) -> bool:
         """Whether no permits are currently available."""
         return self._value == 0
+
+    def would_block(self) -> bool:
+        """Whether :meth:`acquire` would suspend rather than grant at once.
+
+        Mirrors the fast-path condition of :meth:`acquire`; callers use it
+        to run pre-suspension work (``RuntimeCore.note_blocked``) only on
+        the contended path.  Single-threaded event loop: no await between
+        this check and the acquire, so the answer cannot go stale.
+        """
+        return not (self._value > 0
+                    and not any(not w.done() for w in self._waiters))
 
     async def acquire(self, timeout: Optional[float]) -> bool:
         """Wait for a permit; False on timeout, FIFO fair."""
@@ -478,6 +502,10 @@ class AioLock:
         native_timeout = None
         if deadline is not None:
             native_timeout = max(0.0, deadline - loop.time())
+        if self._permits.would_block():
+            # Last moment this task's coroutine frames are reachable from
+            # the loop's OS thread: materialize lazy stacks before parking.
+            core.note_blocked(task_id)
         try:
             got = await self._permits.acquire(native_timeout)
         except asyncio.CancelledError:
@@ -603,6 +631,8 @@ class AioSemaphore:
         native_timeout = None
         if deadline is not None:
             native_timeout = max(0.0, deadline - loop.time())
+        if self._engine_tracked and self._permits.would_block():
+            core.note_blocked(task_id)
         try:
             got = await self._permits.acquire(native_timeout)
         except asyncio.CancelledError:
@@ -759,6 +789,7 @@ class AioRWLock:
             if deadline is not None and loop.time() >= deadline:
                 core.cancel(task_id, self._lock_id)
                 return False
+            core.note_blocked(task_id)
             future = loop.create_future()
             self._waiters.append(future)
             try:

@@ -109,10 +109,17 @@ class DimmunixLock:
                                blocking, deadline):
             return False
 
-        native_timeout = -1.0
-        if deadline is not None:
-            native_timeout = max(0.0, deadline - time.monotonic())
-        got = self._native.acquire(blocking, native_timeout if deadline is not None else -1)
+        # Non-blocking first: the uncontended case never blocks, so the
+        # about-to-block hook (which materializes lazily captured stacks)
+        # stays entirely off the fast path.
+        got = self._native.acquire(False)
+        if not got and blocking:
+            core.note_blocked(thread_id)
+            if deadline is not None:
+                got = self._native.acquire(True,
+                                           max(0.0, deadline - time.monotonic()))
+            else:
+                got = self._native.acquire()
         if not got:
             core.cancel(thread_id, self._lock_id)
             return False
@@ -267,10 +274,17 @@ class DimmunixSemaphore:
                                    blocking, deadline,
                                    capacity=self._capacity):
                 return False
-        if deadline is not None:
-            got = self._native.acquire(True, max(0.0, deadline - time.monotonic()))
-        else:
-            got = self._native.acquire(blocking)
+        # Non-blocking first, so note_blocked (stack materialization for
+        # lazily captured stacks) only runs when the pool is exhausted.
+        got = self._native.acquire(False)
+        if not got and (blocking or deadline is not None):
+            if self._engine_tracked:
+                core.note_blocked(thread_id)
+            if deadline is not None:
+                got = self._native.acquire(True,
+                                           max(0.0, deadline - time.monotonic()))
+            else:
+                got = self._native.acquire(True)
         if not got:
             if self._engine_tracked:
                 core.cancel(thread_id, self._lock_id)
@@ -435,6 +449,7 @@ class DimmunixRWLock:
             return False
         with self._cond:
             while self._writer is not None and self._writer != thread_id:
+                core.note_blocked(thread_id)
                 if not self._wait(deadline):
                     core.cancel(thread_id, self._lock_id)
                     return False
@@ -479,6 +494,7 @@ class DimmunixRWLock:
             return False
         with self._cond:
             while not self._write_grantable(thread_id):
+                core.note_blocked(thread_id)
                 if not self._wait(deadline):
                     core.cancel(thread_id, self._lock_id)
                     return False

@@ -188,13 +188,31 @@ class InstrumentationRuntime:
     def capture_stack(self) -> CallStack:
         """Capture the calling thread's stack, bounded by the configured depth.
 
-        Goes through the per-call-site capture cache
-        (:meth:`CallStack.capture_cached`): repeated acquisitions from the
-        same call path reuse one memoized stack instead of rebuilding and
-        rehashing it — the dominant cost of the acquisition fast path.
+        With ``lazy_capture`` (the default) only the caller's top frame is
+        recorded here — one interned frame, no walk — and the deep stack
+        materializes later, if ever, behind the signature index's
+        top-frame filter (see :class:`~repro.core.callstack.LazyCallStack`
+        and the hot-path section of ``docs/architecture.md``).  With the
+        knob off, the eager per-call-site capture cache
+        (:meth:`CallStack.capture_cached`) is used: repeated acquisitions
+        from the same call path reuse one memoized stack instead of
+        rebuilding and rehashing it.  Either way, histories and signatures
+        come out byte-identical.
         """
-        stack = CallStack.capture_cached(
-            skip=1, limit=self.dimmunix.config.max_stack_depth)
+        config = self.dimmunix.config
+        limit = config.max_stack_depth
+        if config.adaptive_capture_depth:
+            # Frames deeper than the deepest indexed suffix can never
+            # influence a match; archived stacks get shorter too, which is
+            # why this is opt-in (see config.py).
+            indexed = self.dimmunix.engine.index.max_depth()
+            if indexed:
+                limit = min(limit, indexed)
+        if config.lazy_capture:
+            stack = CallStack.capture_lazy(
+                skip=1, limit=limit, stats=self.dimmunix.stats)
+        else:
+            stack = CallStack.capture_cached(skip=1, limit=limit)
         if not stack:
             # Degenerate case (interactive shell, C callback): synthesize a
             # one-frame stack so signatures remain well formed.

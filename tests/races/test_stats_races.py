@@ -75,7 +75,7 @@ class TestDeterministicResurrection:
 
     def test_quiescent_reset_zeroes_everything(self):
         stats = EngineStats()
-        for name in ("requests", "go_decisions", "acquisitions"):
+        for name in ("requests", "releases", "acquisitions"):
             stats.bump(name, 7)
         stats.reset()
         assert stats.snapshot() == {name: 0 for name in stats.snapshot()}

@@ -66,10 +66,22 @@ class TestCallStack:
         assert sig.matches(runtime_diff, 1)
 
     def test_matches_shorter_stack_requires_equality(self):
-        short = CallStack.from_labels(["lock:3"])
-        longer = CallStack.from_labels(["lock:3", "update:1"])
+        short = CallStack.from_labels(["lock:3", "update:1"])
+        longer = CallStack.from_labels(["lock:3", "update:1", "main:9"])
         assert not short.matches(longer, 4)
-        assert short.matches(longer, 1)
+        assert short.matches(longer, 2)
+
+    def test_matches_single_frame_stack_matches_on_top(self):
+        # A one-frame stack is the shape of a degraded lazy capture (the
+        # acquiring frame died before materialization); it matches any
+        # stack with the same innermost frame, at any depth, so archived
+        # degraded signatures keep firing against deep runtime stacks.
+        single = CallStack.from_labels(["lock:3"])
+        deep = CallStack.from_labels(["lock:3", "update:1", "main:9"])
+        other = CallStack.from_labels(["open:7", "update:1", "main:9"])
+        assert single.matches(deep, 4)
+        assert deep.matches(single, 4)
+        assert not single.matches(other, 4)
 
     def test_encode_decode_roundtrip(self):
         stack = CallStack.from_labels(["lock:x.py:3", "update:x.py:1"])
@@ -115,3 +127,47 @@ class TestCallStack:
         a = CallStack.from_labels(["a:1"])
         b = CallStack.from_labels(["b:1"])
         assert sorted([b, a]) == [a, b]
+
+
+class TestCaptureCacheEviction:
+    """The per-call-site memo must shed load incrementally, never by a
+    wholesale clear: a clear cold-starts every hot call site at once (the
+    original bug — one overflowing site wiped everyone's entries)."""
+
+    def test_evict_half_drops_oldest_half_only(self):
+        from repro.core import callstack as cs
+
+        cache = {i: str(i) for i in range(10)}
+        cs._evict_half(cache)
+        # Dicts iterate in insertion order, so "oldest half" is the first
+        # half; the newest (hottest-by-recency-of-insertion) half survives.
+        assert cache == {i: str(i) for i in range(5, 10)}
+
+    def test_crossing_limit_keeps_the_working_set_warm(self):
+        from repro.core import callstack as cs
+
+        saved = dict(cs._capture_cache)
+        cs._capture_cache.clear()
+        try:
+            for i in range(cs._CAPTURE_CACHE_LIMIT):
+                cs._capture_cache[("synthetic", i)] = EMPTY_STACK
+
+            def site():
+                return CallStack.capture_cached(skip=0, limit=4)
+
+            # Two captures from the one call site (the memo key includes
+            # the caller's instruction offset, so the calls must share a
+            # source position): the first overflows and inserts, the
+            # second must hit the surviving entry.
+            captures = [site() for _ in range(2)]
+            assert captures[1] is captures[0]
+            # The overflow evicted only the oldest half and then admitted
+            # the new entry; the newest synthetic entries are still warm.
+            assert len(cs._capture_cache) == cs._CAPTURE_CACHE_LIMIT // 2 + 1
+            newest = ("synthetic", cs._CAPTURE_CACHE_LIMIT - 1)
+            oldest = ("synthetic", 0)
+            assert newest in cs._capture_cache
+            assert oldest not in cs._capture_cache
+        finally:
+            cs._capture_cache.clear()
+            cs._capture_cache.update(saved)

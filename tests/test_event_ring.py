@@ -329,7 +329,8 @@ class TestLegacyQueueCompat:
         engine.acquired(1, 10, s)
         engine.release(1, 10)
         types = [e.type for e in queue.drain()]
-        assert types == [EventType.REQUEST, EventType.ALLOW,
+        # Granted fast-path requests publish only the superseding ALLOW.
+        assert types == [EventType.ALLOW,
                          EventType.ACQUIRED, EventType.RELEASE]
 
 
@@ -348,6 +349,6 @@ class TestEngineRingPath:
         engine.acquired(1, 10, s)
         engine.release(1, 10)
         records = engine.events.drain_raw()
-        assert [r[1] for r in records] == [EV_REQUEST, EV_ALLOW,
+        assert [r[1] for r in records] == [EV_ALLOW,
                                            EV_ACQUIRED, EV_RELEASE]
         assert all(r[2] == 1 and r[3] == 10 for r in records)
