@@ -14,6 +14,8 @@ Reported rows:
   serverless transport, advisory locking included),
 * ``daemon``  — socket publish + broadcast + poll round trip for N
   signatures through a live in-process daemon,
+* ``gossip``  — push + anti-entropy delivery for N signatures between
+  two mesh nodes (the daemonless transport),
 * ``idle``    — cost of one no-op pump per transport (what every
   monitor pass pays once the fleet has converged).
 
@@ -95,6 +97,20 @@ def run_benchmark(count: int = SIGNATURES, tmp_dir: str = None):
                          ("tcp", "127.0.0.1", server.port)), count)})
     finally:
         server.stop()
+
+    from repro.share import GossipChannel
+    nodes = []
+
+    def gossip_node():
+        node = GossipChannel("127.0.0.1", 0, interval=0.05)
+        for other in nodes:
+            node.add_peer(other.bind)
+            other.add_peer(node.bind)
+        nodes.append(node)
+        return node
+
+    rows.append({"transport": "gossip",
+                 **_measure(gossip_node, count)})
     return rows
 
 
@@ -118,7 +134,7 @@ def bench_share_pool():
 
 def test_share_pool_throughput(once):
     rows = once(bench_share_pool)
-    assert len(rows) == 3
+    assert len(rows) == 4
     for row in rows:
         # Convergence must be fast enough that a monitor-interval pump
         # (default 100 ms) never becomes the bottleneck of a real fleet.

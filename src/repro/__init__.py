@@ -20,10 +20,14 @@ Quickstart::
 
     import repro
 
-    runtime = repro.immunize(history_path="app.history")
+    handle = repro.immunize(history_path="app.history")
     # ... run your threaded program; deadlock patterns encountered once
     # are avoided in all subsequent runs ...
-    runtime.dimmunix.stop()
+    handle.stop()
+
+``runtime="asyncio"`` immunizes event-loop programs and
+``runtime="both"`` immunizes mixed ones, all against one shared engine;
+``share=...`` joins a cross-process (or cross-host) signature pool.
 """
 
 from .core import (CallStack, Decision, DetectedCycle, Dimmunix, DimmunixConfig,
@@ -33,9 +37,10 @@ from .core import (CallStack, Decision, DetectedCycle, Dimmunix, DimmunixConfig,
 from .instrument import (AioCondition, AioLock, AioRWLock, AioSemaphore,
                          AsyncioRuntime, DimmunixBoundedSemaphore,
                          DimmunixCondition, DimmunixLock, DimmunixRLock,
-                         DimmunixRWLock, DimmunixSemaphore, immunize,
-                         immunize_asyncio, install, install_asyncio, patched,
-                         patched_asyncio, uninstall, uninstall_asyncio)
+                         DimmunixRWLock, DimmunixSemaphore, ImmunityHandle,
+                         immunize, immunize_asyncio, install, install_asyncio,
+                         patched, patched_asyncio, uninstall,
+                         uninstall_asyncio)
 
 __version__ = "0.1.0"
 
@@ -61,6 +66,7 @@ __all__ = [
     "EngineStats",
     "Frame",
     "History",
+    "ImmunityHandle",
     "RestartRequired",
     "SHARED",
     "STRONG_IMMUNITY",

@@ -14,13 +14,14 @@ from .locks import (BoundedSemaphore, Condition, DimmunixBoundedSemaphore,
                     DimmunixCondition, DimmunixLock, DimmunixRLock,
                     DimmunixRWLock, DimmunixSemaphore, Lock, RLock, RWLock,
                     Semaphore)
-from .patching import immunize, install, uninstall, patched
+from .patching import install, uninstall, patched
 from .aio import (AioCondition, AioLock, AioRWLock, AioSemaphore,
                   AsyncioParker, AsyncioRuntime, TaskRegistry,
                   asyncio_installed, get_default_aio_runtime,
                   immunize_asyncio, install_asyncio, patched_asyncio,
                   reset_default_aio_runtime, set_default_aio_runtime,
                   uninstall_asyncio)
+from .entry import ImmunityHandle, immunize
 
 __all__ = [
     "AioCondition",
@@ -37,6 +38,7 @@ __all__ = [
     "DimmunixRLock",
     "DimmunixRWLock",
     "DimmunixSemaphore",
+    "ImmunityHandle",
     "InstrumentationRuntime",
     "Lock",
     "RLock",

@@ -40,6 +40,7 @@ import contextlib
 import itertools
 import sys
 import threading
+import warnings
 from collections import deque
 from typing import Coroutine, Deque, Dict, Optional, Set, Tuple
 
@@ -1173,13 +1174,16 @@ def immunize_asyncio(config: Optional[DimmunixConfig] = None,
                      history_path: Optional[str] = None,
                      loop: Optional[asyncio.AbstractEventLoop] = None,
                      share=None) -> AsyncioRuntime:
-    """One-call setup: create, start, and install an asyncio Dimmunix.
+    """Deprecated alias: use ``repro.immunize(runtime="asyncio", ...)``.
 
-    The "just make my event loop immune" entry point::
+    Kept functional for one release (it predates the unified entry
+    point); emits a :class:`DeprecationWarning` and still returns the
+    historical :class:`AsyncioRuntime`::
 
         import repro
 
-        repro.immunize_asyncio(history_path="myapp.history")
+        repro.immunize_asyncio(history_path="myapp.history")  # old
+        repro.immunize(runtime="asyncio", history_path=...)   # new
         asyncio.run(main())
 
     ``loop`` optionally records the loop this runtime primarily serves
@@ -1191,6 +1195,10 @@ def immunize_asyncio(config: Optional[DimmunixConfig] = None,
     or channel.  The pool's channel I/O runs on the monitor thread, never
     on the event loop, so sharing adds no latency to task scheduling.
     """
+    warnings.warn(
+        "immunize_asyncio() is deprecated; use "
+        'repro.immunize(runtime="asyncio", ...) instead',
+        DeprecationWarning, stacklevel=2)
     if config is None:
         config = DimmunixConfig(history_path=history_path)
     elif history_path is not None:

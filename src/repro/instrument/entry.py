@@ -1,0 +1,154 @@
+"""The unified one-call entry point: ``repro.immunize(runtime=...)``.
+
+Historically thread programs called ``repro.immunize()`` and asyncio
+programs called ``repro.immunize_asyncio()`` — two names for the same
+idea, and no way to immunize a program that mixes both models (a web
+server running sync workers next to an event loop).  This module folds
+them into one front door::
+
+    handle = repro.immunize()                       # threads (default)
+    handle = repro.immunize(runtime="asyncio")      # event-loop programs
+    handle = repro.immunize(runtime="both")         # mixed programs
+    ...
+    handle.stop()                                   # undo everything
+
+Whatever the runtime, one :class:`~repro.core.dimmunix.Dimmunix`
+instance backs the handle — a mixed program has *one* history, one
+avoidance engine, and one share channel, so a deadlock learned on a
+thread immunizes the event loop too (and vice versa).
+
+The handle delegates unknown attributes to the underlying
+instrumentation runtime, so code written against the historical return
+values (``runtime.config``, ``runtime.dimmunix`` …) keeps working
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.config import DimmunixConfig
+from ..core.dimmunix import Dimmunix
+from ..core.errors import DimmunixError
+
+#: Accepted values for ``immunize(runtime=...)``.
+RUNTIMES = ("threads", "asyncio", "both")
+
+
+class ImmunityHandle:
+    """What :func:`immunize` returns: one stoppable immunity session.
+
+    Attributes:
+        dimmunix:  the shared engine instance.
+        threads:   the thread :class:`InstrumentationRuntime`, or ``None``
+                   when ``runtime="asyncio"``.
+        aio:       the :class:`AsyncioRuntime`, or ``None`` when
+                   ``runtime="threads"``.
+    """
+
+    def __init__(self, dimmunix: Dimmunix, threads=None, aio=None):
+        self.dimmunix = dimmunix
+        self.threads = threads
+        self.aio = aio
+        self._stopped = False
+
+    def stop(self) -> None:
+        """Stop the engine and undo every installed patch (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self.dimmunix.stop()
+        if self.threads is not None:
+            from . import patching
+            patching.uninstall()
+        if self.aio is not None:
+            from . import aio as _aio
+            _aio.uninstall_asyncio()
+
+    @property
+    def stopped(self) -> bool:
+        """True once :meth:`stop` has run."""
+        return self._stopped
+
+    def report(self) -> dict:
+        """The engine's report (histories, engine stats, share counters)."""
+        return self.dimmunix.report()
+
+    def __enter__(self) -> "ImmunityHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    def __getattr__(self, name):
+        # Back-compat: the historical entry points returned the
+        # instrumentation runtime itself; delegate what the handle does
+        # not define (``config``, ``registry`` …) to the primary runtime.
+        primary = (object.__getattribute__(self, "threads")
+                   or object.__getattribute__(self, "aio"))
+        if primary is not None:
+            return getattr(primary, name)
+        raise AttributeError(name)
+
+    def __repr__(self) -> str:
+        kinds = [kind for kind, runtime
+                 in (("threads", self.threads), ("asyncio", self.aio))
+                 if runtime is not None]
+        return (f"<ImmunityHandle runtime={'+'.join(kinds)} "
+                f"{'stopped' if self._stopped else 'running'}>")
+
+
+def immunize(runtime: str = "threads",
+             config: Optional[DimmunixConfig] = None,
+             history_path: Optional[str] = None,
+             share=None,
+             loop=None) -> ImmunityHandle:
+    """Create, start, and install deadlock immunity in one call.
+
+    ``runtime`` selects what gets instrumented: ``"threads"`` patches the
+    ``threading`` lock factories, ``"asyncio"`` patches the asyncio
+    primitives, ``"both"`` does both against one shared engine.
+
+    ``share`` joins a cross-process signature pool (see
+    :mod:`repro.share`): a spec string — ``unix:///run/app/pool.sock``,
+    ``tcp://host:port``, ``file:///shared/pool.sig``,
+    ``gossip://0.0.0.0:7400?peers=host:7400`` — or an open
+    :class:`~repro.share.channel.HistoryChannel`.
+
+    ``loop`` is informational for the asyncio runtime (wake futures bind
+    to each parked task's own running loop regardless).
+
+    Returns an :class:`ImmunityHandle`; call ``handle.stop()`` (or use it
+    as a context manager) to undo everything.
+    """
+    if runtime not in RUNTIMES:
+        raise DimmunixError(
+            f"unknown runtime {runtime!r} (known: {', '.join(RUNTIMES)})")
+    if config is None:
+        config = DimmunixConfig(history_path=history_path)
+    elif history_path is not None:
+        config = config.with_overrides(history_path=history_path)
+    dimmunix = Dimmunix(config=config, share=share)
+    threads_runtime = None
+    aio_runtime = None
+    try:
+        if runtime in ("threads", "both"):
+            from . import patching
+            threads_runtime = patching.install(dimmunix=dimmunix)
+        if runtime in ("asyncio", "both"):
+            from . import aio as _aio
+            aio_runtime = _aio.install_asyncio(dimmunix=dimmunix)
+            aio_runtime.loop = loop
+        dimmunix.start()
+    except Exception:
+        if threads_runtime is not None:
+            from . import patching
+            patching.uninstall()
+        if aio_runtime is not None:
+            from . import aio as _aio
+            _aio.uninstall_asyncio()
+        dimmunix.stop()
+        raise
+    return ImmunityHandle(dimmunix, threads=threads_runtime,
+                          aio=aio_runtime)

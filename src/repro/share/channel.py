@@ -10,13 +10,29 @@ contract:
   (``publish``),
 * a :class:`SignatureSource` yields signatures learned elsewhere
   (``poll``/``snapshot``),
-* a :class:`HistoryChannel` is both at once, plus a lifecycle.
+* a :class:`HistoryChannel` is both at once, plus a lifecycle and an
+  optional *control plane* (``publish_control``/``poll_controls``) that
+  carries fleet-wide signature management — disable / enable / remove —
+  alongside the signatures themselves.
 
-Two production transports implement the contract — the history daemon
-(:mod:`repro.share.server` / :mod:`repro.share.client`) and the
-serverless shared file (:mod:`repro.share.filechannel`) — plus an
-in-process hub (:mod:`repro.share.memory`) used by the simulator and by
-deterministic tests.  All of them exchange plain
+Transports are plugged in through a registry rather than hardcoded:
+:func:`register_transport` binds a URL scheme to a spec parser and a
+channel factory, and :func:`transports` lists what is available.  The
+built-in set:
+
+* the history daemon (:mod:`repro.share.server` / :mod:`repro.share.client`)
+  over ``tcp://`` and ``unix://`` — daemons can additionally *federate*
+  (subscribe to upstream daemons); the upstream connections are opened
+  through this same registry, so ``federate=`` upstreams may use any
+  registered transport,
+* the serverless shared file (:mod:`repro.share.filechannel`) behind
+  ``file://`` or a bare path,
+* the daemonless gossip mesh (:mod:`repro.share.gossip`) behind
+  ``gossip://``,
+* an in-process hub (:mod:`repro.share.memory`) behind ``memory://``,
+  used by the simulator and by deterministic tests.
+
+All of them exchange plain
 :meth:`~repro.core.signature.Signature.to_dict` records, i.e. the exact
 v1/v2 format of ``docs/signature-format.md``, and every install goes
 through :meth:`History.merge` semantics (duplicates bump counters, never
@@ -24,16 +40,55 @@ duplicate entries).
 
 Channels deduplicate by fingerprint in both directions: a signature that
 arrived from the pool is never published back into it, and a signature
-published locally is never redelivered by ``poll``.
+published locally is never redelivered by ``poll``.  Control records are
+deduplicated by their full identity ``(action, fingerprint, clock,
+origin)`` instead — the same fingerprint may legitimately be disabled,
+re-enabled, and disabled again.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.errors import ShareError
 from ..core.signature import Signature
+
+#: Actions a control record may carry across the pool.
+CONTROL_ACTIONS = ("disable", "enable", "remove")
+
+
+def make_control(action: str, fingerprint: str, clock: int = 0,
+                 origin: str = "") -> Dict:
+    """Build (and validate) one control record.
+
+    Control records are the fleet-wide management plane: ``disable``
+    stops every worker from avoiding a fingerprint (section 5.7 at fleet
+    scale), ``enable`` reverses that, ``remove`` deletes it outright.
+    ``clock`` is a Lamport timestamp and ``origin`` a tie-breaking node
+    name; together they give last-writer-wins merge semantics on
+    channels with no delivery-order guarantee (gossip).
+    """
+    if action not in CONTROL_ACTIONS:
+        raise ShareError(f"unknown control action {action!r} "
+                         f"(known: {', '.join(CONTROL_ACTIONS)})")
+    if not fingerprint:
+        raise ShareError("control record needs a fingerprint")
+    return {"action": action, "fingerprint": str(fingerprint),
+            "clock": int(clock), "origin": str(origin)}
+
+
+def control_key(control: Dict) -> Tuple:
+    """The dedup identity of a control record."""
+    return (control.get("action"), control.get("fingerprint"),
+            control.get("clock"), control.get("origin"))
+
+
+def valid_control(record) -> bool:
+    """True when ``record`` looks like a well-formed control record."""
+    return (isinstance(record, dict)
+            and record.get("action") in CONTROL_ACTIONS
+            and bool(record.get("fingerprint")))
 
 
 class SignatureSink:
@@ -65,10 +120,19 @@ class HistoryChannel(SignatureSink, SignatureSource):
     published, or already delivered), and :meth:`_filter_unseen` applies
     the set while updating it.  The bookkeeping is thread-safe — the
     monitor thread publishes while the pool pump polls.
+
+    Transports that can carry the control plane additionally override
+    ``publish_control``/``poll_controls`` and set ``supports_controls``;
+    the base implementations make controls a silent no-op so a pool can
+    drive any transport uniformly.
     """
+
+    #: True on transports that carry control records end to end.
+    supports_controls = False
 
     def __init__(self) -> None:
         self._seen: Set[str] = set()
+        self._seen_controls: Set[Tuple] = set()
         self._seen_lock = threading.Lock()
         self._closed = False
 
@@ -92,6 +156,35 @@ class HistoryChannel(SignatureSink, SignatureSource):
                     fresh.append(signature)
         return fresh
 
+    def _mark_control_seen(self, control: Dict) -> bool:
+        """Record a control's identity; returns True when it was new."""
+        key = control_key(control)
+        with self._seen_lock:
+            if key in self._seen_controls:
+                return False
+            self._seen_controls.add(key)
+            return True
+
+    def _filter_unseen_controls(self, controls: List[Dict]) -> List[Dict]:
+        """Keep (and mark) only control records not seen on this channel."""
+        fresh = []
+        with self._seen_lock:
+            for control in controls:
+                key = control_key(control)
+                if key not in self._seen_controls:
+                    self._seen_controls.add(key)
+                    fresh.append(control)
+        return fresh
+
+    # -- control plane (optional) ------------------------------------------------------
+
+    def publish_control(self, control: Dict) -> None:
+        """Offer a control record to the pool (no-op on plain transports)."""
+
+    def poll_controls(self) -> List[Dict]:
+        """Control records that arrived since the previous call."""
+        return []
+
     # -- lifecycle ---------------------------------------------------------------------
 
     def close(self) -> None:
@@ -108,44 +201,114 @@ class HistoryChannel(SignatureSink, SignatureSource):
         return type(self).__name__
 
 
+# ---------------------------------------------------------------------------
+# The transport registry
+# ---------------------------------------------------------------------------
+
+#: A registered transport: how to parse its spec and build its channel.
+#: ``parse(rest, spec)`` receives the part after ``scheme://`` plus the
+#: full spec (for error messages) and returns the params dict;
+#: ``factory(params, client_name)`` returns a live channel.
+class Transport:
+    __slots__ = ("scheme", "parse", "factory", "summary")
+
+    def __init__(self, scheme: str,
+                 parse: Callable[[str, str], Dict],
+                 factory: Callable[[Dict, Optional[str]], "HistoryChannel"],
+                 summary: str):
+        self.scheme = scheme
+        self.parse = parse
+        self.factory = factory
+        self.summary = summary
+
+
+_transports: Dict[str, Transport] = {}
+_transports_lock = threading.Lock()
+
+
+def _default_parse(rest: str, spec: str) -> Dict:
+    if not rest:
+        raise ShareError(f"share spec {spec!r} needs an address after ://")
+    return {"rest": rest}
+
+
+def register_transport(scheme: str,
+                       factory: Callable[[Dict, Optional[str]], HistoryChannel],
+                       parse: Optional[Callable[[str, str], Dict]] = None,
+                       summary: str = "") -> None:
+    """Register (or replace) the transport behind ``scheme://`` specs.
+
+    ``factory(params, client_name)`` must return a
+    :class:`HistoryChannel`; ``parse(rest, spec)`` turns the part after
+    ``scheme://`` into the params dict (default: ``{"rest": rest}``,
+    refusing an empty rest).  Registration is how ``gossip://`` and every
+    built-in scheme plug into :func:`open_channel` — third-party
+    transports use exactly the same door.
+    """
+    if not scheme or "://" in scheme:
+        raise ShareError(f"bad transport scheme {scheme!r}")
+    with _transports_lock:
+        _transports[scheme.lower()] = Transport(
+            scheme.lower(), parse or _default_parse, factory, summary)
+
+
+def unregister_transport(scheme: str) -> bool:
+    """Remove a registered transport; returns True when it existed."""
+    with _transports_lock:
+        return _transports.pop(scheme.lower(), None) is not None
+
+
+def transports() -> Dict[str, str]:
+    """Mapping of registered scheme -> one-line summary."""
+    with _transports_lock:
+        return {scheme: transport.summary
+                for scheme, transport in sorted(_transports.items())}
+
+
+def _lookup(scheme: str) -> Transport:
+    with _transports_lock:
+        transport = _transports.get(scheme)
+    if transport is None:
+        known = ", ".join(sorted(_transports))
+        raise ShareError(
+            f"unknown share transport {scheme!r} (known: {known})")
+    return transport
+
+
+def split_spec_params(rest: str) -> Tuple[str, Dict[str, str]]:
+    """Split ``ADDRESS?k=v&k2=v2`` into the address and its query params."""
+    address, sep, query = rest.partition("?")
+    params: Dict[str, str] = {}
+    if sep:
+        for item in query.split("&"):
+            if not item:
+                continue
+            key, _, value = item.partition("=")
+            params[key] = value
+    return address, params
+
+
 def parse_share_spec(spec: str) -> Tuple[str, Dict]:
     """Parse a share spec string into ``(scheme, params)``.
 
-    Supported forms::
+    Built-in forms::
 
-        tcp://HOST:PORT      history daemon over TCP
-        unix://PATH          history daemon over a Unix socket
-        file://PATH          serverless shared signature log
-        memory://NAME        in-process hub (tests, simulator)
+        tcp://HOST:PORT            history daemon over TCP
+        unix://PATH                history daemon over a Unix socket
+        file://PATH                serverless shared signature log
+        memory://NAME              in-process hub (tests, simulator)
+        gossip://BIND?peers=...    daemonless anti-entropy mesh node
 
     A bare path (no ``scheme://``) is treated as ``file://`` — the
     zero-configuration deployment is "point every worker at one file".
+    Schemes added through :func:`register_transport` parse here too.
     """
     if "://" not in spec:
         return "file", {"path": spec}
     scheme, _, rest = spec.partition("://")
     scheme = scheme.lower()
-    if scheme == "tcp":
-        host, sep, port = rest.rpartition(":")
-        if not sep or not host:
-            raise ShareError(f"tcp share spec needs HOST:PORT, got {spec!r}")
-        try:
-            return "tcp", {"host": host, "port": int(port)}
-        except ValueError as exc:
-            raise ShareError(f"bad port in share spec {spec!r}") from exc
-    if scheme == "unix":
-        if not rest:
-            raise ShareError(f"unix share spec needs a socket path, got {spec!r}")
-        return "unix", {"path": rest}
-    if scheme == "file":
-        if not rest:
-            raise ShareError(f"file share spec needs a path, got {spec!r}")
-        return "file", {"path": rest}
-    if scheme == "memory":
-        if not rest:
-            raise ShareError(f"memory share spec needs a hub name, got {spec!r}")
-        return "memory", {"name": rest}
-    raise ShareError(f"unknown share transport {scheme!r} in {spec!r}")
+    transport = _lookup(scheme)
+    return scheme, transport.parse(rest, spec)
 
 
 def open_channel(spec, client_name: Optional[str] = None) -> HistoryChannel:
@@ -160,14 +323,82 @@ def open_channel(spec, client_name: Optional[str] = None) -> HistoryChannel:
         raise ShareError(f"share spec must be a string or HistoryChannel, "
                          f"got {type(spec).__name__}")
     scheme, params = parse_share_spec(spec)
-    if scheme == "file":
-        from .filechannel import FileChannel
-        return FileChannel(params["path"])
-    if scheme == "memory":
-        from .memory import memory_hub
-        return memory_hub(params["name"]).channel()
+    return _lookup(scheme).factory(params, client_name)
+
+
+# ---------------------------------------------------------------------------
+# Built-in transport registrations
+# ---------------------------------------------------------------------------
+# Factories import lazily so `import repro.share.channel` stays cheap and
+# cycle-free; the registry only pays for the transports a process uses.
+
+
+def _parse_tcp(rest: str, spec: str) -> Dict:
+    host, sep, port = rest.rpartition(":")
+    if not sep or not host:
+        raise ShareError(f"tcp share spec needs HOST:PORT, got {spec!r}")
+    try:
+        return {"host": host, "port": int(port)}
+    except ValueError as exc:
+        raise ShareError(f"bad port in share spec {spec!r}") from exc
+
+
+def _parse_unix(rest: str, spec: str) -> Dict:
+    if not rest:
+        raise ShareError(f"unix share spec needs a socket path, got {spec!r}")
+    return {"path": rest}
+
+
+def _parse_file(rest: str, spec: str) -> Dict:
+    if not rest:
+        raise ShareError(f"file share spec needs a path, got {spec!r}")
+    return {"path": rest}
+
+
+def _parse_memory(rest: str, spec: str) -> Dict:
+    if not rest:
+        raise ShareError(f"memory share spec needs a hub name, got {spec!r}")
+    return {"name": rest}
+
+
+def _parse_gossip(rest: str, spec: str) -> Dict:
+    from .gossip import parse_gossip_params
+    return parse_gossip_params(rest, spec)
+
+
+def _open_tcp(params: Dict, client_name: Optional[str]) -> HistoryChannel:
     from .client import SocketChannel
-    if scheme == "tcp":
-        return SocketChannel(("tcp", params["host"], params["port"]),
-                             client_name=client_name)
+    return SocketChannel(("tcp", params["host"], params["port"]),
+                         client_name=client_name)
+
+
+def _open_unix(params: Dict, client_name: Optional[str]) -> HistoryChannel:
+    from .client import SocketChannel
     return SocketChannel(("unix", params["path"]), client_name=client_name)
+
+
+def _open_file(params: Dict, client_name: Optional[str]) -> HistoryChannel:
+    from .filechannel import FileChannel
+    return FileChannel(params["path"])
+
+
+def _open_memory(params: Dict, client_name: Optional[str]) -> HistoryChannel:
+    from .memory import memory_hub
+    return memory_hub(params["name"]).channel()
+
+
+def _open_gossip(params: Dict, client_name: Optional[str]) -> HistoryChannel:
+    from .gossip import GossipChannel
+    return GossipChannel(node_name=client_name, **params)
+
+
+register_transport("tcp", _open_tcp, _parse_tcp,
+                   "history daemon over TCP (federable)")
+register_transport("unix", _open_unix, _parse_unix,
+                   "history daemon over a Unix socket (federable)")
+register_transport("file", _open_file, _parse_file,
+                   "serverless shared signature log")
+register_transport("memory", _open_memory, _parse_memory,
+                   "in-process hub (tests, simulator)")
+register_transport("gossip", _open_gossip, _parse_gossip,
+                   "daemonless anti-entropy mesh node")

@@ -27,7 +27,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.errors import ShareError
 from ..core.signature import Signature
-from .channel import HistoryChannel
+from .channel import HistoryChannel, valid_control
 
 #: Address forms accepted by :class:`SocketChannel`.
 Address = Tuple
@@ -35,6 +35,8 @@ Address = Tuple
 
 class SocketChannel(HistoryChannel):
     """A :class:`HistoryChannel` speaking the daemon's JSON-lines protocol."""
+
+    supports_controls = True
 
     def __init__(self, address: Address, client_name: Optional[str] = None,
                  connect_timeout: float = 5.0,
@@ -50,6 +52,7 @@ class SocketChannel(HistoryChannel):
         self._reader_thread: Optional[threading.Thread] = None
         self._write_lock = threading.Lock()
         self._pending: Deque[dict] = deque()
+        self._pending_controls: Deque[dict] = deque()
         self._pending_lock = threading.Lock()
         self._connected = threading.Event()
         self._synced = threading.Event()
@@ -186,11 +189,19 @@ class SocketChannel(HistoryChannel):
         elif op == "snapshot":
             records = [r for r in message.get("signatures", [])
                        if isinstance(r, dict)]
+            controls = [c for c in message.get("controls", [])
+                        if valid_control(c)]
             with self._pending_lock:
                 self._pending.extend(records)
+                self._pending_controls.extend(controls)
             self._snapshot_payload = records
             self._snapshot_event.set()
             self._synced.set()
+        elif op == "control":
+            control = message.get("control")
+            if valid_control(control):
+                with self._pending_lock:
+                    self._pending_controls.append(control)
         elif op == "status":
             self._status_payload = message
             self._status_event.set()
@@ -220,6 +231,23 @@ class SocketChannel(HistoryChannel):
             except Exception:
                 continue
         return self._filter_unseen(signatures)
+
+    def publish_control(self, control: dict) -> None:
+        if self._closed:
+            return
+        if not self._mark_control_seen(control):
+            return
+        self._maybe_reconnect()
+        self._send({"op": "control", "control": control})
+
+    def poll_controls(self) -> List[dict]:
+        if self._closed:
+            return []
+        self._maybe_reconnect()
+        with self._pending_lock:
+            controls = list(self._pending_controls)
+            self._pending_controls.clear()
+        return self._filter_unseen_controls(controls)
 
     def snapshot(self, timeout: float = 5.0) -> List[Signature]:
         if self._closed:

@@ -21,6 +21,27 @@ Run it yourself::
     PYTHONPATH=src python -m repro.share.demo run --transport unix --workers 4
     PYTHONPATH=src python -m repro.share.demo run --transport file --workers 4
 
+**Fleet mode** scales the same story to multiple simulated "hosts" — a
+host being a group of workers behind one local pool endpoint — over
+either distributed topology::
+
+    PYTHONPATH=src python -m repro.share.demo fleet --topology gossip \\
+        --workers 50 --hosts 3 --timeline timeline.json
+    PYTHONPATH=src python -m repro.share.demo fleet --topology federation \\
+        --workers 50 --hosts 3
+
+``gossip`` stands up one long-lived seed node per host (fully meshed);
+every worker binds an ephemeral gossip port peered with its host's
+seed.  ``federation`` stands up a spine daemon plus one leaf daemon per
+host, each leaf federating upstream; workers connect to their host's
+leaf.  Worker A deadlocks on host 0, the signature crosses hosts, and
+every other worker — most on hosts that never saw the deadlock — is
+immune on its first run.  The finale proves fleet-wide *retraction*: a
+long-lived sentinel worker watches the pool while the orchestrator
+issues ``histctl disable --share``, and the sentinel observes its own
+live history disable the signature without restarting.  ``--timeline``
+writes a convergence-timeline JSON artifact (who learned what, when).
+
 Exit code 0 means the immunity story held end to end.
 """
 
@@ -116,6 +137,49 @@ def run_worker(share: str, worker_id: str,
         "yields": report["stats"].get("yield_decisions", 0),
         "signatures": report["history_size"],
         "share": report.get("share", {}),
+    }
+
+
+def run_sentinel(share: str, worker_id: str = "sentinel",
+                 appear_timeout: float = 20.0,
+                 disable_timeout: float = 30.0) -> Dict:
+    """A long-lived worker proving live fleet-wide disable propagation.
+
+    Joins the pool, waits for an *enabled* signature, prints
+    ``SENTINEL_READY`` (the orchestrator's cue to issue the disable),
+    then keeps running until its own live history shows every signature
+    disabled — without restarting, resyncing, or touching the engine.
+    """
+    config = DimmunixConfig(monitor_interval=0.02)
+    dimmunix = Dimmunix(config=config, share=share)
+    dimmunix.start()
+    saw = False
+    deadline = time.monotonic() + appear_timeout
+    while time.monotonic() < deadline:
+        dimmunix.share_pool.pump()
+        if any(not sig.disabled for sig in dimmunix.history.signatures()):
+            saw = True
+            break
+        time.sleep(0.02)
+    disabled_live = False
+    if saw:
+        print("SENTINEL_READY", flush=True)
+        deadline = time.monotonic() + disable_timeout
+        while time.monotonic() < deadline:
+            dimmunix.share_pool.pump()
+            signatures = dimmunix.history.signatures()
+            if signatures and all(sig.disabled for sig in signatures):
+                disabled_live = True
+                break
+            time.sleep(0.02)
+    report = dimmunix.report()
+    dimmunix.stop()
+    return {
+        "worker": worker_id,
+        "saw_signature": saw,
+        "disabled_live": disabled_live,
+        "controls_applied": report.get("share", {}).get(
+            "controls_applied", 0),
     }
 
 
@@ -265,6 +329,213 @@ def _wait_for_daemon(share: str, daemon: subprocess.Popen,
 
 
 # ---------------------------------------------------------------------------
+# Fleet mode: N workers x M simulated hosts, gossip or federation
+# ---------------------------------------------------------------------------
+
+
+def _wait_for_port(port: int, process: subprocess.Popen, what: str,
+                   timeout: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            _, stderr = process.communicate()
+            raise SystemExit(f"{what} exited early: {stderr}")
+        try:
+            probe = socket.create_connection(("127.0.0.1", port),
+                                             timeout=0.2)
+            probe.close()
+            return
+        except OSError:
+            time.sleep(0.05)
+    raise SystemExit(f"{what} on port {port} never became reachable")
+
+
+def _spawn_infra(command: List[str]) -> subprocess.Popen:
+    return subprocess.Popen(command, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+
+
+def _stand_up_gossip(hosts: int) -> Dict:
+    """One fully meshed seed node per host; workers peer with their seed."""
+    ports = [_free_tcp_port() for _ in range(hosts)]
+    processes = []
+    for index, port in enumerate(ports):
+        peers = ",".join(f"127.0.0.1:{peer}"
+                         for j, peer in enumerate(ports) if j != index)
+        command = [sys.executable, "-m", "repro.share.gossip",
+                   "--bind", f"127.0.0.1:{port}", "--interval", "0.1"]
+        if peers:
+            command += ["--peers", peers]
+        processes.append(_spawn_infra(command))
+    for index, (port, process) in enumerate(zip(ports, processes)):
+        _wait_for_port(port, process, f"gossip seed {index}")
+    host_specs = [
+        f"gossip://127.0.0.1:0?peers=127.0.0.1:{port}&interval=0.2"
+        for port in ports]
+    return {"processes": processes, "host_specs": host_specs,
+            "control_spec": host_specs[0],
+            "describe": [f"seed 127.0.0.1:{port}" for port in ports]}
+
+
+def _stand_up_federation(hosts: int) -> Dict:
+    """A spine daemon plus one leaf daemon per host, federated upstream."""
+    spine_port = _free_tcp_port()
+    spine = _spawn_infra([sys.executable, "-m", "repro.share.server",
+                          "--tcp", f"127.0.0.1:{spine_port}"])
+    _wait_for_port(spine_port, spine, "spine daemon")
+    processes = [spine]
+    leaf_ports = []
+    for index in range(hosts):
+        port = _free_tcp_port()
+        leaf_ports.append(port)
+        leaf = _spawn_infra([sys.executable, "-m", "repro.share.server",
+                             "--tcp", f"127.0.0.1:{port}",
+                             "--upstream", f"tcp://127.0.0.1:{spine_port}"])
+        processes.append(leaf)
+    for index, (port, process) in enumerate(zip(leaf_ports, processes[1:])):
+        _wait_for_port(port, process, f"leaf daemon {index}")
+    return {"processes": processes,
+            "host_specs": [f"tcp://127.0.0.1:{port}" for port in leaf_ports],
+            "control_spec": f"tcp://127.0.0.1:{spine_port}",
+            "describe": [f"spine 127.0.0.1:{spine_port}"]
+            + [f"leaf 127.0.0.1:{port}" for port in leaf_ports]}
+
+
+def run_fleet(topology: str, workers: int, hosts: int,
+              timeline_path: Optional[str] = None,
+              batch_size: int = 10, verbose: bool = True) -> Dict:
+    """The multi-host story; returns the summary dict (raises on failure).
+
+    Worker A deadlocks on host 0; every pool endpoint converges; the
+    remaining ``workers - 1`` processes run immune, spread round-robin
+    across ``hosts``; finally a sentinel worker proves a fleet-wide
+    ``histctl disable --share`` lands on a *running* worker.
+    """
+
+    def say(message: str) -> None:
+        if verbose:
+            print(message, flush=True)
+
+    started = time.monotonic()
+    events: List[Dict] = []
+
+    def mark(event: str, **detail) -> None:
+        record = {"t": round(time.monotonic() - started, 3), "event": event}
+        record.update(detail)
+        events.append(record)
+
+    if topology == "gossip":
+        fabric = _stand_up_gossip(hosts)
+    elif topology == "federation":
+        fabric = _stand_up_federation(hosts)
+    else:
+        raise SystemExit(f"unknown topology {topology!r}")
+    say(f"[fleet] {topology} fabric up: {', '.join(fabric['describe'])}")
+    mark("fabric_up", topology=topology, hosts=hosts)
+    host_specs = fabric["host_specs"]
+
+    try:
+        say(f"[fleet] worker A on host 0: empty history, deadlock-prone "
+            f"program")
+        result_a = _collect(_spawn_worker(host_specs[0], "A", False), "A",
+                            timeout=90.0)
+        if not result_a["deadlocked"]:
+            raise SystemExit("worker A did not deadlock")
+        mark("first_deadlock", worker="A", host=0)
+
+        fingerprint = None
+        for index, spec in enumerate(host_specs):
+            _wait_for_pool(spec, minimum=1, timeout=30.0)
+            if fingerprint is None:
+                probe = open_channel(spec, client_name="fleet-probe")
+                try:
+                    fingerprint = probe.snapshot()[0].fingerprint
+                finally:
+                    probe.close()
+            mark("host_converged", host=index)
+            say(f"[fleet] host {index} pool holds the signature")
+
+        names = [f"w{index:02d}" for index in range(workers - 1)]
+        results = [result_a]
+        for start in range(0, len(names), max(1, batch_size)):
+            batch = names[start:start + max(1, batch_size)]
+            spawned = []
+            for offset, name in enumerate(batch):
+                host = (start + offset) % hosts
+                spawned.append((name, host,
+                                _spawn_worker(host_specs[host], name, True)))
+            for name, host, process in spawned:
+                result = _collect(process, name, timeout=90.0)
+                result["host"] = host
+                mark("worker_done", worker=name, host=host,
+                     deadlocked=result["deadlocked"],
+                     synced=result["synced_before_run"])
+                results.append(result)
+            say(f"[fleet] batch {start // max(1, batch_size)}: "
+                f"{len(batch)} worker(s) done "
+                f"({sum(1 for r in results if not r['deadlocked'])} immune "
+                f"so far)")
+
+        deadlocked = [r["worker"] for r in results if r["deadlocked"]]
+        if deadlocked != ["A"]:
+            raise SystemExit(f"expected exactly worker A to deadlock, "
+                             f"got {deadlocked or 'none'}")
+        for result in results[1:]:
+            if result["signatures"] < 1:
+                raise SystemExit(f"worker {result['worker']} never received "
+                                 "the signature")
+            if result["completed"] != 2:
+                raise SystemExit(f"worker {result['worker']} did not "
+                                 "complete both threads")
+        say(f"[fleet] OK: 1 deadlock, {workers - 1} immune first runs "
+            f"across {hosts} hosts")
+
+        # Finale: fleet-wide retraction reaching a live worker.
+        say("[fleet] sentinel: proving live disable propagation")
+        sentinel = subprocess.Popen(
+            [sys.executable, "-m", "repro.share.demo", "sentinel",
+             "--share", host_specs[-1], "--id", "sentinel"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        ready = sentinel.stdout.readline().strip()
+        if ready != "SENTINEL_READY":
+            sentinel.kill()
+            _, stderr = sentinel.communicate()
+            raise SystemExit(
+                f"sentinel never saw the signature: {ready!r}\n{stderr}")
+        mark("sentinel_ready")
+        from ..tools import histctl
+        if histctl.main(["disable", "--share", fabric["control_spec"],
+                         fingerprint]) != 0:
+            sentinel.kill()
+            raise SystemExit("histctl disable --share failed")
+        mark("disable_issued", fingerprint=fingerprint)
+        sentinel_result = _collect(sentinel, "sentinel", timeout=60.0)
+        if not sentinel_result["disabled_live"]:
+            raise SystemExit(
+                "sentinel did not observe the live disable")
+        mark("sentinel_disabled_live")
+        say("[fleet] OK: histctl disable --share reached a running worker")
+    finally:
+        for process in fabric["processes"]:
+            process.terminate()
+        for process in fabric["processes"]:
+            try:
+                process.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+    summary = {"topology": topology, "workers": workers, "hosts": hosts,
+               "duration": round(time.monotonic() - started, 3),
+               "events": events, "results": results,
+               "sentinel": sentinel_result}
+    if timeline_path:
+        with open(timeline_path, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+        say(f"[fleet] convergence timeline written to {timeline_path}")
+    return summary
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 
@@ -282,11 +553,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="total processes incl. the one that deadlocks")
     p_run.set_defaults(func=_cmd_run)
 
+    p_fleet = sub.add_parser(
+        "fleet", help="multi-host convergence story (gossip or federation)")
+    p_fleet.add_argument("--topology", choices=("gossip", "federation"),
+                         default="gossip")
+    p_fleet.add_argument("--workers", type=int, default=12,
+                         help="total worker processes incl. the deadlocker")
+    p_fleet.add_argument("--hosts", type=int, default=3,
+                         help="simulated hosts (pool endpoints)")
+    p_fleet.add_argument("--batch", type=int, default=10,
+                         help="worker processes spawned concurrently")
+    p_fleet.add_argument("--timeline", metavar="FILE", default=None,
+                         help="write the convergence-timeline JSON here")
+    p_fleet.set_defaults(func=_cmd_fleet)
+
     p_worker = sub.add_parser("worker", help="internal: one worker process")
     p_worker.add_argument("--share", required=True)
     p_worker.add_argument("--id", required=True)
     p_worker.add_argument("--expect-immunity", action="store_true")
     p_worker.set_defaults(func=_cmd_worker)
+
+    p_sentinel = sub.add_parser(
+        "sentinel", help="internal: long-lived disable-propagation witness")
+    p_sentinel.add_argument("--share", required=True)
+    p_sentinel.add_argument("--id", default="sentinel")
+    p_sentinel.set_defaults(func=_cmd_sentinel)
     return parser
 
 
@@ -299,9 +590,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.workers < 2:
+        print("need at least 2 workers", file=sys.stderr)
+        return 2
+    if args.hosts < 1:
+        print("need at least 1 host", file=sys.stderr)
+        return 2
+    run_fleet(args.topology, args.workers, args.hosts,
+              timeline_path=args.timeline, batch_size=args.batch)
+    return 0
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     result = run_worker(args.share, args.id,
                         expect_immunity=args.expect_immunity)
+    print(json.dumps(result, sort_keys=True))
+    return 0
+
+
+def _cmd_sentinel(args: argparse.Namespace) -> int:
+    result = run_sentinel(args.share, args.id)
     print(json.dumps(result, sort_keys=True))
     return 0
 

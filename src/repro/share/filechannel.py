@@ -7,6 +7,12 @@ through a single file.  The format is a JSON-lines log::
     {"log": "dimmunix-share", "format_version": 2, "generation": "9f2c..."}
     {"signature": {...}}        # Signature.to_dict(), v1/v2 format
     {"signature": {...}}
+    {"control": {"action": "disable", "fingerprint": "...", ...}}
+
+``control`` lines are the fleet-management plane (disable / enable /
+remove a fingerprint on every attached worker); compaction keeps only
+the latest control per fingerprint (by Lamport clock) so a long-lived
+log does not replay an entire enable/disable history to late joiners.
 
 Appends happen under an exclusive advisory lock on a sidecar file
 (``<path>.lock``); reads take the shared lock.  Locking the sidecar
@@ -32,7 +38,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.errors import ShareError
 from ..core.signature import Signature
 from ..util.filelock import locked_file
-from .channel import HistoryChannel
+from .channel import HistoryChannel, valid_control
 
 _LOG_MAGIC = "dimmunix-share"
 _FORMAT_VERSION = 2
@@ -45,10 +51,17 @@ def _new_generation() -> str:
 class FileChannel(HistoryChannel):
     """A :class:`HistoryChannel` over an append-only shared signature log."""
 
+    supports_controls = True
+
     def __init__(self, path: str, compact_slack: int = 64,
                  check_interval: int = 32):
         super().__init__()
         self._path = path
+        #: Records read from the log but not yet handed out: ``poll`` and
+        #: ``poll_controls`` both advance the shared offset, so whichever
+        #: runs first buffers the other kind here instead of dropping it.
+        self._pending_records: List[dict] = []
+        self._pending_controls: List[dict] = []
         # Refuse to adopt a foreign file up front: a bare path is a valid
         # share spec, so a user who passes their *history* file here would
         # otherwise get signature lines appended to a JSON document,
@@ -137,6 +150,8 @@ class FileChannel(HistoryChannel):
                 continue
             if isinstance(record, dict) and "signature" in record:
                 records.append(record)
+            elif isinstance(record, dict) and valid_control(record.get("control")):
+                self._pending_controls.append(record["control"])
         return records
 
     def _load_new_records(self) -> List[dict]:
@@ -151,16 +166,29 @@ class FileChannel(HistoryChannel):
             self.io_errors += 1
             return []
 
+    def _refresh(self) -> None:
+        """Pull new lines into the pending buffers (both record kinds)."""
+        self._pending_records.extend(self._load_new_records())
+
     def poll(self) -> List[Signature]:
         if self._closed:
             return []
+        self._refresh()
+        records, self._pending_records = self._pending_records, []
         signatures = []
-        for record in self._load_new_records():
+        for record in records:
             try:
                 signatures.append(Signature.from_dict(record["signature"]))
             except Exception:
                 continue
         return self._filter_unseen(signatures)
+
+    def poll_controls(self) -> List[dict]:
+        if self._closed:
+            return []
+        self._refresh()
+        controls, self._pending_controls = self._pending_controls, []
+        return self._filter_unseen_controls(controls)
 
     def snapshot(self) -> List[Signature]:
         if self._closed:
@@ -201,6 +229,21 @@ class FileChannel(HistoryChannel):
         except OSError:
             self.io_errors += 1
 
+    def publish_control(self, control: dict) -> None:
+        if self._closed:
+            return
+        if not self._mark_control_seen(control):
+            return
+        line = json.dumps({"control": control}, sort_keys=True)
+        try:
+            with locked_file(self._path, exclusive=True):
+                self._check_is_share_log(must_exist=False)
+                self._ensure_header_locked()
+                with open(self._path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+        except OSError:
+            self.io_errors += 1
+
     def _ensure_header_locked(self) -> None:
         """Create the log with a header when absent (caller holds the lock)."""
         try:
@@ -215,9 +258,16 @@ class FileChannel(HistoryChannel):
 
     # -- compaction --------------------------------------------------------------------
 
-    def _scan_all_locked(self) -> Tuple[List[dict], int]:
-        """(unique records in first-seen order, total record count)."""
+    def _scan_all_locked(self) -> Tuple[List[dict], List[dict], int]:
+        """(unique signature records, kept control records, total count).
+
+        Control records survive compaction too, reduced to the latest
+        control per fingerprint by ``(clock, origin)`` — a late joiner
+        must still learn "this fingerprint is disabled" from a compacted
+        log, but not replay the whole enable/disable history.
+        """
         unique: Dict[str, dict] = {}
+        latest_controls: Dict[str, dict] = {}
         total = 0
         try:
             with open(self._path, "r", encoding="utf-8") as handle:
@@ -231,20 +281,31 @@ class FileChannel(HistoryChannel):
                     except json.JSONDecodeError:
                         total += 1
                         continue
-                    if not (isinstance(record, dict) and "signature" in record):
-                        continue
-                    total += 1
-                    fingerprint = record["signature"].get("fingerprint")
-                    if fingerprint and fingerprint not in unique:
-                        unique[fingerprint] = record
+                    if isinstance(record, dict) and "signature" in record:
+                        total += 1
+                        fingerprint = record["signature"].get("fingerprint")
+                        if fingerprint and fingerprint not in unique:
+                            unique[fingerprint] = record
+                    elif (isinstance(record, dict)
+                          and valid_control(record.get("control"))):
+                        total += 1
+                        control = record["control"]
+                        fingerprint = control["fingerprint"]
+                        stamp = (control.get("clock", 0),
+                                 str(control.get("origin", "")))
+                        held = latest_controls.get(fingerprint)
+                        if held is None or stamp >= (
+                                held["control"].get("clock", 0),
+                                str(held["control"].get("origin", ""))):
+                            latest_controls[fingerprint] = record
         except OSError:
-            return [], 0
-        return list(unique.values()), total
+            return [], [], 0
+        return list(unique.values()), list(latest_controls.values()), total
 
     def _maybe_compact_locked(self) -> None:
-        unique, total = self._scan_all_locked()
-        if total - len(unique) >= self._compact_slack:
-            self._rewrite_locked(unique)
+        unique, controls, total = self._scan_all_locked()
+        if total - len(unique) - len(controls) >= self._compact_slack:
+            self._rewrite_locked(unique + controls)
 
     def _rewrite_locked(self, records: List[dict]) -> None:
         directory = os.path.dirname(os.path.abspath(self._path)) or "."
@@ -262,10 +323,10 @@ class FileChannel(HistoryChannel):
         """Deduplicate the log now; returns the number of records dropped."""
         try:
             with locked_file(self._path, exclusive=True):
-                unique, total = self._scan_all_locked()
-                dropped = total - len(unique)
+                unique, controls, total = self._scan_all_locked()
+                dropped = total - len(unique) - len(controls)
                 if dropped > 0:
-                    self._rewrite_locked(unique)
+                    self._rewrite_locked(unique + controls)
                 return dropped
         except OSError as exc:
             raise ShareError(f"cannot compact {self._path}: {exc}") from exc
@@ -276,13 +337,16 @@ class FileChannel(HistoryChannel):
         """Counts for ``histctl pool-status``: records, unique, size."""
         try:
             with locked_file(self._path, exclusive=False):
-                unique, total = self._scan_all_locked()
+                unique, controls, total = self._scan_all_locked()
                 try:
                     size = os.path.getsize(self._path)
                 except OSError:
                     size = 0
         except OSError as exc:
             raise ShareError(f"cannot read {self._path}: {exc}") from exc
+        disabled = sum(1 for record in controls
+                       if record["control"].get("action") == "disable")
         return {"transport": "file", "path": self._path,
                 "signatures": len(unique), "records": total,
+                "controls": len(controls), "disabled_fingerprints": disabled,
                 "bytes": size, "io_errors": self.io_errors}

@@ -25,7 +25,7 @@ import threading
 from typing import Dict, List, Optional
 
 from ..core.signature import Signature
-from .channel import HistoryChannel
+from .channel import HistoryChannel, control_key
 
 
 class MemoryHub:
@@ -35,6 +35,8 @@ class MemoryHub:
         self.name = name
         self._records: List[dict] = []
         self._fingerprints: set = set()
+        self._controls: List[dict] = []
+        self._control_keys: set = set()
         self._lock = threading.Lock()
 
     def append(self, signature: Signature) -> bool:
@@ -47,10 +49,29 @@ class MemoryHub:
             self._records.append(record)
             return True
 
+    def append_control(self, control: dict) -> bool:
+        """Add a control record to the hub; True when it was new.
+
+        Controls dedup by their full identity, not by fingerprint — the
+        same fingerprint may be disabled, enabled, and disabled again.
+        """
+        key = control_key(control)
+        with self._lock:
+            if key in self._control_keys:
+                return False
+            self._control_keys.add(key)
+            self._controls.append(dict(control))
+            return True
+
     def records_from(self, cursor: int) -> List[dict]:
         """All records appended at or after ``cursor`` (a plain index)."""
         with self._lock:
             return list(self._records[cursor:])
+
+    def controls_from(self, cursor: int) -> List[dict]:
+        """All control records appended at or after ``cursor``."""
+        with self._lock:
+            return list(self._controls[cursor:])
 
     def __len__(self) -> int:
         with self._lock:
@@ -64,10 +85,13 @@ class MemoryHub:
 class MemoryChannel(HistoryChannel):
     """One endpoint of a :class:`MemoryHub`."""
 
+    supports_controls = True
+
     def __init__(self, hub: MemoryHub):
         super().__init__()
         self._hub = hub
         self._cursor = 0
+        self._control_cursor = 0
 
     @property
     def hub(self) -> MemoryHub:
@@ -99,6 +123,19 @@ class MemoryChannel(HistoryChannel):
         # poll() skip them forever.
         self._cursor = max(self._cursor, len(records))
         return signatures
+
+    def publish_control(self, control) -> None:
+        if self._closed:
+            return
+        if self._mark_control_seen(control):
+            self._hub.append_control(control)
+
+    def poll_controls(self):
+        if self._closed:
+            return []
+        controls = self._hub.controls_from(self._control_cursor)
+        self._control_cursor += len(controls)
+        return self._filter_unseen_controls(controls)
 
     def describe(self) -> str:
         name = self._hub.name or "<anonymous>"

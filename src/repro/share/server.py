@@ -13,10 +13,22 @@ subscribe   start streaming; server first answers ``snapshot`` (unless
             ``"snapshot": false``), then pushes ``signature`` messages
 publish     offer one signature record; new ones are merged into the
             master history and broadcast to every *other* subscriber
+control     fleet management (disable / enable / remove a fingerprint);
+            applied to the master history, broadcast, and federated
 snapshot    answer with the full pool as one ``snapshot`` message
+            (signatures plus the latest control per fingerprint)
 status      answer with pool counters (``pool-status`` subcommand)
 ping        answer ``pong`` (liveness probes)
 ========== ==========================================================
+
+**Federation** (``--upstream SPEC``, repeatable): the daemon can itself
+subscribe to upstream daemons — or any other share transport — turning
+N per-host hubs plus one spine daemon into a fleet-wide pool.  A
+federation thread polls each upstream, merges what it learns, and
+broadcasts it downstream; local publishes and controls are forwarded
+upstream.  Upstream links reuse :class:`SocketChannel` semantics
+(snapshot-then-stream, reconnect-with-resnapshot), so a restarted spine
+repopulates every leaf automatically.
 
 Signature payloads are plain ``Signature.to_dict()`` records — the same
 v1/v2 format as history files (``docs/signature-format.md``) — and all
@@ -37,11 +49,13 @@ import os
 import socket
 import sys
 import threading
-from typing import Dict, List, Optional
+import time
+from typing import Dict, List, Optional, Sequence
 
 from ..core.errors import ShareError, SignatureError
 from ..core.history import History
 from ..core.signature import Signature
+from .channel import control_key, valid_control
 
 #: Protocol identifier sent in ``welcome`` messages.
 PROTOCOL = "dimmunix-share/1"
@@ -100,7 +114,9 @@ class HistoryServer:
     def __init__(self, unix_path: Optional[str] = None,
                  host: Optional[str] = None, port: int = 0,
                  history: Optional[History] = None,
-                 history_path: Optional[str] = None):
+                 history_path: Optional[str] = None,
+                 upstreams: Optional[Sequence[str]] = None,
+                 federation_interval: float = 0.25):
         if (unix_path is None) == (host is None):
             raise ShareError("pass exactly one of unix_path or host")
         if unix_path is not None and not hasattr(socket, "AF_UNIX"):
@@ -117,6 +133,22 @@ class HistoryServer:
         self._stopping = threading.Event()
         self._published = 0
         self._broadcast = 0
+        # -- fleet-control state: the latest control per fingerprint, so
+        # late subscribers learn "this fingerprint is disabled" from the
+        # snapshot instead of replaying history.
+        self._controls: Dict[str, dict] = {}
+        self._controls_lock = threading.Lock()
+        self._controls_applied = 0
+        # -- federation state
+        self._upstream_specs: List[str] = list(upstreams or [])
+        self._federation_interval = max(0.01, federation_interval)
+        self._upstream_channels: Dict[str, object] = {}
+        self._upstream_lock = threading.Lock()
+        self._federation_rounds = 0
+        self._federated_in = 0
+        self._federated_out = 0
+        self._federation_errors = 0
+        self._last_round_at: Optional[float] = None
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -140,12 +172,34 @@ class HistoryServer:
                                     name="dimmunix-share-accept", daemon=True)
         acceptor.start()
         self._threads.append(acceptor)
+        if self._upstream_specs:
+            federator = threading.Thread(
+                target=self._federation_loop,
+                name="dimmunix-share-federate", daemon=True)
+            federator.start()
+            self._threads.append(federator)
         return self
 
     def stop(self) -> None:
         """Close the listener and every client connection."""
         self._stopping.set()
+        with self._upstream_lock:
+            upstream_channels = list(self._upstream_channels.values())
+            self._upstream_channels.clear()
+        for channel in upstream_channels:
+            try:
+                channel.close()
+            except Exception:
+                pass
         if self._listener is not None:
+            # Shutdown before close: close() alone leaves the acceptor
+            # thread blocked inside accept() holding the kernel's open
+            # file description, so the port would keep listening (and a
+            # reconnecting client could be "served" by a stopped daemon).
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:
@@ -193,6 +247,15 @@ class HistoryServer:
             try:
                 sock, _addr = listener.accept()
             except OSError:
+                return
+            if self._stopping.is_set():
+                # stop() ran while we were blocked in accept(): do not
+                # hand this connection to a handler thread of a daemon
+                # that is already gone.
+                try:
+                    sock.close()
+                except OSError:
+                    pass
                 return
             client = _ClientConnection(sock)
             with self._clients_lock:
@@ -249,6 +312,8 @@ class HistoryServer:
                 client.send(self._snapshot_message())
         elif op == "publish":
             self._handle_publish(client, message)
+        elif op == "control":
+            self._handle_control(client, message)
         elif op == "snapshot":
             client.send(self._snapshot_message())
         elif op == "status":
@@ -262,9 +327,12 @@ class HistoryServer:
         return True
 
     def _snapshot_message(self) -> Dict:
+        with self._controls_lock:
+            controls = [dict(c) for c in self._controls.values()]
         return {"op": "snapshot", "format_version": 2,
                 "signatures": [sig.to_dict()
-                               for sig in self.history.signatures()]}
+                               for sig in self.history.signatures()],
+                "controls": controls}
 
     def _handle_publish(self, client: _ClientConnection, message: Dict) -> None:
         record = message.get("signature")
@@ -277,8 +345,63 @@ class HistoryServer:
             client.send({"op": "error", "error": f"bad signature: {exc}"})
             return
         self._published += 1
-        if self.history.add(signature):
+        if self._admit_signature(signature):
             self._broadcast_signature(signature, exclude=client)
+            self._forward_upstream_signature(signature)
+
+    def _admit_signature(self, signature: Signature) -> bool:
+        """Merge one signature, honoring any control already on file."""
+        held = self._held_control(signature.fingerprint)
+        if held is not None and held.get("action") == "remove":
+            # A removed fingerprint stays removed fleet-wide: re-adding it
+            # here would resurrect it on every subscriber.
+            return False
+        if not self.history.add(signature):
+            return False
+        if held is not None and held.get("action") == "disable":
+            self.history.disable(signature.fingerprint)
+        return True
+
+    def _handle_control(self, client: Optional[_ClientConnection],
+                        message: Dict) -> None:
+        control = message.get("control")
+        if not valid_control(control):
+            if client is not None:
+                client.send({"op": "error", "error": "bad control record"})
+            return
+        if self._apply_control(control):
+            self._broadcast_control(control, exclude=client)
+            self._forward_upstream_control(control)
+
+    def _held_control(self, fingerprint: str) -> Optional[dict]:
+        with self._controls_lock:
+            held = self._controls.get(fingerprint)
+            return dict(held) if held is not None else None
+
+    @staticmethod
+    def _control_stamp(control: dict) -> tuple:
+        return (int(control.get("clock", 0)), str(control.get("origin", "")))
+
+    def _apply_control(self, control: dict) -> bool:
+        """Apply one control to the master history; True when it won LWW."""
+        fingerprint = control["fingerprint"]
+        with self._controls_lock:
+            held = self._controls.get(fingerprint)
+            if held is not None:
+                if control_key(control) == control_key(held):
+                    return False
+                if self._control_stamp(control) < self._control_stamp(held):
+                    return False
+            self._controls[fingerprint] = dict(control)
+        action = control["action"]
+        if action == "disable":
+            self.history.disable(fingerprint)
+        elif action == "enable":
+            self.history.enable(fingerprint)
+        elif action == "remove":
+            self.history.remove(fingerprint)
+        self._controls_applied += 1
+        return True
 
     def _broadcast_signature(self, signature: Signature,
                              exclude: Optional[_ClientConnection]) -> None:
@@ -292,6 +415,113 @@ class HistoryServer:
             else:
                 self._drop_client(target)
 
+    def _broadcast_control(self, control: dict,
+                           exclude: Optional[_ClientConnection]) -> None:
+        message = {"op": "control", "control": dict(control)}
+        with self._clients_lock:
+            targets = [c for c in self._clients
+                       if c.subscribed and c is not exclude]
+        for target in targets:
+            if target.send(message):
+                self._broadcast += 1
+            else:
+                self._drop_client(target)
+
+    # -- federation --------------------------------------------------------------------
+
+    def _upstream_channel(self, spec: str):
+        """The open channel to ``spec``, (re)opened on demand."""
+        with self._upstream_lock:
+            channel = self._upstream_channels.get(spec)
+        if channel is not None:
+            return channel
+        from .channel import open_channel  # deferred: avoids import cycles
+        try:
+            channel = open_channel(spec, client_name=f"federation:{self.spec}")
+        except ShareError:
+            self._federation_errors += 1
+            return None
+        with self._upstream_lock:
+            if self._stopping.is_set():
+                channel.close()
+                return None
+            self._upstream_channels[spec] = channel
+        return channel
+
+    def _drop_upstream(self, spec: str) -> None:
+        with self._upstream_lock:
+            channel = self._upstream_channels.pop(spec, None)
+        if channel is not None:
+            try:
+                channel.close()
+            except Exception:
+                pass
+
+    def _federation_loop(self) -> None:
+        while not self._stopping.wait(self._federation_interval):
+            self.federation_round()
+
+    def federation_round(self) -> None:
+        """Poll every upstream once, merging and re-broadcasting news."""
+        for spec in self._upstream_specs:
+            channel = self._upstream_channel(spec)
+            if channel is None:
+                continue
+            try:
+                signatures = channel.poll()
+                controls = channel.poll_controls()
+            except Exception:
+                self._federation_errors += 1
+                self._drop_upstream(spec)
+                continue
+            if not getattr(channel, "connected", True):
+                # Socket links degrade silently rather than raising; treat
+                # a lost connection as a failed round so the upstream is
+                # reopened (with a fresh snapshot) once it comes back.
+                self._federation_errors += 1
+                self._drop_upstream(spec)
+                continue
+            for signature in signatures:
+                self._federated_in += 1
+                if self._admit_signature(signature):
+                    self._broadcast_signature(signature, exclude=None)
+            for control in controls:
+                self._federated_in += 1
+                if self._apply_control(control):
+                    self._broadcast_control(control, exclude=None)
+                    self._forward_upstream_control(control, skip=spec)
+        self._federation_rounds += 1
+        self._last_round_at = time.monotonic()
+
+    def _forward_upstream_signature(self, signature: Signature) -> None:
+        for spec in self._upstream_specs:
+            channel = self._upstream_channel(spec)
+            if channel is None:
+                continue
+            try:
+                # Per-channel fingerprint dedup suppresses echo: anything
+                # this link delivered via poll() is already marked seen.
+                channel.publish(signature)
+                self._federated_out += 1
+            except Exception:
+                self._federation_errors += 1
+                self._drop_upstream(spec)
+
+    def _forward_upstream_control(self, control: dict,
+                                  skip: Optional[str] = None) -> None:
+        for spec in self._upstream_specs:
+            if spec == skip:
+                continue
+            channel = self._upstream_channel(spec)
+            if channel is None:
+                continue
+            try:
+                channel.publish_control(control)
+                self._federated_out += 1
+            except Exception:
+                self._federation_errors += 1
+                self._drop_upstream(spec)
+
     # -- introspection -----------------------------------------------------------------
 
     def status(self) -> Dict:
@@ -299,11 +529,31 @@ class HistoryServer:
         with self._clients_lock:
             clients = len(self._clients)
             subscribed = sum(1 for c in self._clients if c.subscribed)
-        return {"op": "status", "transport": "daemon", "spec": self.spec,
-                "signatures": len(self.history), "clients": clients,
-                "subscribers": subscribed, "publishes": self._published,
-                "broadcasts": self._broadcast,
-                "history_path": self.history.path}
+        with self._controls_lock:
+            controls = len(self._controls)
+            disabled = sum(1 for c in self._controls.values()
+                           if c.get("action") == "disable")
+        status = {"op": "status", "transport": "daemon", "spec": self.spec,
+                  "signatures": len(self.history), "clients": clients,
+                  "subscribers": subscribed, "publishes": self._published,
+                  "broadcasts": self._broadcast,
+                  "controls": controls, "disabled_fingerprints": disabled,
+                  "history_path": self.history.path}
+        if self._upstream_specs:
+            with self._upstream_lock:
+                connected = len(self._upstream_channels)
+            last_age = (None if self._last_round_at is None
+                        else round(time.monotonic() - self._last_round_at, 3))
+            status.update({
+                "upstreams": list(self._upstream_specs),
+                "upstreams_connected": connected,
+                "federation_rounds": self._federation_rounds,
+                "federated_in": self._federated_in,
+                "federated_out": self._federated_out,
+                "federation_errors": self._federation_errors,
+                "last_federation_round_age": last_age,
+            })
+        return status
 
 
 def serve_forever(server: HistoryServer) -> None:
@@ -330,6 +580,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="listen on HOST:PORT")
     parser.add_argument("--history", metavar="FILE", default=None,
                         help="persist the pooled history to FILE")
+    parser.add_argument("--upstream", metavar="SPEC", action="append",
+                        default=[], dest="upstreams",
+                        help="federate with an upstream share SPEC "
+                             "(repeatable), e.g. tcp://spine:7341")
     return parser
 
 
@@ -342,9 +596,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"--tcp needs HOST:PORT, got {args.tcp!r}", file=sys.stderr)
             return 2
         server = HistoryServer(host=host, port=int(port),
-                               history_path=args.history)
+                               history_path=args.history,
+                               upstreams=args.upstreams)
     else:
-        server = HistoryServer(unix_path=args.unix, history_path=args.history)
+        server = HistoryServer(unix_path=args.unix, history_path=args.history,
+                               upstreams=args.upstreams)
     try:
         serve_forever(server)
     except ShareError as exc:

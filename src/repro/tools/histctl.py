@@ -13,17 +13,26 @@ histories when distributing immunity.  This small CLI covers them::
     python -m repro.tools.histctl export app.history signatures.json
     python -m repro.tools.histctl merge app.history vendor-signatures.json
 
-With multi-process history sharing (:mod:`repro.share`) come three live
+With multi-process history sharing (:mod:`repro.share`) come live
 subcommands that operate on a signature *pool* instead of a file::
 
     python -m repro.tools.histctl serve --unix /run/app/pool.sock --history pool.json
+    python -m repro.tools.histctl serve --tcp 0.0.0.0:7341 --upstream tcp://spine:7341
     python -m repro.tools.histctl tail unix:///run/app/pool.sock --duration 30
     python -m repro.tools.histctl pool-status file:///shared/pool.sig
+    python -m repro.tools.histctl disable --share tcp://pool:7341 <fingerprint>
 
-``serve`` runs the history daemon in the foreground; ``tail`` prints
-signatures as the pool learns them (snapshot first, then live for
-``--duration`` seconds); ``pool-status`` asks a daemon (or inspects a
-shared log file) for its counters.
+``serve`` runs the history daemon in the foreground (``--upstream``
+federates it with other daemons); ``tail`` prints signatures as the pool
+learns them (snapshot first, then live for ``--duration`` seconds);
+``pool-status`` asks a daemon, gossip node, or shared log file for its
+counters, including federation / anti-entropy state.
+
+``disable`` / ``enable`` / ``remove`` accept ``--share SPEC`` (with or
+without a history file): the action travels the pool as a Lamport-
+clocked control record and takes effect on every *running* worker — no
+restarts — because each worker's pool applies controls live through the
+history's observer hooks.
 
 Read-only commands (``list``, ``show``) load the file *leniently*: a
 record whose kind (or any other field) this build does not understand —
@@ -148,25 +157,77 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 1
 
 
+def _share_control(spec: str, action: str, fingerprint: str) -> bool:
+    """Publish one fleet-control record to a pool; True on success."""
+    import os
+    import socket
+    import time
+
+    from ..share import make_control, open_channel
+
+    try:
+        host = socket.gethostname()
+    except OSError:
+        host = "unknown-host"
+    # Wall-clock seconds as the Lamport value: strictly above any
+    # worker's publish counter, and monotone across histctl invocations,
+    # so an operator's latest word wins the LWW merge.
+    control = make_control(action, fingerprint, clock=int(time.time()),
+                           origin=f"histctl@{host}:{os.getpid()}")
+    channel = open_channel(spec, client_name="histctl-control")
+    try:
+        if not getattr(channel, "supports_controls", False):
+            print(f"share transport {channel.describe()} cannot carry "
+                  "control records", file=sys.stderr)
+            return False
+        channel.publish_control(control)
+    finally:
+        channel.close()
+    print(f"sent {action} {fingerprint} to {spec}")
+    return True
+
+
+def _require_target(args: argparse.Namespace) -> bool:
+    if args.history is None and not args.share:
+        print("pass a history file, --share SPEC, or both", file=sys.stderr)
+        return False
+    return True
+
+
 def _cmd_set_enabled(args: argparse.Namespace, enabled: bool) -> int:
-    history = _load(args.history)
-    ok = (history.enable(args.fingerprint) if enabled
-          else history.disable(args.fingerprint))
-    if not ok:
-        print(f"no signature with fingerprint {args.fingerprint}", file=sys.stderr)
-        return 1
-    history.save()
-    print(f"{'enabled' if enabled else 'disabled'} {args.fingerprint}")
+    if not _require_target(args):
+        return 2
+    action = "enable" if enabled else "disable"
+    if args.history is not None:
+        history = _load(args.history)
+        ok = (history.enable(args.fingerprint) if enabled
+              else history.disable(args.fingerprint))
+        if not ok:
+            print(f"no signature with fingerprint {args.fingerprint}",
+                  file=sys.stderr)
+            return 1
+        history.save()
+        print(f"{action}d {args.fingerprint}")
+    if args.share:
+        if not _share_control(args.share, action, args.fingerprint):
+            return 1
     return 0
 
 
 def _cmd_remove(args: argparse.Namespace) -> int:
-    history = _load(args.history)
-    if not history.remove(args.fingerprint):
-        print(f"no signature with fingerprint {args.fingerprint}", file=sys.stderr)
-        return 1
-    history.save()
-    print(f"removed {args.fingerprint}")
+    if not _require_target(args):
+        return 2
+    if args.history is not None:
+        history = _load(args.history)
+        if not history.remove(args.fingerprint):
+            print(f"no signature with fingerprint {args.fingerprint}",
+                  file=sys.stderr)
+            return 1
+        history.save()
+        print(f"removed {args.fingerprint}")
+    if args.share:
+        if not _share_control(args.share, "remove", args.fingerprint):
+            return 1
     return 0
 
 
@@ -196,9 +257,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"--tcp needs HOST:PORT, got {args.tcp!r}", file=sys.stderr)
             return 2
         server = HistoryServer(host=host, port=int(port),
-                               history_path=args.history)
+                               history_path=args.history,
+                               upstreams=args.upstreams)
     else:
-        server = HistoryServer(unix_path=args.unix, history_path=args.history)
+        server = HistoryServer(unix_path=args.unix, history_path=args.history,
+                               upstreams=args.upstreams)
     serve_forever(server)
     return 0
 
@@ -231,6 +294,11 @@ def _cmd_tail(args: argparse.Namespace) -> int:
                 printed += 1
                 if args.count is not None and printed >= args.count:
                     return 0
+            for control in channel.poll_controls():
+                print(f"{'control':<9} {control.get('fingerprint', '?'):<18} "
+                      f"{control.get('action', '?')} "
+                      f"clock={control.get('clock')} "
+                      f"origin={control.get('origin')}", flush=True)
             time.sleep(args.interval)
     except KeyboardInterrupt:
         pass
@@ -257,7 +325,12 @@ def _cmd_pool_status(args: argparse.Namespace) -> int:
     status.pop("op", None)
     width = max(len(key) for key in status)
     for key in sorted(status):
-        print(f"{key:<{width}}  {status[key]}")
+        value = status[key]
+        if isinstance(value, (dict, list)):
+            # Peer/federation structure (peer_lag, upstreams) renders as
+            # compact JSON so the output stays one line per counter.
+            value = json.dumps(value, sort_keys=True)
+        print(f"{key:<{width}}  {value}")
     return 0
 
 
@@ -275,19 +348,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_show.add_argument("fingerprint")
     p_show.set_defaults(func=_cmd_show)
 
-    p_disable = sub.add_parser("disable", help="disable a signature")
-    p_disable.add_argument("history")
+    share_help = ("also send the action to a signature pool as a control "
+                  "record (reaches running workers live); SPEC is any "
+                  "share spec: tcp://, unix://, file://, gossip://")
+
+    p_disable = sub.add_parser(
+        "disable", help="disable a signature (file, fleet, or both)")
+    p_disable.add_argument("history", nargs="?", default=None,
+                           help="history file (optional with --share)")
     p_disable.add_argument("fingerprint")
+    p_disable.add_argument("--share", metavar="SPEC", help=share_help)
     p_disable.set_defaults(func=lambda args: _cmd_set_enabled(args, False))
 
-    p_enable = sub.add_parser("enable", help="re-enable a signature")
-    p_enable.add_argument("history")
+    p_enable = sub.add_parser(
+        "enable", help="re-enable a signature (file, fleet, or both)")
+    p_enable.add_argument("history", nargs="?", default=None,
+                          help="history file (optional with --share)")
     p_enable.add_argument("fingerprint")
+    p_enable.add_argument("--share", metavar="SPEC", help=share_help)
     p_enable.set_defaults(func=lambda args: _cmd_set_enabled(args, True))
 
-    p_remove = sub.add_parser("remove", help="delete a signature")
-    p_remove.add_argument("history")
+    p_remove = sub.add_parser(
+        "remove", help="delete a signature (file, fleet, or both)")
+    p_remove.add_argument("history", nargs="?", default=None,
+                          help="history file (optional with --share)")
     p_remove.add_argument("fingerprint")
+    p_remove.add_argument("--share", metavar="SPEC", help=share_help)
     p_remove.set_defaults(func=_cmd_remove)
 
     p_export = sub.add_parser("export", help="export signatures for distribution")
@@ -309,11 +395,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="listen on HOST:PORT")
     p_serve.add_argument("--history", metavar="FILE", default=None,
                          help="persist the pooled history to FILE")
+    p_serve.add_argument("--upstream", metavar="SPEC", action="append",
+                         default=[], dest="upstreams",
+                         help="federate with an upstream share SPEC "
+                              "(repeatable), e.g. tcp://spine:7341")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_tail = sub.add_parser(
-        "tail", help="print pooled signatures as they arrive")
-    p_tail.add_argument("pool", help="share spec (unix://, tcp://, file://)")
+        "tail", help="print pooled signatures and controls as they arrive")
+    p_tail.add_argument("pool",
+                        help="share spec (unix://, tcp://, file://, gossip://)")
     p_tail.add_argument("--count", type=int, default=None,
                         help="stop after printing this many signatures")
     p_tail.add_argument("--duration", type=float, default=None,
@@ -323,8 +414,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_tail.set_defaults(func=_cmd_tail)
 
     p_status = sub.add_parser(
-        "pool-status", help="show signature-pool counters")
-    p_status.add_argument("pool", help="share spec (unix://, tcp://, file://)")
+        "pool-status",
+        help="show signature-pool counters (incl. federation/gossip state)")
+    p_status.add_argument("pool",
+                          help="share spec (unix://, tcp://, file://, "
+                               "gossip://)")
     p_status.set_defaults(func=_cmd_pool_status)
 
     return parser

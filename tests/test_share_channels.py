@@ -19,8 +19,9 @@ from repro.core.callstack import CallStack
 from repro.core.errors import ShareError
 from repro.core.signature import Signature
 from repro.share import (FileChannel, HistoryServer, MemoryHub, SocketChannel,
-                         memory_hub, open_channel, parse_share_spec,
-                         reset_memory_hubs)
+                         make_control, memory_hub, open_channel,
+                         parse_share_spec, register_transport,
+                         reset_memory_hubs, transports, unregister_transport)
 
 
 def make_signature(label: str) -> Signature:
@@ -342,3 +343,132 @@ class TestSocketChannel:
             late.close()
         finally:
             revived.stop()
+
+
+# ---------------------------------------------------------------------------
+# Transport registry
+# ---------------------------------------------------------------------------
+
+
+class TestTransportRegistry:
+    def test_builtins_are_registered(self):
+        registered = transports()
+        for scheme in ("tcp", "unix", "file", "memory", "gossip"):
+            assert scheme in registered
+
+    def test_unknown_scheme_names_the_known_set(self):
+        with pytest.raises(ShareError) as err:
+            parse_share_spec("carrier-pigeon://loft")
+        message = str(err.value)
+        for scheme in ("tcp", "unix", "file", "memory", "gossip"):
+            assert scheme in message
+
+    def test_custom_transport_round_trip(self):
+        hub = MemoryHub("custom-backing")
+
+        def factory(params, client_name=None):
+            return hub.channel()
+
+        register_transport("loopback", factory,
+                           parse=lambda rest, spec: {"name": rest},
+                           summary="test-only transport")
+        try:
+            assert "loopback" in transports()
+            assert parse_share_spec("loopback://x") == (
+                "loopback", {"name": "x"})
+            channel = open_channel("loopback://x")
+            channel.publish(make_signature("via-custom"))
+            assert len(hub) == 1
+        finally:
+            unregister_transport("loopback")
+        with pytest.raises(ShareError):
+            parse_share_spec("loopback://x")
+
+
+# ---------------------------------------------------------------------------
+# Control records across transports
+# ---------------------------------------------------------------------------
+
+
+class TestControlRecords:
+    def test_make_control_shape(self):
+        control = make_control("disable", "fp-1", clock=3, origin="ctl")
+        assert control == {"action": "disable", "fingerprint": "fp-1",
+                           "clock": 3, "origin": "ctl"}
+        with pytest.raises(ShareError):
+            make_control("explode", "fp-1", clock=1, origin="ctl")
+
+    def test_memory_controls_round_trip(self):
+        hub = MemoryHub()
+        a, b = hub.channel(), hub.channel()
+        assert a.supports_controls
+        control = make_control("disable", "fp-mem", clock=1, origin="a")
+        a.publish_control(control)
+        assert b.poll_controls() == [control]
+        assert a.poll_controls() == []     # no echo to the publisher
+        assert b.poll_controls() == []     # exactly-once
+
+    def test_file_controls_round_trip(self, tmp_path):
+        path = str(tmp_path / "pool.sig")
+        a, b = FileChannel(path), FileChannel(path)
+        assert a.supports_controls
+        a.publish(make_signature("target"))
+        a.publish_control(make_control("disable", "fp-file",
+                                       clock=2, origin="a"))
+        assert len(b.poll()) == 1
+        controls = b.poll_controls()
+        assert [c["fingerprint"] for c in controls] == ["fp-file"]
+        status = a.status()
+        assert status["signatures"] == 1
+        assert status["controls"] == 1
+        assert status["records"] == 2      # one signature + one control line
+
+    def test_file_compaction_keeps_latest_control(self, tmp_path):
+        path = str(tmp_path / "pool.sig")
+        writer = FileChannel(path)
+        writer.publish_control(make_control("disable", "fp-x",
+                                            clock=1, origin="w"))
+        writer.publish_control(make_control("enable", "fp-x",
+                                            clock=5, origin="w"))
+        writer.compact()
+        late = FileChannel(path)
+        controls = late.poll_controls()
+        assert len(controls) == 1
+        assert controls[0]["action"] == "enable"
+        assert controls[0]["clock"] == 5
+
+    def test_daemon_controls_round_trip(self, server):
+        a = SocketChannel(("unix", server._unix_path))
+        b = SocketChannel(("unix", server._unix_path))
+        assert a.wait_synced(5) and b.wait_synced(5)
+        assert a.supports_controls
+        control = make_control("disable", "fp-net", clock=4, origin="a")
+        a.publish_control(control)
+        got = []
+        assert wait_until(lambda: got.extend(b.poll_controls()) or got)
+        assert got == [control]
+        assert a.poll_controls() == []     # no echo to the publisher
+        assert server.status()["disabled_fingerprints"] == 1
+
+    def test_daemon_snapshot_carries_standing_controls(self, server):
+        early = SocketChannel(("unix", server._unix_path))
+        early.publish_control(make_control("disable", "fp-held",
+                                           clock=9, origin="early"))
+        assert wait_until(lambda: server.status()["controls"] == 1)
+        late = SocketChannel(("unix", server._unix_path))
+        assert late.wait_synced(5)
+        controls = late.poll_controls()
+        assert [c["fingerprint"] for c in controls] == ["fp-held"]
+        early.close(), late.close()
+
+    def test_base_channel_refuses_duplicate_controls(self):
+        hub = MemoryHub()
+        a, b = hub.channel(), hub.channel()
+        control = make_control("disable", "fp-dup", clock=1, origin="a")
+        a.publish_control(control)
+        a.publish_control(dict(control))   # identical identity: dropped
+        assert len(b.poll_controls()) == 1
+        # A *different* stamp for the same fingerprint is new information.
+        a.publish_control(make_control("disable", "fp-dup",
+                                       clock=2, origin="a"))
+        assert len(b.poll_controls()) == 1

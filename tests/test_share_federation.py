@@ -1,0 +1,197 @@
+"""Tests for daemon federation (HistoryServer --upstream).
+
+Stands up a tiny spine-and-leaves topology in-process: leaf daemons
+subscribe to a spine daemon, so signatures and control records published
+to any leaf reach clients of every other leaf.  Also proves the
+degradation contract — a dead spine leaves each leaf serving local
+clients, with the failure counted, and federation resumes when the
+spine returns.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.callstack import CallStack
+from repro.core.signature import Signature
+from repro.share import HistoryServer, SocketChannel, make_control
+
+
+def make_signature(label: str) -> Signature:
+    return Signature([CallStack.from_labels([f"{label}:1", "main:0"]),
+                      CallStack.from_labels([f"{label}:2", "main:0"])])
+
+
+def wait_until(predicate, timeout=8.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+@pytest.fixture
+def spine_and_leaves():
+    """A spine daemon with two leaf daemons federating through it."""
+    spine = HistoryServer(host="127.0.0.1", port=0).start()
+    leaves = [HistoryServer(host="127.0.0.1", port=0,
+                            upstreams=[spine.spec],
+                            federation_interval=0.05).start()
+              for _ in range(2)]
+    yield spine, leaves
+    for leaf in leaves:
+        leaf.stop()
+    spine.stop()
+
+
+class TestFederatedSignatures:
+    def test_leaf_to_leaf_via_spine(self, spine_and_leaves):
+        spine, (leaf1, leaf2) = spine_and_leaves
+        a = SocketChannel(("tcp", "127.0.0.1", leaf1.port))
+        b = SocketChannel(("tcp", "127.0.0.1", leaf2.port))
+        assert a.wait_synced(5) and b.wait_synced(5)
+        a.publish(make_signature("cross-host"))
+        received = []
+        assert wait_until(lambda: received.extend(b.poll()) or received)
+        assert len(received) == 1
+        # The spine holds it too — any future leaf inherits it.
+        assert wait_until(lambda: len(spine.history) == 1)
+        a.close(), b.close()
+
+    def test_spine_pushes_down_to_leaves(self, spine_and_leaves):
+        spine, (leaf1, _) = spine_and_leaves
+        top = SocketChannel(("tcp", "127.0.0.1", spine.port))
+        top.publish(make_signature("from-above"))
+        assert wait_until(lambda: len(leaf1.history) == 1)
+        top.close()
+
+    def test_late_leaf_inherits_spine_state(self, spine_and_leaves):
+        spine, (leaf1, _) = spine_and_leaves
+        a = SocketChannel(("tcp", "127.0.0.1", leaf1.port))
+        a.publish(make_signature("pre-existing"))
+        assert wait_until(lambda: len(spine.history) == 1)
+        late = HistoryServer(host="127.0.0.1", port=0,
+                             upstreams=[spine.spec],
+                             federation_interval=0.05).start()
+        try:
+            assert wait_until(lambda: len(late.history) == 1)
+        finally:
+            late.stop()
+        a.close()
+
+    def test_no_echo_storm(self, spine_and_leaves):
+        spine, (leaf1, _) = spine_and_leaves
+        a = SocketChannel(("tcp", "127.0.0.1", leaf1.port))
+        assert a.wait_synced(5)
+        a.publish(make_signature("once"))
+        assert wait_until(lambda: len(spine.history) == 1)
+        time.sleep(0.3)        # several federation rounds
+        # The publisher's own leaf never broadcasts the echo back.
+        assert a.poll() == []
+        assert len(leaf1.history) == 1
+        a.close()
+
+
+class TestFederatedControls:
+    def test_disable_travels_leaf_to_leaf(self, spine_and_leaves):
+        spine, (leaf1, leaf2) = spine_and_leaves
+        signature = make_signature("badguy")
+        a = SocketChannel(("tcp", "127.0.0.1", leaf1.port))
+        b = SocketChannel(("tcp", "127.0.0.1", leaf2.port))
+        assert a.wait_synced(5) and b.wait_synced(5)
+        a.publish(signature)
+        assert wait_until(lambda: len(b.poll()) == 1 or False)
+        a.publish_control(make_control("disable", signature.fingerprint,
+                                       clock=10, origin="ctl"))
+        got = []
+        assert wait_until(lambda: got.extend(b.poll_controls()) or got)
+        assert got[0]["action"] == "disable"
+        assert got[0]["fingerprint"] == signature.fingerprint
+        a.close(), b.close()
+
+    def test_late_joiner_snapshot_carries_controls(self, spine_and_leaves):
+        spine, (leaf1, _) = spine_and_leaves
+        signature = make_signature("held")
+        a = SocketChannel(("tcp", "127.0.0.1", leaf1.port))
+        a.publish(signature)
+        a.publish_control(make_control("disable", signature.fingerprint,
+                                       clock=5, origin="ctl"))
+        assert wait_until(
+            lambda: leaf1.status()["disabled_fingerprints"] == 1)
+        late = SocketChannel(("tcp", "127.0.0.1", leaf1.port))
+        assert late.wait_synced(5)
+        assert len(late.poll()) == 1
+        controls = late.poll_controls()
+        assert [c["action"] for c in controls] == ["disable"]
+        a.close(), late.close()
+
+    def test_removed_fingerprint_stays_removed(self, spine_and_leaves):
+        spine, (leaf1, _) = spine_and_leaves
+        signature = make_signature("tombstoned")
+        a = SocketChannel(("tcp", "127.0.0.1", leaf1.port))
+        a.publish_control(make_control("remove", signature.fingerprint,
+                                       clock=7, origin="ctl"))
+        assert wait_until(lambda: leaf1.status()["controls"] == 1)
+        b = SocketChannel(("tcp", "127.0.0.1", leaf1.port))
+        b.publish(signature)
+        time.sleep(0.2)
+        assert len(leaf1.history) == 0
+        a.close(), b.close()
+
+
+class TestFederationDegradation:
+    def test_dead_spine_leaves_local_immunity_working(self):
+        spine = HistoryServer(host="127.0.0.1", port=0).start()
+        spine_spec = spine.spec
+        leaf = HistoryServer(host="127.0.0.1", port=0,
+                             upstreams=[spine_spec],
+                             federation_interval=0.05).start()
+        try:
+            assert wait_until(
+                lambda: leaf.status().get("upstreams_connected") == 1)
+            spine.stop()
+            assert wait_until(
+                lambda: leaf.status().get("upstreams_connected") == 0)
+            # Local clients are unaffected.
+            a = SocketChannel(("tcp", "127.0.0.1", leaf.port))
+            b = SocketChannel(("tcp", "127.0.0.1", leaf.port))
+            assert a.wait_synced(5) and b.wait_synced(5)
+            a.publish(make_signature("still-local"))
+            assert wait_until(lambda: len(b.poll()) == 1 or False)
+            status = leaf.status()
+            assert status["federation_errors"] >= 1
+            assert status["upstreams"] == [spine_spec]
+            a.close(), b.close()
+        finally:
+            leaf.stop()
+
+    def test_reconnects_when_the_spine_returns(self, tmp_path):
+        sock = str(tmp_path / "spine.sock")
+        spine = HistoryServer(unix_path=sock).start()
+        leaf = HistoryServer(host="127.0.0.1", port=0,
+                             upstreams=[spine.spec],
+                             federation_interval=0.05).start()
+        try:
+            assert wait_until(
+                lambda: leaf.status().get("upstreams_connected") == 1)
+            spine.stop()
+            assert wait_until(
+                lambda: leaf.status().get("upstreams_connected") == 0)
+            # Publish while partitioned, then bring the spine back at the
+            # same address.
+            a = SocketChannel(("tcp", "127.0.0.1", leaf.port))
+            a.publish(make_signature("during-partition"))
+            assert wait_until(lambda: len(leaf.history) == 1)
+            spine = HistoryServer(unix_path=sock).start()
+            assert wait_until(
+                lambda: leaf.status().get("upstreams_connected") == 1)
+            # Fresh publishes flow upstream again after the reconnect.
+            a.publish(make_signature("after-heal"))
+            assert wait_until(lambda: len(spine.history) >= 1)
+            a.close()
+        finally:
+            leaf.stop()
+            spine.stop()

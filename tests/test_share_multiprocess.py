@@ -79,3 +79,24 @@ class TestMultiProcessImmunity:
         assert not second["deadlocked"]
         assert second["synced_before_run"]
         assert second["yields"] >= 1
+
+    def test_fleet_gossip_story_in_miniature(self, tmp_path):
+        """The multi-host fabric, shrunk to tier-1 size: 4 workers across
+        2 simulated hosts on a gossip mesh, plus the live-disable
+        sentinel finale.  CI's ``fleet-convergence`` job runs the full
+        50x3 version of this over both topologies."""
+        from repro.share.demo import run_fleet
+        timeline = str(tmp_path / "timeline.json")
+        summary = run_fleet("gossip", workers=4, hosts=2,
+                            timeline_path=timeline, batch_size=4,
+                            verbose=False)
+        results = {r["worker"]: r for r in summary["results"]}
+        deadlocked = [w for w, r in results.items() if r["deadlocked"]]
+        assert deadlocked == ["A"]
+        assert summary["hosts"] == 2
+        assert summary["sentinel"]["disabled_live"]
+        with open(timeline, encoding="utf-8") as handle:
+            events = json.load(handle)["events"]
+        names = [e["event"] for e in events]
+        assert "host_converged" in names
+        assert "sentinel_disabled_live" in names

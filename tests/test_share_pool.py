@@ -24,7 +24,7 @@ from repro.core.dimmunix import Dimmunix
 from repro.core.errors import MonitorError
 from repro.core.history import History
 from repro.core.signature import Signature
-from repro.share import MemoryHub, SignaturePool
+from repro.share import MemoryHub, SignaturePool, make_control
 from repro.share.channel import HistoryChannel
 
 
@@ -225,3 +225,181 @@ class TestDeterministicCrossRuntimeImmunity:
         assert not outcome_b["deadlocked"]
         assert outcome_b["completed"] == 2
         assert dim_b.stats.snapshot()["yield_decisions"] >= 1
+
+
+class ControlRejectingChannel(HistoryChannel):
+    """Claims control support but fails every control send."""
+
+    supports_controls = True
+
+    def publish(self, signature):
+        pass
+
+    def poll(self):
+        return []
+
+    def snapshot(self):
+        return []
+
+    def publish_control(self, control):
+        raise OSError("control plane down")
+
+
+class TestPoolBatching:
+    def test_window_coalesces_instead_of_publishing(self):
+        hub = MemoryHub()
+        history = History(path=None, autosave=False)
+        pool = SignaturePool(history, hub.channel(), coalesce_window=60.0)
+        history.add(make_signature("queued-1"))
+        history.add(make_signature("queued-2"))
+        assert pool.published == 0
+        assert pool.pending_outbound == 2
+        assert len(hub) == 0
+        assert pool.flush() == 2
+        assert pool.published == 2
+        assert len(hub) == 2
+        assert pool.pending_outbound == 0
+
+    def test_pump_flushes_an_elapsed_window(self):
+        import time as _time
+        hub = MemoryHub()
+        history = History(path=None, autosave=False)
+        pool = SignaturePool(history, hub.channel(), coalesce_window=0.02)
+        history.add(make_signature("due"))
+        assert pool.published == 0
+        _time.sleep(0.03)
+        pool.pump()
+        assert pool.published == 1
+
+    def test_bounded_queue_drops_oldest_and_counts(self):
+        """A slow subscriber (never-flushed window) hits the bound."""
+        hub = MemoryHub()
+        history = History(path=None, autosave=False)
+        pool = SignaturePool(history, hub.channel(), coalesce_window=60.0,
+                             max_outbound=3)
+        for index in range(5):
+            history.add(make_signature(f"burst-{index}"))
+        assert pool.publish_dropped == 2
+        assert pool.pending_outbound == 3
+        assert pool.flush() == 3
+        assert pool.report()["publish_dropped"] == 2
+
+    def test_sync_reoffers_dropped_signatures(self):
+        hub = MemoryHub()
+        history = History(path=None, autosave=False)
+        pool = SignaturePool(history, hub.channel(), coalesce_window=60.0,
+                             max_outbound=2)
+        for index in range(4):
+            history.add(make_signature(f"re-{index}"))
+        assert pool.publish_dropped == 2
+        pool.sync()
+        # Dropping only ever *delays* sharing: the full history reaches
+        # the channel on the next sync.
+        assert len(hub) == 4
+
+    def test_close_flushes_the_queue(self):
+        hub = MemoryHub()
+        history = History(path=None, autosave=False)
+        pool = SignaturePool(history, hub.channel(), coalesce_window=60.0)
+        history.add(make_signature("final"))
+        pool.close()
+        assert len(hub) == 1
+
+
+class TestPoolControlPlane:
+    def make_wired_pair(self):
+        """Two histories pooled through one hub (two 'workers')."""
+        hub = MemoryHub()
+        history_a = History(path=None, autosave=False)
+        history_b = History(path=None, autosave=False)
+        pool_a = SignaturePool(history_a, hub.channel(), origin="worker-a")
+        pool_b = SignaturePool(history_b, hub.channel(), origin="worker-b")
+        return hub, (history_a, pool_a), (history_b, pool_b)
+
+    def test_local_disable_originates_a_control(self):
+        hub, (history_a, pool_a), (history_b, pool_b) = self.make_wired_pair()
+        signature = make_signature("shared")
+        history_a.add(signature)
+        pool_b.pump()
+        history_a.disable(signature.fingerprint)
+        assert pool_a.controls_published == 1
+        # The other worker applies it on its next pump — live, no restart.
+        pool_b.pump()
+        assert pool_b.controls_applied == 1
+        assert history_b.enabled_signatures() == []
+        assert len(history_b) == 1
+
+    def test_applied_controls_do_not_echo(self):
+        hub, (history_a, pool_a), (history_b, pool_b) = self.make_wired_pair()
+        signature = make_signature("echoes")
+        history_a.add(signature)
+        pool_b.pump()
+        history_a.disable(signature.fingerprint)
+        pool_b.pump()
+        # pool_b disabled its local history, but must not re-originate
+        # that as a fresh control record.
+        assert pool_b.controls_published == 0
+        assert len(hub._controls) == 1       # nothing new after the first
+
+    def test_stale_controls_lose_last_writer_wins(self):
+        hub, (history_a, pool_a), (history_b, pool_b) = self.make_wired_pair()
+        signature = make_signature("lww")
+        history_a.add(signature)
+        pool_b.pump()
+        history_b.disable(signature.fingerprint)     # clock 1 @ worker-b
+        pool_a.pump()
+        history_a.enable(signature.fingerprint)      # clock 2 @ worker-a
+        pool_b.pump()
+        assert [s.fingerprint for s in history_b.enabled_signatures()] == \
+            [signature.fingerprint]
+        # Replay the stale disable directly: it must not win.
+        stale = make_control("disable", signature.fingerprint,
+                             clock=1, origin="worker-b")
+        applied = pool_b._apply_controls([stale])
+        assert applied == 0
+        assert history_b.enabled_signatures() != []
+
+    def test_remove_control_blocks_late_arrivals(self):
+        hub, (history_a, pool_a), (history_b, pool_b) = self.make_wired_pair()
+        signature = make_signature("tombstone")
+        history_a.add(signature)
+        history_a.remove(signature.fingerprint)
+        pool_b.pump()
+        assert pool_b.controls_applied == 1
+        # The record arrives *after* the remove (late, out of order):
+        # the held control keeps it out of the history.
+        probe = hub.channel()
+        probe._seen.clear()
+        probe.publish(make_signature("tombstone"))
+        pool_b.pump()
+        assert len(history_b) == 0
+
+    def test_control_failures_degrade_not_raise(self):
+        history = History(path=None, autosave=False)
+        pool = SignaturePool(history, ControlRejectingChannel())
+        signature = make_signature("unlucky")
+        history.add(signature)
+        history.disable(signature.fingerprint)      # swallowed
+        assert pool.control_errors == 1
+        assert pool.controls_published == 0
+        assert history.signatures()                 # local state intact
+
+    def test_channels_without_control_support_are_skipped(self):
+        history = History(path=None, autosave=False)
+        pool = SignaturePool(history, FailingChannel())
+        signature = make_signature("plain")
+        history.add(signature)
+        history.disable(signature.fingerprint)
+        assert pool.control_errors == 0
+        assert pool.controls_published == 0
+
+    def test_report_counters(self):
+        hub, (history_a, pool_a), _ = self.make_wired_pair()
+        signature = make_signature("counted")
+        history_a.add(signature)
+        history_a.disable(signature.fingerprint)
+        report = pool_a.report()
+        assert report["controls_published"] == 1
+        assert report["controls_applied"] == 0
+        assert report["control_errors"] == 0
+        assert report["pending_outbound"] == 0
